@@ -1,0 +1,111 @@
+// Baseline comparison (Sec. I of the paper): access *filters* ([13],
+// [14]) forbid insecure scan configurations instead of transforming the
+// network. Two costs of that approach, quantified here on the same
+// workloads as the Table I harness:
+//
+//  1. Lost access: registers inseparable from a violating partner must
+//     be made permanently inaccessible — "forcing a filter to make every
+//     such pair inaccessible for debug and diagnosis. In contrast the
+//     proposed method guarantees to include all scan flip-flops in the
+//     final secure reconfigurable scan network."
+//  2. Hybrid blindness: pure-path filters cannot see violations through
+//     the circuit logic at all; networks they fully "protect" still leak
+//     over hybrid paths.
+
+#include <iomanip>
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "rsn/access.hpp"
+#include "security/filter.hpp"
+#include "security/hybrid.hpp"
+
+int main() {
+  using namespace rsnsec;
+  bench::SweepOptions opt = bench::sweep_options_from_env();
+  const std::vector<std::string> names = {
+      "BasicSCB", "Mingle",      "TreeFlat",    "TreeBalanced",
+      "q12710",   "MBIST_1_5_5", "MBIST_2_5_5", "MBIST_5_5_5"};
+
+  std::cout << "=== Baseline: access filter vs. RSN transformation ===\n\n";
+  std::cout << std::left << std::setw(16) << "Benchmark" << std::right
+            << std::setw(7) << "#Reg" << std::setw(14) << "filter_lock"
+            << std::setw(14) << "lock[%]" << std::setw(14) << "hyb_missed"
+            << std::setw(12) << "our_chg" << std::setw(13) << "our_access"
+            << "\n";
+
+  double total_regs = 0, total_locked = 0;
+  int runs_total = 0, runs_hybrid_missed = 0;
+  for (const std::string& name : names) {
+    double locked = 0, regs = 0, our_changes = 0;
+    int runs = 0, hybrid_missed = 0;
+    bool all_accessible = true;
+    for (int ci = 0; ci < opt.circuits_per_benchmark; ++ci) {
+      bench::Instance inst = bench::make_instance(name, opt, ci);
+      for (int si = 0; si < opt.specs_per_circuit; ++si) {
+        Rng spec_rng(opt.base_seed * 104729 +
+                     static_cast<std::uint64_t>(ci) * 1000 +
+                     static_cast<std::uint64_t>(si));
+        security::SecuritySpec spec = benchgen::random_spec(
+            inst.doc.module_names.size(), opt.spec, spec_rng);
+
+        rsn::Rsn network = inst.doc.network;
+        SecureFlowTool tool(inst.circuit, network, spec, {});
+        PipelineResult result = tool.run();
+        if (!result.static_report.clean() ||
+            result.initial_violating_registers == 0)
+          continue;
+
+        // Filter baseline on the ORIGINAL network.
+        security::TokenTable tokens(spec, spec.num_modules());
+        security::AccessFilterBaseline filter(inst.doc.network, spec,
+                                              tokens);
+        security::FilterReport fr = filter.analyze();
+        locked += static_cast<double>(fr.inaccessible.size());
+        regs += static_cast<double>(inst.doc.network.registers().size());
+
+        // Hybrid blindness: does the original network have hybrid
+        // violations (which a pure filter does not model)?
+        dep::DependencyAnalyzer deps(inst.circuit, inst.doc.network, {});
+        deps.run();
+        security::HybridAnalyzer hybrid(inst.circuit, inst.doc.network,
+                                        deps, spec, tokens);
+        security::PureScanAnalyzer pure(spec, tokens);
+        std::size_t hybrid_pairs =
+            hybrid.count_violating_pairs(inst.doc.network);
+        std::size_t pure_pairs =
+            pure.count_violating_pairs(inst.doc.network);
+        if (hybrid_pairs > pure_pairs) ++hybrid_missed;
+
+        // Our transformation: all registers stay accessible.
+        our_changes += result.total_changes();
+        rsn::AccessPlanner planner(network);
+        all_accessible &= planner.all_registers_accessible();
+        ++runs;
+      }
+    }
+    if (runs == 0) continue;
+    std::cout << std::left << std::setw(16) << name << std::right
+              << std::setw(7) << static_cast<long>(regs / runs)
+              << std::fixed << std::setprecision(1) << std::setw(14)
+              << locked / runs << std::setw(14)
+              << (regs > 0 ? 100.0 * locked / regs : 0.0) << std::setw(14)
+              << hybrid_missed << std::setw(12) << our_changes / runs
+              << std::setw(13) << (all_accessible ? "100%" : "LOST!")
+              << "\n";
+    total_regs += regs;
+    total_locked += locked;
+    runs_total += runs;
+    runs_hybrid_missed += hybrid_missed;
+  }
+
+  std::cout << "\nFilter baseline locks out " << std::fixed
+            << std::setprecision(1)
+            << (total_regs > 0 ? 100.0 * total_locked / total_regs : 0.0)
+            << "% of registers on average; the transformation keeps 100% "
+               "accessible.\n";
+  std::cout << "Runs where a pure-path filter misses hybrid-only "
+               "violations entirely: "
+            << runs_hybrid_missed << " of " << runs_total << "\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "benchgen/circuit.hpp"
+#include "benchgen/families.hpp"
+#include "benchgen/specgen.hpp"
+#include "core/report.hpp"
+#include "core/tool.hpp"
+
+namespace rsnsec::bench {
+
+/// Sweep parameters of the Table I reproduction. The paper uses 10 random
+/// circuits x 16 random specifications per benchmark on server hardware;
+/// the defaults here are scaled down so the whole harness runs in minutes
+/// (override via environment: RSNSEC_CIRCUITS, RSNSEC_SPECS,
+/// RSNSEC_TARGET_FFS).
+struct SweepOptions {
+  int circuits_per_benchmark = 3;   ///< paper: 10
+  int specs_per_circuit = 6;        ///< paper: 16
+  /// Networks are scaled so their scan-FF count is at most this value.
+  std::size_t target_ffs = 400;
+  /// ... and their register count is at most this value. Registers and
+  /// FFs scale independently: FF-heavy benchmarks (q12710, a586710, ...)
+  /// keep their register structure while register widths shrink.
+  std::size_t target_regs = 48;
+  std::uint64_t base_seed = 1;
+  benchgen::SpecOptions spec;
+  PipelineOptions pipeline;
+};
+
+/// Reads sweep options from the environment (falling back to defaults).
+SweepOptions sweep_options_from_env();
+
+/// A generated (network, circuit) instance ready for specification runs.
+struct Instance {
+  rsn::RsnDocument doc;
+  netlist::Netlist circuit;
+};
+
+/// Generates instance `circuit_idx` of the named benchmark ("BasicSCB"
+/// ... "FlexScan" or "MBIST_n_m_o").
+Instance make_instance(const std::string& name, const SweepOptions& opt,
+                       int circuit_idx);
+
+/// Published Table I reference values for side-by-side printing.
+struct PaperRow {
+  const char* name;
+  double viol_regs, pure, hybrid, total;  ///< columns 5-8
+  double t_dep, t_pure, t_hybrid, t_total;
+};
+
+/// Reference row for `name`, if the paper reports one.
+std::optional<PaperRow> paper_row(const std::string& name);
+
+/// Runs the full sweep for one benchmark and returns the averaged row.
+/// Specs whose runs find no violation, or whose circuit logic is
+/// statically insecure, are skipped and counted (the paper averages
+/// "over all security specifications, where a security violation
+/// occurred, but the circuit logic itself is not insecure").
+BenchRow run_benchmark(const std::string& name, const SweepOptions& opt);
+
+/// Prints the paper's reference block under a reproduced table.
+void print_paper_reference(std::ostream& os,
+                           const std::vector<std::string>& names);
+
+}  // namespace rsnsec::bench

@@ -1,0 +1,214 @@
+// Engineering micro-benchmarks (not from the paper): throughput of the
+// substrates that dominate the Table I runtimes — the SAT solver, the
+// cone dependence check, the multi-cycle closure and the security
+// propagations.
+
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "benchgen/circuit.hpp"
+#include "benchgen/families.hpp"
+#include "benchgen/running_example.hpp"
+#include "benchgen/specgen.hpp"
+#include "dep/analyzer.hpp"
+#include "netlist/cone_check.hpp"
+#include "rsn/access.hpp"
+#include "rsn/csu_sim.hpp"
+#include "rsn/icl.hpp"
+#include "sat/solver.hpp"
+#include "security/filter.hpp"
+#include "security/hybrid.hpp"
+#include "security/pure.hpp"
+#include "util/dep_matrix.hpp"
+
+namespace {
+
+using namespace rsnsec;
+
+void BM_SatPigeonhole(benchmark::State& state) {
+  const int holes = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sat::Solver s;
+    std::vector<std::vector<sat::Var>> x(
+        static_cast<std::size_t>(holes + 1),
+        std::vector<sat::Var>(static_cast<std::size_t>(holes)));
+    for (auto& row : x)
+      for (sat::Var& v : row) v = s.new_var();
+    for (int p = 0; p <= holes; ++p) {
+      sat::Clause c;
+      for (int h = 0; h < holes; ++h) c.push_back(sat::mk_lit(x[p][h]));
+      s.add_clause(std::move(c));
+    }
+    for (int h = 0; h < holes; ++h)
+      for (int p1 = 0; p1 <= holes; ++p1)
+        for (int p2 = p1 + 1; p2 <= holes; ++p2)
+          s.add_clause(~sat::mk_lit(x[p1][h]), ~sat::mk_lit(x[p2][h]));
+    benchmark::DoNotOptimize(s.solve());
+  }
+}
+BENCHMARK(BM_SatPigeonhole)->Arg(5)->Arg(7)->Arg(8);
+
+void BM_ConeDependenceCheck(benchmark::State& state) {
+  // A wide AND-XOR cone; every leaf requires a SAT query when the random
+  // prefilter is bypassed.
+  const std::size_t width = static_cast<std::size_t>(state.range(0));
+  netlist::Netlist nl;
+  std::vector<netlist::NodeId> ffs;
+  for (std::size_t i = 0; i < width; ++i) {
+    netlist::NodeId f = nl.add_ff("f" + std::to_string(i));
+    nl.set_ff_input(f, f);
+    ffs.push_back(f);
+  }
+  netlist::NodeId acc = ffs[0];
+  for (std::size_t i = 1; i < width; ++i) {
+    acc = nl.add_gate(i % 2 ? netlist::GateType::Xor
+                            : netlist::GateType::And,
+                      {acc, ffs[i]});
+  }
+  netlist::NodeId t = nl.add_ff("t");
+  nl.set_ff_input(t, acc);
+  netlist::Cone cone = nl.extract_next_state_cone(t);
+  for (auto _ : state) {
+    netlist::ConeDependenceChecker chk(nl, cone);
+    for (std::size_t i = 0; i < cone.leaves.size(); ++i)
+      benchmark::DoNotOptimize(chk.depends_on(i));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(width));
+}
+BENCHMARK(BM_ConeDependenceCheck)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_DepMatrixClosure(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(7);
+  DepMatrix base(n);
+  for (std::size_t i = 0; i < 4 * n; ++i) {
+    std::size_t a = rng.below(static_cast<std::uint32_t>(n));
+    std::size_t b = rng.below(static_cast<std::uint32_t>(n));
+    base.upgrade(a, b,
+                 rng.chance(0.7) ? DepKind::Path : DepKind::Structural);
+  }
+  for (auto _ : state) {
+    DepMatrix m = base;
+    m.transitive_closure();
+    benchmark::DoNotOptimize(m.count_nonzero());
+  }
+}
+BENCHMARK(BM_DepMatrixClosure)->Arg(128)->Arg(512)->Arg(2048);
+
+struct Workload {
+  rsn::RsnDocument doc;
+  netlist::Netlist circuit;
+  security::SecuritySpec spec{1, 2};
+
+  explicit Workload(double target_ffs = 300) {
+    Rng rng(3);
+    const benchgen::BenchmarkProfile& p =
+        benchgen::bastion_profile("Mingle");
+    double scale = target_ffs / static_cast<double>(p.scan_ffs);
+    doc = benchgen::generate_bastion(p, scale, rng);
+    circuit = benchgen::attach_random_circuit(doc, {}, rng);
+    benchgen::SpecOptions sopt;
+    sopt.restrict_prob = 0.4;
+    spec = benchgen::random_spec(doc.module_names.size(), sopt, rng);
+  }
+};
+
+void BM_OneCycleDependencyAnalysis(benchmark::State& state) {
+  Workload w(static_cast<double>(state.range(0)));
+  for (auto _ : state) {
+    dep::DependencyAnalyzer a(w.circuit, w.doc.network, {});
+    a.run();
+    benchmark::DoNotOptimize(a.stats().closure_deps);
+  }
+}
+BENCHMARK(BM_OneCycleDependencyAnalysis)->Arg(100)->Arg(300);
+
+void BM_PurePropagation(benchmark::State& state) {
+  Workload w;
+  security::TokenTable tokens(w.spec, w.spec.num_modules());
+  security::PureScanAnalyzer pure(w.spec, tokens);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pure.count_violating_pairs(w.doc.network));
+  }
+}
+BENCHMARK(BM_PurePropagation);
+
+void BM_HybridPropagation(benchmark::State& state) {
+  Workload w;
+  dep::DependencyAnalyzer deps(w.circuit, w.doc.network, {});
+  deps.run();
+  security::TokenTable tokens(w.spec, w.spec.num_modules());
+  security::HybridAnalyzer hybrid(w.circuit, w.doc.network, deps, w.spec,
+                                  tokens);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hybrid.count_violating_pairs(w.doc.network));
+  }
+}
+BENCHMARK(BM_HybridPropagation);
+
+void BM_CsuShiftCycle(benchmark::State& state) {
+  benchgen::RunningExample ex = benchgen::make_running_example();
+  rsn::CsuSimulator sim(ex.doc.network, ex.circuit);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.shift(0x5555));
+  }
+}
+BENCHMARK(BM_CsuShiftCycle);
+
+void BM_RsnCopyForTrial(benchmark::State& state) {
+  Workload w;
+  for (auto _ : state) {
+    rsn::Rsn copy = w.doc.network;
+    benchmark::DoNotOptimize(copy.num_elements());
+  }
+}
+BENCHMARK(BM_RsnCopyForTrial);
+
+void BM_AccessPlanning(benchmark::State& state) {
+  Workload w;
+  rsn::AccessPlanner planner(w.doc.network);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(planner.all_registers_accessible());
+  }
+}
+BENCHMARK(BM_AccessPlanning);
+
+void BM_FilterBaseline(benchmark::State& state) {
+  Workload w;
+  security::TokenTable tokens(w.spec, w.spec.num_modules());
+  security::AccessFilterBaseline filter(w.doc.network, w.spec, tokens);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.analyze().inaccessible.size());
+  }
+}
+BENCHMARK(BM_FilterBaseline);
+
+void BM_IclLoad(benchmark::State& state) {
+  // Build a representative ICL text once, then measure parse+elaborate.
+  std::ostringstream icl;
+  icl << "Module Leaf { ScanInPort SI; ScanOutPort SO { Source R; }\n"
+         "  ScanRegister R[31:0] { ScanInSource SI; } }\n"
+         "Module Top { ScanInPort SI; ScanOutPort SO { Source last; }\n";
+  std::string prev = "SI";
+  for (int i = 0; i < 64; ++i) {
+    icl << "  Instance seg" << i << " Of Leaf { InputPort SI = " << prev
+        << "; }\n";
+    prev = "seg" + std::to_string(i);
+  }
+  icl << "  ScanRegister last { ScanInSource " << prev << "; } }\n";
+  const std::string text = icl.str();
+  for (auto _ : state) {
+    std::istringstream is(text);
+    rsn::RsnDocument doc = rsn::icl::load_icl(is);
+    benchmark::DoNotOptimize(doc.network.num_scan_ffs());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(text.size()));
+}
+BENCHMARK(BM_IclLoad);
+
+}  // namespace
+
+BENCHMARK_MAIN();

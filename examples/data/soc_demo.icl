@@ -1,0 +1,30 @@
+// Demo IEEE 1687 network in the ICL subset: a WIR-gated daisy chain of
+// three SIB-wrapped instruments (sensor, aes, trace).
+Module Instrument {
+  ScanInPort SI;
+  ScanOutPort SO { Source DR; }
+  ScanRegister DR[15:0] {
+    ScanInSource SI;
+    ResetValue 16'h0000;
+  }
+}
+
+Module Sib {
+  ScanInPort SI;
+  ScanOutPort SO { Source mux; }
+  ScanRegister S { ScanInSource SI; }
+  Instance inst Of Instrument { InputPort SI = S; }
+  ScanMux mux SelectedBy S {
+    1'b0 : S;
+    1'b1 : inst;
+  }
+}
+
+Module Chip {
+  ScanInPort SI;
+  ScanOutPort SO { Source wir; }
+  Instance trace Of Sib { InputPort SI = SI; }
+  Instance sensor Of Sib { InputPort SI = trace; }
+  Instance aes Of Sib { InputPort SI = sensor; }
+  ScanRegister wir[7:0] { ScanInSource aes; }
+}

@@ -1,0 +1,73 @@
+// Industrial-style audit: generate an MBIST_2_5_5 network (Sec. IV-A),
+// attach a random circuit and a random security specification, audit it
+// for pure and hybrid data-flow violations, transform it and write the
+// secured network to mbist_secure.rsn.
+//
+// Usage: mbist_audit [seed]
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+
+#include "benchgen/circuit.hpp"
+#include "benchgen/families.hpp"
+#include "benchgen/specgen.hpp"
+#include "core/tool.hpp"
+#include "rsn/io.hpp"
+
+using namespace rsnsec;
+
+int main(int argc, char** argv) {
+  std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 7;
+  Rng rng(seed);
+
+  rsn::RsnDocument doc = benchgen::generate_mbist(2, 5, 5, 1.0);
+  std::cout << "Generated " << rsn::summarize(doc.network) << "\n";
+  std::cout << "Hierarchy: " << doc.module_names.size()
+            << " modules (chip, cores, controllers)\n";
+
+  benchgen::CircuitOptions copt;
+  copt.target_cross_functional = 10;
+  netlist::Netlist circuit = benchgen::attach_random_circuit(doc, copt, rng);
+  std::cout << "Random underlying circuit: " << circuit.ffs().size()
+            << " flip-flops, " << circuit.num_nodes() << " nodes\n";
+
+  // Retry specs until one is non-trivial and statically clean, exactly
+  // like the paper's averaging rule.
+  benchgen::SpecOptions sopt;
+  sopt.expected_sensitive_modules = 3;
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    security::SecuritySpec spec =
+        benchgen::random_spec(doc.module_names.size(), sopt, rng);
+    rsn::Rsn network = doc.network;  // audit a fresh copy
+    SecureFlowTool tool(circuit, network, spec);
+    PipelineResult result = tool.run();
+    if (!result.static_report.clean()) {
+      std::cout << "spec " << attempt
+                << ": circuit logic itself insecure, skipping\n";
+      continue;
+    }
+    if (result.initial_violating_registers == 0) continue;
+
+    std::cout << "\nspec " << attempt << ": "
+              << result.initial_violating_registers
+              << " registers with violations\n"
+              << "  dependency analysis: " << result.t_dependency << " s ("
+              << result.dep_stats.sat_calls << " SAT calls, "
+              << result.dep_stats.sim_resolved
+              << " resolved by simulation; bridging removed "
+              << result.dep_stats.internal_ffs << " of "
+              << result.dep_stats.circuit_ffs << " flip-flops)\n"
+              << "  resolution: " << result.pure.applied_changes
+              << " pure + " << result.hybrid.applied_changes
+              << " hybrid changes\n";
+
+    std::ofstream out("mbist_secure.rsn");
+    write_rsn(out, network, doc.module_names);
+    std::cout << "  secured network written to mbist_secure.rsn ("
+              << network.muxes().size() << " muxes after repair)\n";
+    return 0;
+  }
+  std::cout << "no spec with resolvable violations found\n";
+  return 1;
+}

@@ -1,0 +1,108 @@
+// A hand-built SoC scenario using only the public API: an AES core with a
+// key register, a third-party sensor instrument (vulnerable to
+// side-channel readout), a debug/trace block and a DMA engine with a
+// shared-bus circuit between them. The security specification allows the
+// key material to share a scan path only with in-house logic; the
+// pipeline rewires the 1687 network accordingly.
+
+#include <iostream>
+
+#include "core/tool.hpp"
+#include "rsn/io.hpp"
+
+using namespace rsnsec;
+
+int main() {
+  // ---- Circuit: four modules around a shared bus --------------------
+  netlist::Netlist nl;
+  netlist::ModuleId aes = nl.add_module("aes");
+  netlist::ModuleId sensor = nl.add_module("sensor");
+  netlist::ModuleId dbg = nl.add_module("debug");
+  netlist::ModuleId dma = nl.add_module("dma");
+
+  netlist::NodeId key_in = nl.add_input("key_in", aes);
+  netlist::NodeId key = nl.add_ff("key", aes);
+  netlist::NodeId aes_state = nl.add_ff("aes_state", aes);
+  nl.set_ff_input(key, key_in);
+  nl.set_ff_input(aes_state,
+                  nl.add_gate(netlist::GateType::Xor, {key, aes_state},
+                              "round", aes));
+
+  // DMA buffer: written by the RSN (update), readable over the bus.
+  netlist::NodeId dma_buf = nl.add_ff("dma_buf", dma);
+  nl.set_ff_input(dma_buf, dma_buf);
+  // Shared bus: the DMA buffer drives the sensor's config through glue
+  // logic — a functional path a hybrid attack can ride.
+  netlist::NodeId bus = nl.add_gate(netlist::GateType::Buf, {dma_buf},
+                                    "bus", netlist::no_module);
+  netlist::NodeId sensor_cfg = nl.add_ff("sensor_cfg", sensor);
+  nl.set_ff_input(sensor_cfg, bus);
+  netlist::NodeId sensor_out = nl.add_ff("sensor_out", sensor);
+  nl.set_ff_input(sensor_out,
+                  nl.add_gate(netlist::GateType::And,
+                              {sensor_cfg, nl.add_input("probe", sensor)},
+                              "sense", sensor));
+
+  // Debug block: observes the AES state over a *cancelled* reconvergence
+  // (structurally connected, no data flow) — the Fig. 5 situation.
+  netlist::NodeId dead = nl.add_gate(netlist::GateType::Xor,
+                                     {aes_state, aes_state}, "reconv", dbg);
+  netlist::NodeId trace = nl.add_ff("trace", dbg);
+  nl.set_ff_input(trace,
+                  nl.add_gate(netlist::GateType::Or,
+                              {dead, nl.add_input("trig", dbg)}, "arm",
+                              dbg));
+
+  // ---- RSN: one wrapper register per module behind SIB muxes --------
+  rsn::Rsn net("soc");
+  rsn::ElemId r_aes = net.add_register("wrap_aes", 2, aes);
+  rsn::ElemId r_dma = net.add_register("wrap_dma", 1, dma);
+  rsn::ElemId r_sen = net.add_register("wrap_sensor", 2, sensor);
+  rsn::ElemId r_dbg = net.add_register("wrap_debug", 1, dbg);
+  net.set_capture(r_aes, 0, key);
+  net.set_capture(r_aes, 1, aes_state);
+  net.set_update(r_dma, 0, dma_buf);
+  net.set_capture(r_dma, 0, dma_buf);
+  net.set_capture(r_sen, 0, sensor_cfg);
+  net.set_capture(r_sen, 1, sensor_out);
+  net.set_update(r_sen, 0, sensor_cfg);
+  net.set_capture(r_dbg, 0, trace);
+
+  rsn::ElemId sib = net.add_mux("sib_sensor", 2);
+  net.connect(net.scan_in(), r_aes, 0);
+  net.connect(r_aes, r_dma, 0);
+  net.connect(r_dma, r_sen, 0);
+  net.connect(r_dma, sib, 0);   // bypass the sensor
+  net.connect(r_sen, sib, 1);
+  net.connect(sib, r_dbg, 0);
+  net.connect(r_dbg, net.scan_out(), 0);
+
+  // ---- Security specification ---------------------------------------
+  // Categories: 0 = third-party, 1 = in-house.
+  security::SecuritySpec spec(nl.num_modules(), 2);
+  spec.set_policy(aes, 1, 0b10);     // key material: in-house eyes only
+  spec.set_policy(sensor, 0, 0b11);  // third-party, unrestricted data
+  spec.set_policy(dbg, 1, 0b11);
+  spec.set_policy(dma, 1, 0b11);
+
+  std::cout << "== SoC before ==\n";
+  write_rsn(std::cout, net, {"aes", "sensor", "debug", "dma"});
+
+  SecureFlowTool tool(nl, net, spec);
+  PipelineResult result = tool.run();
+
+  std::cout << "\nPipeline result: secured=" << (result.secured ? "yes" : "no")
+            << ", violating registers before=" << result.initial_violating_registers
+            << ", changes=" << result.pure.applied_changes << " pure + "
+            << result.hybrid.applied_changes << " hybrid\n";
+  for (const security::AppliedChange& c : result.changes)
+    std::cout << "  - " << c.note << "\n";
+  std::cout << "Insecure circuit logic: "
+            << (result.static_report.insecure_logic ? "YES" : "no")
+            << "  (the trace tap is a cancelled reconvergence, so the "
+               "exact analysis accepts it)\n";
+
+  std::cout << "\n== SoC after ==\n";
+  write_rsn(std::cout, net, {"aes", "sensor", "debug", "dma"});
+  return result.secured ? 0 : 1;
+}

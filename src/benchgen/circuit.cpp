@@ -1,0 +1,242 @@
+#include "benchgen/circuit.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rsnsec::benchgen {
+
+using netlist::GateType;
+using netlist::ModuleId;
+using netlist::Netlist;
+using netlist::NodeId;
+
+namespace {
+
+/// Per-module bookkeeping during generation.
+struct ModuleCtx {
+  std::vector<NodeId> boundary;  ///< RSN-attachable flip-flops
+  std::vector<NodeId> internal;  ///< bridging candidates
+  std::vector<NodeId> all_ffs;
+  NodeId input = netlist::no_node;  ///< one primary input per module
+};
+
+/// Builds a small random combinational cone over `sources` and returns
+/// its root node. With `cancelling`, the cone is a data-flow-cancelling
+/// reconvergence over its first source: structurally connected, but no
+/// value propagates (XOR(x, x) and MUX(s, a, a) patterns).
+NodeId build_cone(Netlist& nl, const std::vector<NodeId>& sources,
+                  std::size_t max_gates, bool cancelling,
+                  bool must_include_first, ModuleId module, Rng& rng) {
+  assert(!sources.empty());
+  if (cancelling) {
+    NodeId x = sources.front();  // by convention the signal to cancel
+    // A "live" source other than x, so the cancellation is not undone by
+    // re-including x on the live branch.
+    NodeId live = sources.size() >= 2
+                      ? sources[1 + rng.below(static_cast<std::uint32_t>(
+                                      sources.size() - 1))]
+                      : x;
+    if (sources.size() >= 2 && rng.chance(0.5)) {
+      // MUX(sel = x, a, a): structurally depends on x, functionally only
+      // on a.
+      return nl.add_gate(GateType::Mux, {x, live, live}, {}, module);
+    }
+    // XOR(x, x) [== 0] fed into an OR with a live signal: the live signal
+    // propagates, x does not.
+    NodeId dead = nl.add_gate(GateType::Xor, {x, x}, {}, module);
+    return nl.add_gate(GateType::Or, {dead, live}, {}, module);
+  }
+
+  NodeId acc = must_include_first ? sources.front() : rng.pick(sources);
+  std::size_t gates = 1 + rng.below(static_cast<std::uint32_t>(
+                              std::max<std::size_t>(1, max_gates)));
+  for (std::size_t g = 0; g < gates; ++g) {
+    NodeId other = rng.pick(sources);
+    switch (rng.below(5)) {
+      case 0:
+        acc = nl.add_gate(GateType::And, {acc, other}, {}, module);
+        break;
+      case 1:
+        acc = nl.add_gate(GateType::Or, {acc, other}, {}, module);
+        break;
+      case 2:
+        acc = nl.add_gate(GateType::Xor, {acc, other}, {}, module);
+        break;
+      case 3:
+        acc = nl.add_gate(GateType::Not, {acc}, {}, module);
+        break;
+      default: {
+        NodeId third = rng.pick(sources);
+        acc = nl.add_gate(GateType::Mux, {acc, other, third}, {}, module);
+        break;
+      }
+    }
+  }
+  return acc;
+}
+
+}  // namespace
+
+netlist::Netlist attach_random_circuit(rsn::RsnDocument& doc,
+                                       const CircuitOptions& options,
+                                       Rng& rng) {
+  Netlist nl;
+  rsn::Rsn& net = doc.network;
+
+  // Scan FFs per module (determines boundary FF counts).
+  std::vector<std::size_t> scan_ffs_of_module(doc.module_names.size(), 0);
+  for (rsn::ElemId r : net.registers()) {
+    ModuleId m = net.elem(r).module;
+    if (m >= 0 && static_cast<std::size_t>(m) < scan_ffs_of_module.size())
+      scan_ffs_of_module[static_cast<std::size_t>(m)] +=
+          net.elem(r).ffs.size();
+  }
+
+  std::vector<ModuleCtx> ctx(doc.module_names.size());
+  for (std::size_t m = 0; m < doc.module_names.size(); ++m) {
+    ModuleId mid = nl.add_module(doc.module_names[m]);
+    assert(static_cast<std::size_t>(mid) == m);
+    ctx[m].input = nl.add_input(doc.module_names[m] + "_pi", mid);
+    std::size_t n_boundary = std::max<std::size_t>(
+        1, static_cast<std::size_t>(static_cast<double>(
+               scan_ffs_of_module[m]) *
+           options.boundary_per_scan_ff));
+    std::size_t n_internal =
+        options.internal_per_module + (n_boundary * 7) / 10;
+    for (std::size_t i = 0; i < n_boundary; ++i) {
+      NodeId ff = nl.add_ff(doc.module_names[m] + "_F" + std::to_string(i),
+                            mid);
+      ctx[m].boundary.push_back(ff);
+      ctx[m].all_ffs.push_back(ff);
+    }
+    for (std::size_t i = 0; i < n_internal; ++i) {
+      NodeId ff = nl.add_ff(
+          doc.module_names[m] + "_IF" + std::to_string(i), mid);
+      ctx[m].internal.push_back(ff);
+      ctx[m].all_ffs.push_back(ff);
+    }
+  }
+
+  // Next-state cones. Sources: own-module FFs and the module's primary
+  // input. A calibrated expected number of cones additionally pulls in a
+  // foreign flip-flop: functional pulls create real cross-module data
+  // paths (hybrid-path substrate), cancelled pulls create
+  // only-structural ones (Sec. IV-C false-positive material).
+  std::size_t n_cross_eligible = 0;
+  for (const ModuleCtx& mc : ctx) n_cross_eligible += mc.boundary.size();
+  const double p_cross_f =
+      ctx.size() > 1 && n_cross_eligible > 0
+          ? std::min(1.0, options.target_cross_functional /
+                              static_cast<double>(n_cross_eligible))
+          : 0.0;
+  const double p_cross_s =
+      ctx.size() > 1 && n_cross_eligible > 0
+          ? std::min(1.0, options.target_cross_structural /
+                              static_cast<double>(n_cross_eligible))
+          : 0.0;
+  for (std::size_t m = 0; m < ctx.size(); ++m) {
+    auto mid = static_cast<ModuleId>(m);
+    for (std::size_t fi = 0; fi < ctx[m].all_ffs.size(); ++fi) {
+      NodeId ff = ctx[m].all_ffs[fi];
+      // Boundary FFs come first in all_ffs; cross-module connections are
+      // drawn between boundary FFs on both ends (the RSN-visible data
+      // paths the hybrid analysis is about).
+      bool is_boundary = fi < ctx[m].boundary.size();
+
+      if (!is_boundary) {
+        if (rng.chance(0.35)) {
+          // Pipeline chain stage between boundary FFs (IF1 -> IF2 in
+          // Fig. 1): a chain head reads a boundary FF, later stages read
+          // their predecessor; an occasional cancelled reconvergence
+          // makes a stage only-structural.
+          NodeId prev = (fi == ctx[m].boundary.size())
+                            ? rng.pick(ctx[m].boundary)
+                            : ctx[m].all_ffs[fi - 1];
+          std::vector<NodeId> chain_sources{prev};
+          if (rng.chance(0.3))
+            chain_sources.push_back(rng.pick(ctx[m].boundary));
+          NodeId d = build_cone(nl, chain_sources, 1,
+                                rng.chance(options.cancelling_prob),
+                                /*must_include_first=*/true, mid, rng);
+          nl.set_ff_input(ff, d);
+        } else {
+          // Monitor/status sink: observes several boundary signals and
+          // feeds nothing (performance counters, sticky status bits).
+          // These carry many 1-cycle dependencies that bridging removes
+          // wholesale — the bulk of the Sec. III-A.2 reduction.
+          std::size_t k = 4 + rng.below(4);
+          NodeId acc = rng.pick(ctx[m].boundary);
+          for (std::size_t g = 1; g < k; ++g) {
+            GateType t = (g % 3 == 0)   ? GateType::And
+                         : (g % 3 == 1) ? GateType::Xor
+                                        : GateType::Or;
+            acc = nl.add_gate(t, {acc, rng.pick(ctx[m].boundary)}, {}, mid);
+          }
+          nl.set_ff_input(ff, acc);
+        }
+        continue;
+      }
+
+      // Boundary cones draw from boundary FFs, the module input and
+      // occasionally a chain tail (so internal pipelines feed back into
+      // RSN-visible state, F5 -> IF1 -> IF2 -> F7 style).
+      std::vector<NodeId> sources = ctx[m].boundary;
+      sources.push_back(ctx[m].input);
+      if (!ctx[m].internal.empty() && rng.chance(0.4))
+        sources.push_back(rng.pick(ctx[m].internal));
+      bool cross_f = is_boundary && rng.chance(p_cross_f);
+      bool cross_s = is_boundary && !cross_f && rng.chance(p_cross_s);
+      bool cancelling;
+      if (cross_f || cross_s) {
+        std::size_t other = rng.below(static_cast<std::uint32_t>(ctx.size()));
+        if (other == m) other = (m + 1) % ctx.size();
+        if (!ctx[other].boundary.empty()) {
+          // The foreign FF goes first: cancelling cones cancel sources[0].
+          std::vector<NodeId> with_foreign{rng.pick(ctx[other].boundary)};
+          with_foreign.insert(with_foreign.end(), sources.begin(),
+                              sources.end());
+          sources = std::move(with_foreign);
+        }
+        cancelling = cross_s;
+      } else {
+        cancelling = rng.chance(options.cancelling_prob);
+      }
+      NodeId d = build_cone(nl, sources, options.max_cone_gates, cancelling,
+                            /*must_include_first=*/cross_f || cross_s, mid,
+                            rng);
+      nl.set_ff_input(ff, d);
+    }
+  }
+
+  // Capture / update attachment: own-module boundary FFs only.
+  for (rsn::ElemId r : net.registers()) {
+    ModuleId m = net.elem(r).module;
+    if (m < 0 || static_cast<std::size_t>(m) >= ctx.size()) continue;
+    const ModuleCtx& mc = ctx[static_cast<std::size_t>(m)];
+    if (mc.boundary.empty()) continue;
+    for (std::size_t f = 0; f < net.elem(r).ffs.size(); ++f) {
+      if (rng.chance(options.capture_prob)) {
+        if (rng.chance(0.3)) {
+          // Capture a small combinational function of boundary FFs
+          // (exercises capture-cone extraction and its SAT checks).
+          NodeId cone = build_cone(nl, mc.boundary, 2, rng.chance(0.2),
+                                   /*must_include_first=*/false, m, rng);
+          net.set_capture(r, f, cone);
+        } else {
+          net.set_capture(r, f, rng.pick(mc.boundary));
+        }
+      }
+      if (rng.chance(options.update_prob)) {
+        net.set_update(r, f, rng.pick(mc.boundary));
+      }
+    }
+  }
+
+  std::string err;
+  bool ok = nl.validate(&err);
+  assert(ok && "generated circuit must validate");
+  (void)ok;
+  return nl;
+}
+
+}  // namespace rsnsec::benchgen

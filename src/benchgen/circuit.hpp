@@ -1,0 +1,63 @@
+#pragma once
+
+#include "netlist/netlist.hpp"
+#include "rsn/io.hpp"
+#include "util/rng.hpp"
+
+namespace rsnsec::benchgen {
+
+/// Knobs of the random circuit generator. The paper's benchmarks ship
+/// without underlying circuits ("each ... benchmark is only available
+/// without the underlying circuit. We therefore randomly generated 10
+/// circuits per benchmark", Sec. IV-A); this generator plays that role.
+struct CircuitOptions {
+  /// Boundary circuit flip-flops created per scan flip-flop of a module
+  /// (capture sources / update targets are drawn from these).
+  double boundary_per_scan_ff = 0.5;
+  /// Internal flip-flops (bridging candidates, IF1/IF2 style) per module,
+  /// in addition to one per 4 boundary FFs.
+  std::size_t internal_per_module = 2;
+  /// Expected number of *functional* cross-module circuit connections in
+  /// the whole circuit (the substrate of hybrid scan paths). Kept small:
+  /// the transitive closure of functional cross-module paths quickly
+  /// makes random specifications reject the circuit as statically
+  /// insecure (Sec. III-B), which the paper's averaging excludes.
+  double target_cross_functional = 4.0;
+  /// Expected number of *cancelled* (only-structural) cross-module
+  /// connections: reconvergences that look like data paths structurally
+  /// but cannot propagate data — the raw material of the Sec. IV-C
+  /// false positives.
+  double target_cross_structural = 8.0;
+  /// Probability that a cone uses a data-flow-cancelling reconvergence
+  /// (XOR(x,x) / MUX(s,a,a) patterns): structural but not functional
+  /// dependencies, which the SAT check must classify correctly (Fig. 5).
+  double cancelling_prob = 0.2;
+  /// Probability that a scan flip-flop has a capture source / update
+  /// target at all.
+  double capture_prob = 0.8;
+  double update_prob = 0.5;
+  /// Maximum gates per generated boundary next-state cone. Boundary
+  /// flip-flops are pipeline-like (low fan-in); internal monitors are
+  /// generated separately with higher fan-in.
+  std::size_t max_cone_gates = 2;
+};
+
+/// Generates a random circuit underneath `doc.network`:
+///  - one netlist module per entry of doc.module_names;
+///  - per module: boundary flip-flops, internal flip-flops and random
+///    combinational next-state cones (AND/OR/XOR/NOT/MUX), including
+///    deliberate cancelling reconvergences;
+///  - calibrated numbers of functional and cancelled cross-module paths
+///    (options.target_cross_*);
+///  - capture sources and update targets of every scan flip-flop are
+///    drawn from its own module's boundary flip-flops (so a register's
+///    own capture/shift/update loop cannot leak foreign data; see
+///    DESIGN.md on intra-segment flows).
+///
+/// Mutates `doc.network` (sets capture/update attachments) and returns
+/// the generated netlist.
+netlist::Netlist attach_random_circuit(rsn::RsnDocument& doc,
+                                       const CircuitOptions& options,
+                                       Rng& rng);
+
+}  // namespace rsnsec::benchgen

@@ -1,0 +1,391 @@
+#include "benchgen/families.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace rsnsec::benchgen {
+
+using rsn::ElemId;
+using rsn::Rsn;
+using rsn::RsnDocument;
+
+const std::vector<BenchmarkProfile>& bastion_profiles() {
+  // Published structural counts: Table I, columns 2-4.
+  static const std::vector<BenchmarkProfile> profiles = {
+      {"BasicSCB", 21, 176, 10, Topology::ChainBypass, 3, 0.0},
+      {"Mingle", 22, 270, 13, Topology::ChainBypass, 3, 0.0},
+      {"TreeFlat", 24, 101, 24, Topology::SibTree, 8, 0.0},
+      {"TreeFlatEx", 122, 5194, 59, Topology::SibTree, 8, 0.0},
+      {"TreeBalanced", 90, 5581, 46, Topology::SibTree, 2, 0.0},
+      {"TreeUnbalanced", 63, 41887, 28, Topology::SibTree, 2, 0.9},
+      {"q12710", 50, 26185, 27, Topology::SocWrapper, 27, 0.0},
+      {"t512505", 287, 77005, 159, Topology::SocWrapper, 159, 0.0},
+      {"p22810", 524, 30098, 270, Topology::SocWrapper, 270, 0.0},
+      {"a586710", 64, 41667, 32, Topology::SocWrapper, 32, 0.0},
+      {"p34392", 197, 23196, 96, Topology::SocWrapper, 96, 0.0},
+      {"p93791", 1185, 98611, 596, Topology::SocWrapper, 596, 0.0},
+      {"FlexScan", 8485, 8485, 4243, Topology::SerialMux, 2, 0.0},
+  };
+  return profiles;
+}
+
+const BenchmarkProfile& bastion_profile(const std::string& name) {
+  for (const BenchmarkProfile& p : bastion_profiles()) {
+    if (p.name == name) return p;
+  }
+  throw std::invalid_argument("unknown BASTION benchmark: " + name);
+}
+
+namespace {
+
+std::size_t scaled(std::size_t value, double scale, std::size_t minimum) {
+  auto v = static_cast<std::size_t>(std::llround(
+      static_cast<double>(value) * scale));
+  return std::max(v, minimum);
+}
+
+/// Splits `total_ffs` flip-flops over `n_regs` registers, each >= 1, with
+/// mild random jitter so register widths are not uniform.
+std::vector<std::size_t> distribute_widths(std::size_t n_regs,
+                                           std::size_t total_ffs, Rng& rng) {
+  assert(n_regs > 0);
+  total_ffs = std::max(total_ffs, n_regs);
+  std::vector<std::size_t> widths(n_regs, 1);
+  std::size_t rest = total_ffs - n_regs;
+  // Spread the remainder in random-sized lumps.
+  while (rest > 0) {
+    std::size_t i = rng.below(static_cast<std::uint32_t>(n_regs));
+    std::size_t lump = 1 + rng.below(static_cast<std::uint32_t>(
+                               std::max<std::size_t>(1, rest / n_regs + 1)));
+    lump = std::min(lump, rest);
+    widths[i] += lump;
+    rest -= lump;
+  }
+  return widths;
+}
+
+struct ChainBuilder {
+  Rsn& net;
+  const std::vector<std::size_t>& widths;
+  std::size_t next_reg = 0;
+  std::size_t regs_per_module;
+  std::vector<std::string>& module_names;
+  std::string prefix;
+
+  ElemId add_next_register() {
+    std::size_t idx = next_reg++;
+    auto module = static_cast<netlist::ModuleId>(idx / regs_per_module);
+    while (static_cast<std::size_t>(module) >= module_names.size()) {
+      module_names.push_back(prefix + "_mod" +
+                             std::to_string(module_names.size()));
+    }
+    return net.add_register(prefix + "_r" + std::to_string(idx),
+                            widths[idx], module);
+  }
+};
+
+/// Emits `count` registers as a serial chain starting after `input`;
+/// returns the output element of the chain.
+ElemId emit_chain(ChainBuilder& b, ElemId input, std::size_t count) {
+  ElemId cur = input;
+  for (std::size_t i = 0; i < count; ++i) {
+    ElemId r = b.add_next_register();
+    b.net.connect(cur, r, 0);
+    cur = r;
+  }
+  return cur;
+}
+
+/// Recursive SIB-tree subnet: splits `count` registers over up to `fan`
+/// children; each child subnet is wrapped with a bypass mux while the mux
+/// budget lasts. Returns the output element.
+ElemId emit_tree(ChainBuilder& b, ElemId input, std::size_t count,
+                 std::size_t fan, double skew, std::size_t& mux_budget,
+                 std::size_t& mux_counter) {
+  if (count == 0) return input;
+  if (count <= 2 || mux_budget == 0 || fan < 2) {
+    return emit_chain(b, input, count);
+  }
+  // Partition: with skew, the first child receives most registers.
+  std::vector<std::size_t> parts;
+  std::size_t remaining = count;
+  for (std::size_t c = 0; c < fan && remaining > 0; ++c) {
+    std::size_t share;
+    if (c + 1 == fan) {
+      share = remaining;
+    } else if (skew > 0.0) {
+      share = std::max<std::size_t>(
+          1, static_cast<std::size_t>(
+                 std::llround(static_cast<double>(remaining) * skew)));
+    } else {
+      share = std::max<std::size_t>(1, remaining / (fan - c));
+    }
+    share = std::min(share, remaining);
+    parts.push_back(share);
+    remaining -= share;
+  }
+  ElemId cur = input;
+  for (std::size_t part : parts) {
+    if (mux_budget > 0) {
+      --mux_budget;
+      ElemId sub_out =
+          emit_tree(b, cur, part, fan, skew, mux_budget, mux_counter);
+      ElemId m = b.net.add_mux(b.prefix + "_sib" +
+                                   std::to_string(mux_counter++),
+                               2);
+      b.net.connect(cur, m, 0);      // bypass
+      b.net.connect(sub_out, m, 1);  // through the subnetwork
+      cur = m;
+    } else {
+      cur = emit_chain(b, cur, part);
+    }
+  }
+  return cur;
+}
+
+}  // namespace
+
+rsn::RsnDocument generate_bastion(const BenchmarkProfile& profile,
+                                  double scale, Rng& rng) {
+  RsnDocument doc;
+  doc.network = Rsn(profile.name);
+  Rsn& net = doc.network;
+
+  std::size_t n_regs = scaled(profile.registers, scale, 3);
+  std::size_t n_ffs = scaled(profile.scan_ffs, scale, n_regs);
+  std::size_t n_muxes = scaled(profile.muxes, scale, 1);
+  std::vector<std::size_t> widths;
+
+  switch (profile.topology) {
+    case Topology::ChainBypass: {
+      widths = distribute_widths(n_regs, n_ffs, rng);
+      ChainBuilder b{net, widths, 0,
+                     std::max<std::size_t>(1, (n_regs + 5) / 6),
+                     doc.module_names, profile.name};
+      // Serial chain; the first n_muxes registers get a bypass mux.
+      ElemId cur = net.scan_in();
+      for (std::size_t i = 0; i < n_regs; ++i) {
+        ElemId r = b.add_next_register();
+        net.connect(cur, r, 0);
+        if (i < n_muxes) {
+          ElemId m =
+              net.add_mux(profile.name + "_byp" + std::to_string(i), 2);
+          net.connect(cur, m, 0);
+          net.connect(r, m, 1);
+          cur = m;
+        } else {
+          cur = r;
+        }
+      }
+      net.connect(cur, net.scan_out(), 0);
+      break;
+    }
+    case Topology::SibTree: {
+      widths = distribute_widths(n_regs, n_ffs, rng);
+      ChainBuilder b{net, widths, 0,
+                     std::max<std::size_t>(1, (n_regs + 7) / 8),
+                     doc.module_names, profile.name};
+      std::size_t mux_budget = n_muxes;
+      std::size_t mux_counter = 0;
+      ElemId out = emit_tree(b, net.scan_in(), n_regs, profile.fan,
+                             profile.skew, mux_budget, mux_counter);
+      net.connect(out, net.scan_out(), 0);
+      break;
+    }
+    case Topology::SocWrapper: {
+      widths = distribute_widths(n_regs, n_ffs, rng);
+      std::size_t cores = std::min(n_muxes, n_regs);
+      cores = std::max<std::size_t>(cores, 1);
+      ElemId cur = net.scan_in();
+      std::size_t reg_idx = 0;
+      for (std::size_t c = 0; c < cores; ++c) {
+        doc.module_names.push_back(profile.name + "_core" +
+                                   std::to_string(c));
+        auto module = static_cast<netlist::ModuleId>(c);
+        // Registers of this core: an even share of the remainder.
+        std::size_t share =
+            std::max<std::size_t>(1, (n_regs - reg_idx) / (cores - c));
+        ElemId chain = cur;
+        for (std::size_t k = 0; k < share && reg_idx < n_regs; ++k) {
+          ElemId r = net.add_register(
+              profile.name + "_c" + std::to_string(c) + "_r" +
+                  std::to_string(k),
+              widths[reg_idx++], module);
+          net.connect(chain, r, 0);
+          chain = r;
+        }
+        ElemId m = net.add_mux(profile.name + "_wsib" + std::to_string(c), 2);
+        net.connect(cur, m, 0);    // bypass the core
+        net.connect(chain, m, 1);  // through the core's wrapper chain
+        cur = m;
+      }
+      net.connect(cur, net.scan_out(), 0);
+      break;
+    }
+    case Topology::SerialMux: {
+      // FlexScan: 1-FF registers; every second register is bypassable;
+      // every register is its own module.
+      ElemId cur = net.scan_in();
+      for (std::size_t i = 0; i < n_regs; ++i) {
+        doc.module_names.push_back(profile.name + "_mod" +
+                                   std::to_string(i));
+        ElemId r =
+            net.add_register(profile.name + "_r" + std::to_string(i), 1,
+                             static_cast<netlist::ModuleId>(i));
+        net.connect(cur, r, 0);
+        if (i % 2 == 1) {
+          ElemId m =
+              net.add_mux(profile.name + "_m" + std::to_string(i / 2), 2);
+          net.connect(cur, m, 0);
+          net.connect(r, m, 1);
+          cur = m;
+        } else {
+          cur = r;
+        }
+      }
+      net.connect(cur, net.scan_out(), 0);
+      break;
+    }
+  }
+  return doc;
+}
+
+const std::vector<std::array<std::size_t, 3>>& mbist_configs() {
+  static const std::vector<std::array<std::size_t, 3>> configs = {
+      {1, 5, 5},   {1, 5, 20},  {1, 20, 20},  {2, 5, 5},   {2, 5, 20},
+      {2, 20, 20}, {5, 5, 5},   {5, 20, 20},  {20, 20, 20},
+  };
+  return configs;
+}
+
+rsn::RsnDocument generate_mbist(std::size_t n, std::size_t m, std::size_t o,
+                                double scale) {
+  // Dimensions scale with the cube root so total size tracks `scale`.
+  if (scale != 1.0) {
+    double f = std::cbrt(scale);
+    n = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::llround(n * f)));
+    m = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::llround(m * f)));
+    o = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::llround(o * f)));
+  }
+  RsnDocument doc;
+  std::string name = "MBIST_" + std::to_string(n) + "_" + std::to_string(m) +
+                     "_" + std::to_string(o);
+  doc.network = Rsn(name);
+  Rsn& net = doc.network;
+
+  // Published structural totals (regression over Table I):
+  //   registers = 2 + n*(11 + m*(5 + 3o))
+  //   scan FFs  = 5 + n*(3 + m*(43 + 13o))
+  // Structure: 2 chip registers, 11 per core, 5 per controller plus 3 per
+  // memory; every register is 1 FF wide except the memory data registers,
+  // which absorb the remaining FF budget.
+  const std::size_t total_regs = 2 + n * (11 + m * (5 + 3 * o));
+  const std::size_t total_ffs = 5 + n * (3 + m * (43 + 13 * o));
+  const std::size_t n_mdata = n * m * o;
+  const std::size_t extra = total_ffs - total_regs;
+  const std::size_t per_mdata = extra / n_mdata;
+  const std::size_t mdata_rem = extra % n_mdata;
+  std::size_t mdata_idx = 0;
+  auto mdata_width = [&]() {
+    std::size_t w = 1 + per_mdata + (mdata_idx < mdata_rem ? 1 : 0);
+    ++mdata_idx;
+    return w;
+  };
+
+  doc.module_names.push_back("chip");
+  const netlist::ModuleId chip_mod = 0;
+
+  // Chip level: two 1-FF configuration registers.
+  ElemId cur = net.scan_in();
+  for (const char* rn : {"chip_cfg", "chip_status"}) {
+    ElemId r = net.add_register(rn, 1, chip_mod);
+    net.connect(cur, r, 0);
+    cur = r;
+  }
+
+  for (std::size_t ci = 0; ci < n; ++ci) {
+    std::string core_name = "core" + std::to_string(ci);
+    doc.module_names.push_back(core_name);
+    auto core_mod =
+        static_cast<netlist::ModuleId>(doc.module_names.size() - 1);
+    ElemId core_entry = cur;
+
+    // Core-level configuration/diagnosis chain: 11 registers, with
+    // bypass muxes over pairs of them (4 in the first core, 2 in later
+    // cores — matches the published totals, muxes = n*(2m+5) - 2(n-1)).
+    std::size_t core_bypasses = (ci == 0) ? 4 : 2;
+    ElemId chain = cur;
+    for (std::size_t k = 0; k < 11; ++k) {
+      ElemId seg_entry = chain;
+      ElemId r = net.add_register(core_name + "_cfg" + std::to_string(k), 1,
+                                  core_mod);
+      net.connect(chain, r, 0);
+      chain = r;
+      if (k % 2 == 1 && core_bypasses > 0) {
+        --core_bypasses;
+        ElemId b = net.add_mux(
+            core_name + "_cfgbyp" + std::to_string(k / 2), 2);
+        net.connect(seg_entry, b, 0);
+        net.connect(r, b, 1);
+        chain = b;
+      }
+    }
+
+    for (std::size_t ki = 0; ki < m; ++ki) {
+      std::string ctrl_name = core_name + "_ctrl" + std::to_string(ki);
+      doc.module_names.push_back(ctrl_name);
+      auto ctrl_mod =
+          static_cast<netlist::ModuleId>(doc.module_names.size() - 1);
+      ElemId ctrl_entry = chain;
+
+      // Controller-level registers: 5 (instruction, status, address,
+      // repeat count, bit mask).
+      for (const char* rn : {"_instr", "_status", "_addr", "_count",
+                             "_mask"}) {
+        ElemId r = net.add_register(ctrl_name + rn, 1, ctrl_mod);
+        net.connect(chain, r, 0);
+        chain = r;
+      }
+      ElemId ctrl_regs_end = chain;
+
+      // Memory-interface registers: 3 per memory, the data register wide.
+      for (std::size_t oi = 0; oi < o; ++oi) {
+        std::string mem = ctrl_name + "_mem" + std::to_string(oi);
+        ElemId mcfg = net.add_register(mem + "_cfg", 1, ctrl_mod);
+        net.connect(chain, mcfg, 0);
+        ElemId mdata =
+            net.add_register(mem + "_data", mdata_width(), ctrl_mod);
+        net.connect(mcfg, mdata, 0);
+        ElemId mres = net.add_register(mem + "_result", 1, ctrl_mod);
+        net.connect(mdata, mres, 0);
+        chain = mres;
+      }
+      // Mode mux: short diagnosis path (controller registers only) vs.
+      // the full memory-interface chain.
+      ElemId mode = net.add_mux(ctrl_name + "_mode", 2);
+      net.connect(ctrl_regs_end, mode, 0);
+      net.connect(chain, mode, 1);
+      // Controller include/exclude mux ("each MBIST controller can also
+      // be included or excluded from the scan path through the core").
+      ElemId msel = net.add_mux(ctrl_name + "_sib", 2);
+      net.connect(ctrl_entry, msel, 0);
+      net.connect(mode, msel, 1);
+      chain = msel;
+    }
+    // Core include/exclude mux.
+    ElemId csel = net.add_mux(core_name + "_sib", 2);
+    net.connect(core_entry, csel, 0);
+    net.connect(chain, csel, 1);
+    cur = csel;
+  }
+  net.connect(cur, net.scan_out(), 0);
+  return doc;
+}
+
+}  // namespace rsnsec::benchgen

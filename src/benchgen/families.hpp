@@ -1,0 +1,62 @@
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "rsn/io.hpp"
+#include "util/rng.hpp"
+
+namespace rsnsec::benchgen {
+
+/// Topology family of a generated benchmark network.
+enum class Topology : std::uint8_t {
+  ChainBypass,  ///< serial registers, some bypassable via 2:1 muxes (SCB)
+  SibTree,      ///< hierarchical segment-insertion-bit tree (IEEE 1687)
+  SocWrapper,   ///< ITC'02-style cores with wrapper chains behind muxes
+  SerialMux     ///< FlexScan: 1-FF registers with serial bypass muxes
+};
+
+/// Structural profile of one benchmark (Table I columns 2-4 of the paper).
+struct BenchmarkProfile {
+  std::string name;
+  std::size_t registers = 0;
+  std::size_t scan_ffs = 0;
+  std::size_t muxes = 0;
+  Topology topology = Topology::ChainBypass;
+  /// Tree shape parameter: children per node (SibTree), cores (SocWrapper).
+  std::size_t fan = 4;
+  /// Skew in [0,1]: 0 = balanced, 1 = fully unbalanced (TreeUnbalanced).
+  double skew = 0.0;
+};
+
+/// Profiles of the 13 BASTION-family benchmarks evaluated in the paper,
+/// with the published register/FF/mux counts. The original ICL files are
+/// not redistributable; these generators reproduce the published counts
+/// and topology family (see DESIGN.md, substitutions).
+const std::vector<BenchmarkProfile>& bastion_profiles();
+
+/// Looks up a BASTION profile by name; throws if unknown.
+const BenchmarkProfile& bastion_profile(const std::string& name);
+
+/// Generates the network of `profile` scaled by `scale` (register and FF
+/// counts multiplied by `scale`, minimum sizes enforced). `scale == 1`
+/// reproduces the published counts. Module assignment follows the family:
+/// tree subnetworks, SoC cores and chain groups each become one module;
+/// FlexScan gives every register its own module ("it was assumed that
+/// each scan register belongs to a different module", Sec. IV-A).
+rsn::RsnDocument generate_bastion(const BenchmarkProfile& profile,
+                                  double scale, Rng& rng);
+
+/// Generates the industrial-style MBIST_n_m_o network exactly as described
+/// in Sec. IV-A: a chip with `n` cores, each with `m` MBIST controllers,
+/// each responsible for `o` memories; hierarchical include/exclude muxes
+/// at the core and controller level. `scale` scales the per-level data
+/// register widths.
+rsn::RsnDocument generate_mbist(std::size_t n, std::size_t m, std::size_t o,
+                                double scale);
+
+/// The 9 industrial MBIST configurations of Table I, as (n, m, o) triples.
+const std::vector<std::array<std::size_t, 3>>& mbist_configs();
+
+}  // namespace rsnsec::benchgen

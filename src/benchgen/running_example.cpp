@@ -1,0 +1,114 @@
+#include "benchgen/running_example.hpp"
+
+namespace rsnsec::benchgen {
+
+using netlist::GateType;
+using netlist::NodeId;
+
+RunningExample make_running_example() {
+  RunningExample ex;
+  ex.doc.module_names = {"crypto", "modA", "modB", "untrusted", "modC"};
+
+  // --- Circuit (gray background of Fig. 1) ---
+  netlist::Netlist& nl = ex.circuit;
+  for (const std::string& name : ex.doc.module_names) nl.add_module(name);
+
+  NodeId in_crypto = nl.add_input("crypto_pi", ex.crypto);
+  NodeId in_a = nl.add_input("modA_pi", ex.mod_a);
+  NodeId in_b = nl.add_input("modB_pi", ex.mod_b);
+  NodeId in_u = nl.add_input("untrusted_pi", ex.untrusted);
+
+  ex.f1 = nl.add_ff("F1", ex.crypto);
+  ex.f2 = nl.add_ff("F2", ex.crypto);  // holds the confidential data
+  ex.f3 = nl.add_ff("F3", ex.mod_a);
+  ex.f4 = nl.add_ff("F4", ex.mod_a);
+  ex.f5 = nl.add_ff("F5", ex.mod_b);
+  ex.f6 = nl.add_ff("F6", ex.mod_b);
+  ex.f7 = nl.add_ff("F7", ex.untrusted);
+  ex.f8 = nl.add_ff("F8", ex.untrusted);
+  ex.f9 = nl.add_ff("F9", ex.mod_c);
+  ex.f10 = nl.add_ff("F10", ex.mod_c);
+  ex.if1 = nl.add_ff("IF1", ex.mod_b);  // internal: not RSN-connected
+  ex.if2 = nl.add_ff("IF2", ex.mod_b);  // internal
+
+  nl.set_ff_input(ex.f1, in_crypto);
+  nl.set_ff_input(ex.f2,
+                  nl.add_gate(GateType::And, {ex.f1, in_crypto}, "keymix",
+                              ex.crypto));
+  nl.set_ff_input(ex.f3, in_a);
+  nl.set_ff_input(ex.f4, ex.f3);
+  // F5 holds whatever the RSN updates into it (self-loop gated by a
+  // module input keeps it a valid sequential element).
+  nl.set_ff_input(ex.f5,
+                  nl.add_gate(GateType::And, {ex.f5, in_b}, "f5_hold",
+                              ex.mod_b));
+  // F6 functionally receives the confidential F2 (Fig. 4: "there is a
+  // connection from F2 to F6").
+  nl.set_ff_input(ex.f6, ex.f2);
+  // IF1 depends functionally on F5 and *only structurally* on F6: the
+  // XOR(F6, F6) reconvergence cancels all data flow from F6 (Fig. 5).
+  NodeId dead = nl.add_gate(GateType::Xor, {ex.f6, ex.f6}, "reconv",
+                            ex.mod_b);
+  nl.set_ff_input(
+      ex.if1, nl.add_gate(GateType::Or, {ex.f5, dead}, "if1_d", ex.mod_b));
+  nl.set_ff_input(ex.if2, ex.if1);
+  nl.set_ff_input(ex.f7, ex.if2);  // the hybrid path's untrusted sink
+  nl.set_ff_input(ex.f8, nl.add_gate(GateType::And, {ex.f7, in_u}, "u_mix",
+                                     ex.untrusted));
+  nl.set_ff_input(ex.f9, ex.if2);  // Fig. 3: "F9 on IF2"
+  nl.set_ff_input(ex.f10, ex.f9);
+
+  // --- RSN (blue background of Fig. 1): 5 registers, 14 scan FFs ---
+  rsn::Rsn& net = ex.doc.network;
+  net = rsn::Rsn("running_example");
+  ex.r1 = net.add_register("R1", 2, ex.crypto);     // SF1, SF2
+  ex.r2 = net.add_register("R2", 2, ex.mod_a);      // SF3, SF4
+  ex.r3 = net.add_register("R3", 2, ex.mod_b);      // SF5, SF6
+  ex.r4 = net.add_register("R4", 2, ex.untrusted);  // SF7, SF8
+  ex.r5 = net.add_register("R5", 6, ex.mod_c);      // SF9..SF14
+  ex.mux1 = net.add_mux("M1", 2);
+  ex.mux2 = net.add_mux("M2", 2);
+
+  // scan_in -> R1 -> {M1: bypass | R2} -> R3 -> {M2: bypass | R4} -> R5
+  //         -> scan_out. With both muxes at 1 the active path traverses
+  // all five registers (the green dashed path of Fig. 1).
+  net.connect(net.scan_in(), ex.r1, 0);
+  net.connect(ex.r1, ex.r2, 0);
+  net.connect(ex.r1, ex.mux1, 0);
+  net.connect(ex.r2, ex.mux1, 1);
+  net.connect(ex.mux1, ex.r3, 0);
+  net.connect(ex.r3, ex.r4, 0);
+  net.connect(ex.r3, ex.mux2, 0);
+  net.connect(ex.r4, ex.mux2, 1);
+  net.connect(ex.mux2, ex.r5, 0);
+  net.connect(ex.r5, net.scan_out(), 0);
+  net.set_mux_select(ex.mux1, 1);
+  net.set_mux_select(ex.mux2, 1);
+
+  // Capture/update attachment.
+  net.set_capture(ex.r1, 0, ex.f1);
+  net.set_capture(ex.r1, 1, ex.f2);  // confidential data enters here
+  net.set_capture(ex.r2, 0, ex.f3);
+  net.set_capture(ex.r2, 1, ex.f4);
+  net.set_capture(ex.r3, 0, ex.f5);
+  net.set_capture(ex.r3, 1, ex.f6);
+  net.set_capture(ex.r4, 0, ex.f7);
+  net.set_capture(ex.r4, 1, ex.f8);
+  net.set_capture(ex.r5, 0, ex.f9);
+  net.set_capture(ex.r5, 1, ex.f10);
+  net.set_update(ex.r3, 0, ex.f5);  // hybrid path: SF5 updates into F5
+  net.set_update(ex.r4, 0, ex.f7);  // pure path: SF7 updates into F7
+
+  // --- Security specification (Sec. II-B) ---
+  // Category 0 = untrusted, category 1 = trusted. Crypto data accepts
+  // only trusted observers; everything else is unrestricted.
+  ex.spec = security::SecuritySpec(ex.doc.module_names.size(), 2);
+  ex.spec.set_policy(ex.crypto, 1, 0b10);
+  ex.spec.set_policy(ex.mod_a, 1, 0b11);
+  ex.spec.set_policy(ex.mod_b, 1, 0b11);
+  ex.spec.set_policy(ex.untrusted, 0, 0b11);
+  ex.spec.set_policy(ex.mod_c, 1, 0b11);
+  return ex;
+}
+
+}  // namespace rsnsec::benchgen

@@ -1,0 +1,41 @@
+#pragma once
+
+#include "netlist/netlist.hpp"
+#include "rsn/io.hpp"
+#include "security/spec.hpp"
+
+namespace rsnsec::benchgen {
+
+/// The paper's running example (Fig. 1): a 5-register, 14-scan-FF RSN with
+/// two scan muxes over a circuit with a crypto module (confidential F2),
+/// an untrusted module (F7) and two internal flip-flops IF1/IF2 whose
+/// dependency on F6 is cancelled by an XOR reconvergence (Fig. 5).
+///
+/// Threats encoded exactly as in Sec. II-C:
+///  - pure path: F2 -capture-> SF2 -shift-> ... -> SF7 -update-> F7;
+///  - hybrid path: F2 -capture-> SF2 -shift-> SF5 -update-> F5 -circuit->
+///    IF1 -> IF2 -> F7.
+struct RunningExample {
+  rsn::RsnDocument doc;
+  netlist::Netlist circuit;
+  security::SecuritySpec spec;
+
+  // Module ids.
+  netlist::ModuleId crypto = 0, mod_a = 1, mod_b = 2, untrusted = 3,
+                    mod_c = 4;
+
+  // Scan registers R1..R5 (R1 = crypto's [SF1,SF2], R3 = [SF5,SF6],
+  // R4 = untrusted's [SF7,SF8]).
+  rsn::ElemId r1{}, r2{}, r3{}, r4{}, r5{};
+  rsn::ElemId mux1{}, mux2{};
+
+  // Named circuit flip-flops.
+  netlist::NodeId f1{}, f2{}, f3{}, f4{}, f5{}, f6{}, f7{}, f8{}, f9{},
+      f10{}, if1{}, if2{};
+};
+
+/// Builds the running example. The returned object is self-contained and
+/// deterministic.
+RunningExample make_running_example();
+
+}  // namespace rsnsec::benchgen

@@ -1,0 +1,42 @@
+#include "benchgen/specgen.hpp"
+
+#include <algorithm>
+
+namespace rsnsec::benchgen {
+
+security::SecuritySpec random_spec(std::size_t num_modules,
+                                   const SpecOptions& options, Rng& rng) {
+  security::SecuritySpec spec(num_modules, options.categories);
+  const std::uint32_t all =
+      options.categories >= 32 ? 0xffffffffu
+                               : ((1u << options.categories) - 1u);
+  const double p_sensitive =
+      num_modules == 0
+          ? 0.0
+          : std::min(options.sensitive_module_prob,
+                     options.expected_sensitive_modules /
+                         static_cast<double>(num_modules));
+  const auto top =
+      static_cast<security::TrustCategory>(options.categories - 1);
+  for (std::size_t m = 0; m < num_modules; ++m) {
+    security::TrustCategory trust = top;
+    if (options.categories > 1 && rng.chance(options.low_trust_prob)) {
+      trust = static_cast<security::TrustCategory>(
+          rng.below(static_cast<std::uint32_t>(options.categories - 1)));
+    }
+    std::uint32_t accepted = all;
+    if (rng.chance(p_sensitive)) {
+      // Sensitive data: always accepts its own category and the top
+      // category; rejects lower categories with restrict_prob.
+      accepted = (1u << trust) | (1u << top);
+      for (std::size_t c = 0; c + 1 < options.categories; ++c) {
+        if (c == trust) continue;
+        if (!rng.chance(options.restrict_prob)) accepted |= 1u << c;
+      }
+    }
+    spec.set_policy(static_cast<netlist::ModuleId>(m), trust, accepted);
+  }
+  return spec;
+}
+
+}  // namespace rsnsec::benchgen

@@ -1,0 +1,42 @@
+#pragma once
+
+#include "security/spec.hpp"
+#include "util/rng.hpp"
+
+namespace rsnsec::benchgen {
+
+/// Knobs of the random security-specification generator ("we randomly
+/// generated the security specifications with 16 different security
+/// requirements for each benchmark", Sec. IV-A).
+struct SpecOptions {
+  /// Number of trust categories.
+  std::size_t categories = 4;
+  /// Upper bound on the per-module probability of carrying sensitive
+  /// data (see expected_sensitive_modules).
+  double sensitive_module_prob = 1.0;
+  /// Expected number of sensitive modules per specification. Real
+  /// designs protect a few instruments (crypto cores, key stores), not a
+  /// fixed fraction of all of them; keeping the count roughly constant
+  /// across network sizes keeps the violating-register counts in the
+  /// sparse regime Table I reports. The effective per-module probability
+  /// is min(sensitive_module_prob, expected_sensitive_modules / modules).
+  double expected_sensitive_modules = 3.0;
+  /// Probability that a module is a low-trust instrument (uniform over
+  /// the non-top categories); all other modules carry the top trust
+  /// category. Real designs have few untrusted third-party instruments,
+  /// which keeps violating-register counts sparse (Table I: ~2-8% of
+  /// registers).
+  double low_trust_prob = 0.15;
+  /// For a sensitive module, the probability that its data rejects a
+  /// given non-top category (the top category is always accepted).
+  double restrict_prob = 0.7;
+};
+
+/// Generates one random security specification over `num_modules`
+/// modules: each module gets a uniform trust category and an accepted-set
+/// that always contains its own category and rejects each other category
+/// with probability `restrict_prob`. The result always validates.
+security::SecuritySpec random_spec(std::size_t num_modules,
+                                   const SpecOptions& options, Rng& rng);
+
+}  // namespace rsnsec::benchgen

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/tool.hpp"
+
+namespace rsnsec {
+
+/// One aggregated row of the Table I reproduction: averages over all
+/// (circuit, specification) runs of one benchmark, as the paper averages
+/// over 10 circuits x 16 specifications.
+struct BenchRow {
+  std::string name;
+  std::size_t registers = 0;
+  std::size_t scan_ffs = 0;
+  std::size_t muxes = 0;
+  double avg_violating_registers = 0.0;
+  double avg_changes_pure = 0.0;
+  double avg_changes_hybrid = 0.0;
+  double avg_changes_total = 0.0;
+  double t_dependency = 0.0;
+  double t_pure = 0.0;
+  double t_hybrid = 0.0;
+  double t_total = 0.0;
+  int runs = 0;                 ///< runs included in the averages
+  int skipped_insecure = 0;     ///< specs rejected: insecure circuit logic
+  int skipped_no_violation = 0; ///< specs rejected: nothing to resolve
+};
+
+/// Accumulates PipelineResults into a BenchRow (averaging on finish).
+class RowAccumulator {
+ public:
+  explicit RowAccumulator(std::string name) { row_.name = std::move(name); }
+
+  /// Records the structural counts (taken from the original network).
+  void set_structure(std::size_t registers, std::size_t scan_ffs,
+                     std::size_t muxes);
+
+  /// Adds one secured run to the averages.
+  void add(const PipelineResult& result);
+
+  void add_skipped_insecure() { ++row_.skipped_insecure; }
+  void add_skipped_no_violation() { ++row_.skipped_no_violation; }
+
+  /// Finalizes and returns the averaged row.
+  BenchRow finish() const;
+
+ private:
+  BenchRow row_;
+};
+
+/// Prints the Table I header / one row in the paper's column layout.
+void print_table_header(std::ostream& os);
+void print_table_row(std::ostream& os, const BenchRow& row);
+
+/// Prints aggregate statistics over all rows: the share of changes
+/// resolved by the pure stage (the paper reports 43% on average) and the
+/// spec rejection counts.
+void print_table_summary(std::ostream& os, const std::vector<BenchRow>& rows);
+
+/// Writes one pipeline result as a JSON object (machine-readable audit
+/// record: phase timings, statistics, and the full change log).
+void write_json(std::ostream& os, const PipelineResult& result);
+
+/// Writes benchmark rows as CSV (header + one line per row), for
+/// spreadsheet/plotting consumption.
+void write_csv(std::ostream& os, const std::vector<BenchRow>& rows);
+
+}  // namespace rsnsec

@@ -1,0 +1,78 @@
+#include "core/tool.hpp"
+
+#include <stdexcept>
+
+#include "util/stopwatch.hpp"
+
+namespace rsnsec {
+
+SecureFlowTool::SecureFlowTool(const netlist::Netlist& circuit,
+                               rsn::Rsn& network,
+                               const security::SecuritySpec& spec,
+                               PipelineOptions options)
+    : circuit_(circuit),
+      network_(network),
+      spec_(spec),
+      options_(options) {}
+
+PipelineResult SecureFlowTool::run() {
+  PipelineResult result;
+  Stopwatch total;
+
+  std::string err;
+  if (!spec_.validate(&err))
+    throw std::invalid_argument("invalid security specification: " + err);
+  if (!network_.validate(&err))
+    throw std::invalid_argument("invalid scan network: " + err);
+  if (!circuit_.validate(&err))
+    throw std::invalid_argument("invalid circuit: " + err);
+
+  // Phase 1: data-flow analysis over the circuit logic (Sec. III-A).
+  // Computed once, without RSN-internal connections, and reused across
+  // every rewiring of the resolution loop.
+  Stopwatch sw;
+  dep::DependencyAnalyzer deps(circuit_, network_, options_.dep);
+  deps.run();
+  result.dep_stats = deps.stats();
+  result.t_dependency = sw.seconds();
+
+  security::TokenTable tokens(spec_, spec_.num_modules());
+  security::HybridAnalyzer hybrid(circuit_, network_, deps, spec_, tokens);
+
+  // Phase 2: insecure circuit logic (Sec. III-B). Such violations exist
+  // even without scan infrastructure; they require a circuit redesign.
+  result.static_report = hybrid.check_static();
+  if (!result.static_report.clean()) {
+    result.t_total = total.seconds();
+    return result;  // secured stays false; network untouched
+  }
+
+  // Table I column 5: registers with a violation before the method runs.
+  result.initial_violating_registers =
+      hybrid.count_violating_registers(network_);
+
+  // Phase 3: pure scan paths (method of [17]).
+  if (options_.run_pure) {
+    sw.restart();
+    security::PureScanAnalyzer pure(spec_, tokens);
+    result.pure = pure.detect_and_resolve(network_, &result.changes,
+                                          options_.resolution);
+    result.t_pure = sw.seconds();
+  }
+
+  // Phase 4: hybrid scan paths (Sec. III-C / III-D).
+  if (options_.run_hybrid) {
+    sw.restart();
+    result.hybrid = hybrid.detect_and_resolve(network_, &result.changes,
+                                              options_.resolution);
+    result.t_hybrid = sw.seconds();
+  }
+
+  if (!network_.validate(&err))
+    throw std::logic_error("transformed network failed validation: " + err);
+  result.secured = true;
+  result.t_total = total.seconds();
+  return result;
+}
+
+}  // namespace rsnsec

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <vector>
+
+#include "dep/analyzer.hpp"
+#include "netlist/netlist.hpp"
+#include "rsn/rsn.hpp"
+#include "security/hybrid.hpp"
+#include "security/pure.hpp"
+#include "security/spec.hpp"
+
+namespace rsnsec {
+
+/// Options of the end-to-end pipeline.
+struct PipelineOptions {
+  dep::DepOptions dep;
+  /// Run the pure-path method of [17] first (Fig. 2). Disable to measure
+  /// what the hybrid stage alone must do.
+  bool run_pure = true;
+  /// Run the hybrid-path stage (the paper's contribution).
+  bool run_hybrid = true;
+  /// Repair-candidate selection strategy (see bench/ablation_resolution).
+  security::ResolutionPolicy resolution =
+      security::ResolutionPolicy::BestGlobal;
+};
+
+/// Result of one pipeline run (one row of Table I).
+struct PipelineResult {
+  /// True if the network was transformed into a (data-flow) secure RSN.
+  /// False if the circuit logic itself is insecure (Sec. III-B) or an
+  /// intra-segment flow blocks RSN-level resolution (see DESIGN.md) — in
+  /// those cases the RSN was left untouched.
+  bool secured = false;
+  security::StaticReport static_report;
+
+  /// Registers with at least one violating flip-flop before the method
+  /// was applied (Table I, column 5).
+  std::size_t initial_violating_registers = 0;
+
+  dep::DepStats dep_stats;
+  security::PureStats pure;
+  security::HybridStats hybrid;
+  std::vector<security::AppliedChange> changes;
+
+  /// Phase runtimes in seconds (Table I, last four columns).
+  double t_dependency = 0.0;
+  double t_pure = 0.0;
+  double t_hybrid = 0.0;
+  double t_total = 0.0;
+
+  int total_changes() const {
+    return pure.applied_changes + hybrid.applied_changes;
+  }
+};
+
+/// End-to-end implementation of the proposed method (Fig. 2):
+///
+///   1. data-flow analysis over the circuit logic (Sec. III-A): SAT-based
+///      1-cycle dependencies, bridging of internal flip-flops, multi-cycle
+///      closure;
+///   2. detection of insecure circuit logic (Sec. III-B) — if the circuit
+///      itself violates the specification, no RSN transformation can fix
+///      it and the pipeline stops;
+///   3. detection and resolution of violations over pure scan paths
+///      (method of [17]);
+///   4. detection and resolution of violations over hybrid scan paths
+///      (Sec. III-C / III-D).
+///
+/// On success the given RSN has been structurally transformed into a
+/// (data-flow) secure RSN that still contains every scan register.
+class SecureFlowTool {
+ public:
+  /// The tool keeps references: `network` is transformed in place.
+  SecureFlowTool(const netlist::Netlist& circuit, rsn::Rsn& network,
+                 const security::SecuritySpec& spec,
+                 PipelineOptions options = {});
+
+  /// Runs the pipeline; returns per-phase statistics and timings.
+  PipelineResult run();
+
+ private:
+  const netlist::Netlist& circuit_;
+  rsn::Rsn& network_;
+  const security::SecuritySpec& spec_;
+  PipelineOptions options_;
+};
+
+}  // namespace rsnsec

@@ -1,0 +1,223 @@
+#include "dep/analyzer.hpp"
+
+#include <cassert>
+
+#include "netlist/cone_check.hpp"
+#include "netlist/sim.hpp"
+
+namespace rsnsec::dep {
+
+using netlist::Cone;
+using netlist::GateType;
+using netlist::NodeId;
+
+DependencyAnalyzer::DependencyAnalyzer(const netlist::Netlist& nl,
+                                       const rsn::Rsn& network,
+                                       DepOptions options)
+    : nl_(nl), rsn_(network), options_(options), rng_(options.seed) {}
+
+void DependencyAnalyzer::build_index() {
+  ff_nodes_ = nl_.ffs();
+  ff_index_.assign(nl_.num_nodes(), static_cast<std::size_t>(-1));
+  for (std::size_t i = 0; i < ff_nodes_.size(); ++i)
+    ff_index_[ff_nodes_[i]] = i;
+  stats_.circuit_ffs = ff_nodes_.size();
+
+  reg_slot_.assign(rsn_.num_elements(), static_cast<std::size_t>(-1));
+  capture_deps_.clear();
+  capture_deps_.reserve(rsn_.registers().size());
+  for (rsn::ElemId r : rsn_.registers()) {
+    reg_slot_[r] = capture_deps_.size();
+    capture_deps_.emplace_back(rsn_.elem(r).ffs.size());
+  }
+}
+
+void DependencyAnalyzer::classify_internal() {
+  // A circuit flip-flop is "directly connected to the RSN" if it is an
+  // update target of some scan FF or a leaf of some scan FF's capture
+  // cone; every other flip-flop is internal (IF1/IF2 in Fig. 1) and gets
+  // bridged out of the relation.
+  std::vector<bool> connected(nl_.num_nodes(), false);
+  for (rsn::ElemId r : rsn_.registers()) {
+    for (const rsn::ScanFF& sf : rsn_.elem(r).ffs) {
+      if (sf.update_dst != netlist::no_node) connected[sf.update_dst] = true;
+      if (sf.capture_src != netlist::no_node) {
+        Cone cone = nl_.extract_signal_cone(sf.capture_src);
+        for (NodeId leaf : cone.leaves) {
+          if (nl_.is_ff(leaf)) connected[leaf] = true;
+        }
+      }
+    }
+  }
+  internal_.assign(ff_nodes_.size(), false);
+  for (std::size_t i = 0; i < ff_nodes_.size(); ++i) {
+    internal_[i] = !connected[ff_nodes_[i]];
+    if (internal_[i]) ++stats_.internal_ffs;
+  }
+}
+
+std::vector<CaptureDep> DependencyAnalyzer::cone_deps(const Cone& cone) {
+  std::vector<CaptureDep> out;
+
+  // Special case: the cone start is itself a leaf (direct FF-to-FF wire);
+  // extract_cone then reports that single leaf.
+  std::vector<std::size_t> ff_leaves;
+  for (std::size_t i = 0; i < cone.leaves.size(); ++i) {
+    if (nl_.is_ff(cone.leaves[i])) ff_leaves.push_back(i);
+  }
+  if (ff_leaves.empty()) return out;
+
+  if (options_.mode == DepMode::StructuralOnly) {
+    // Over-approximation of Sec. IV-C: every structural connection is
+    // treated as if data could propagate.
+    for (std::size_t i : ff_leaves)
+      out.push_back({cone.leaves[i], DepKind::Path});
+    return out;
+  }
+
+  // Random-simulation prefilter: a propagation witness under 64 parallel
+  // patterns proves functional dependence without any SAT call.
+  std::vector<bool> decided(cone.leaves.size(), false);
+  std::vector<std::uint64_t> base(cone.leaves.size());
+  std::vector<std::uint64_t> scratch;
+  std::size_t undecided = ff_leaves.size();
+  for (int round = 0; round < options_.sim_rounds && undecided > 0; ++round) {
+    for (std::size_t i = 0; i < cone.leaves.size(); ++i) {
+      GateType t = nl_.node(cone.leaves[i]).type;
+      if (t == GateType::Const0)
+        base[i] = 0;
+      else if (t == GateType::Const1)
+        base[i] = ~0ULL;
+      else
+        base[i] = rng_.next_u64();
+    }
+    std::uint64_t f0 = netlist::eval_cone(nl_, cone, base, scratch);
+    for (std::size_t i : ff_leaves) {
+      if (decided[i]) continue;
+      std::uint64_t saved = base[i];
+      base[i] = ~saved;
+      std::uint64_t f1 = netlist::eval_cone(nl_, cone, base, scratch);
+      base[i] = saved;
+      if (f0 != f1) {
+        decided[i] = true;
+        --undecided;
+        ++stats_.sim_resolved;
+        out.push_back({cone.leaves[i], DepKind::Path});
+      }
+    }
+  }
+
+  if (undecided > 0) {
+    // Exact SAT check for the leaves simulation could not witness.
+    netlist::ConeDependenceChecker checker(nl_, cone);
+    for (std::size_t i : ff_leaves) {
+      if (decided[i]) continue;
+      ++stats_.sat_calls;
+      if (checker.depends_on(i)) {
+        ++stats_.sat_functional;
+        out.push_back({cone.leaves[i], DepKind::Path});
+      } else {
+        ++stats_.sat_structural;
+        out.push_back({cone.leaves[i], DepKind::Structural});
+      }
+    }
+  }
+  return out;
+}
+
+void DependencyAnalyzer::compute_one_cycle() {
+  one_cycle_ = DepMatrix(ff_nodes_.size());
+  for (std::size_t j = 0; j < ff_nodes_.size(); ++j) {
+    Cone cone = nl_.extract_next_state_cone(ff_nodes_[j]);
+    for (const CaptureDep& d : cone_deps(cone)) {
+      one_cycle_.upgrade(circuit_index(d.circuit_ff), j, d.kind);
+    }
+  }
+  // Capture-cone dependencies of every scan flip-flop.
+  for (rsn::ElemId r : rsn_.registers()) {
+    const rsn::Element& e = rsn_.elem(r);
+    for (std::size_t f = 0; f < e.ffs.size(); ++f) {
+      if (e.ffs[f].capture_src != netlist::no_node) {
+        Cone cone = nl_.extract_signal_cone(e.ffs[f].capture_src);
+        capture_deps_[reg_slot_[r]][f] = cone_deps(cone);
+      }
+    }
+  }
+
+  stats_.deps_before_bridging = one_cycle_.count_nonzero();
+  std::vector<bool> denoted(ff_nodes_.size(), false);
+  for (std::size_t i = 0; i < ff_nodes_.size(); ++i) {
+    for (std::size_t j : one_cycle_.successors(i)) {
+      denoted[i] = true;
+      denoted[j] = true;
+    }
+  }
+  for (bool d : denoted) stats_.denoted_ffs_before += d ? 1u : 0u;
+}
+
+void DependencyAnalyzer::bridge_internal() {
+  closure_ = one_cycle_;
+  if (!options_.bridge_internal) {
+    stats_.deps_after_bridging = stats_.deps_before_bridging;
+    stats_.denoted_ffs_after = stats_.denoted_ffs_before;
+    return;
+  }
+  // Iteratively bridge every internal flip-flop v: compose each incoming
+  // dependency (v on p) with each outgoing one (s on v) into (s on p),
+  // then remove v from the relation (Fig. 3). Only-structural hops make
+  // the composed dependency only-structural unless a path-dependent pair
+  // is already known.
+  for (std::size_t v = 0; v < ff_nodes_.size(); ++v) {
+    if (!internal_[v]) continue;
+    std::vector<std::size_t> preds = closure_.predecessors(v);
+    std::vector<std::size_t> succs = closure_.successors(v);
+    for (std::size_t p : preds) {
+      if (p == v) continue;
+      DepKind in = closure_.get(p, v);
+      for (std::size_t s : succs) {
+        if (s == v || s == p) continue;
+        closure_.upgrade(p, s, compose_dep(in, closure_.get(v, s)));
+      }
+    }
+    closure_.clear_node(v);
+  }
+  stats_.deps_after_bridging = closure_.count_nonzero();
+  std::vector<bool> denoted(ff_nodes_.size(), false);
+  for (std::size_t i = 0; i < ff_nodes_.size(); ++i) {
+    for (std::size_t j : closure_.successors(i)) {
+      denoted[i] = true;
+      denoted[j] = true;
+    }
+  }
+  for (bool d : denoted) stats_.denoted_ffs_after += d ? 1u : 0u;
+}
+
+void DependencyAnalyzer::compute_closure() {
+  if (options_.max_cycles > 0) {
+    // Iterative k-cycle computation ([18]); after bridging the relation
+    // contains no internal nodes, so no active mask is needed.
+    closure_.bounded_closure(options_.max_cycles);
+  } else {
+    std::vector<bool> active(ff_nodes_.size());
+    for (std::size_t i = 0; i < ff_nodes_.size(); ++i)
+      active[i] = !options_.bridge_internal || !internal_[i];
+    closure_.transitive_closure(&active);
+  }
+  stats_.closure_deps = closure_.count_nonzero();
+  stats_.closure_path_deps = closure_.count_path();
+}
+
+void DependencyAnalyzer::run() {
+  build_index();
+  classify_internal();
+  compute_one_cycle();
+  bridge_internal();
+  compute_closure();
+}
+
+const std::vector<CaptureDep>& DependencyAnalyzer::capture_deps(
+    rsn::ElemId reg, std::size_t ff) const {
+  return capture_deps_[reg_slot_[reg]][ff];
+}
+
+}  // namespace rsnsec::dep

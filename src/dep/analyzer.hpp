@@ -1,0 +1,155 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "rsn/rsn.hpp"
+#include "util/dep_matrix.hpp"
+#include "util/rng.hpp"
+
+namespace rsnsec::dep {
+
+/// How 1-cycle dependencies are classified (Sec. III-A / Sec. IV-C).
+enum class DepMode : std::uint8_t {
+  /// SAT-exact: distinguish functional (path) from only-structural
+  /// dependencies, with a random-simulation prefilter (method of [18]).
+  Exact,
+  /// Over-approximate path-dependency by structural dependency: every
+  /// structural connection is treated as if data could propagate. Fast
+  /// (no SAT), but introduces false-positive violations (Sec. IV-C).
+  StructuralOnly
+};
+
+/// Options of the dependency analysis.
+struct DepOptions {
+  DepMode mode = DepMode::Exact;
+  /// Bridge internal flip-flops out of the relation (Sec. III-A.2). The
+  /// multi-cycle closure is cubic in the number of participating
+  /// flip-flops, so bridging is what makes large circuits feasible.
+  bool bridge_internal = true;
+  /// Rounds of 64-pattern random simulation per cone before SAT.
+  int sim_rounds = 4;
+  /// Per-query SAT conflict limit; on Unknown the dependency is
+  /// conservatively classified as functional (sound for security).
+  std::uint64_t sat_conflict_limit = 200000;
+  /// Bound on the number of clock cycles the multi-cycle dependency may
+  /// span (0 = unbounded fixpoint, the paper's setting). A bound
+  /// under-approximates the attacker (who can wait arbitrarily many
+  /// cycles) but is useful for "within k cycles" what-if studies, as the
+  /// iterative computation of [18] supports. Note that with bridging
+  /// enabled a bridged hop may itself span several cycles, so the bound
+  /// is in bridged hops.
+  std::size_t max_cycles = 0;
+  /// Seed for the simulation prefilter patterns.
+  std::uint64_t seed = 1;
+};
+
+/// Instrumentation counters of one analysis run.
+struct DepStats {
+  std::size_t circuit_ffs = 0;
+  std::size_t internal_ffs = 0;          ///< bridged out (Sec. III-A.2)
+  std::size_t denoted_ffs_before = 0;    ///< FFs with >= 1 dependency, pre-bridge
+  std::size_t denoted_ffs_after = 0;
+  std::size_t deps_before_bridging = 0;  ///< denoted 1-cycle dependencies
+  std::size_t deps_after_bridging = 0;
+  std::size_t closure_deps = 0;          ///< multi-cycle dependencies
+  std::size_t closure_path_deps = 0;
+  std::uint64_t sim_resolved = 0;  ///< functional deps proven by simulation
+  std::uint64_t sat_calls = 0;
+  std::uint64_t sat_functional = 0;
+  std::uint64_t sat_structural = 0;
+  std::uint64_t sat_unknown = 0;
+};
+
+/// A 1-cycle dependency of a scan flip-flop on a circuit flip-flop,
+/// established by the scan FF's capture cone.
+struct CaptureDep {
+  netlist::NodeId circuit_ff;
+  DepKind kind;
+};
+
+/// Data-flow dependency analysis over the circuit logic (Sec. III-A).
+///
+/// Computes, for the circuit underlying an RSN:
+///  - the 1-cycle dependency of every circuit flip-flop on every other
+///    (functional vs. only-structural, SAT-exact in DepMode::Exact);
+///  - the 1-cycle dependencies of each scan flip-flop on circuit flip-flops
+///    through its capture cone;
+///  - the bridged relation with all internal flip-flops (those not directly
+///    connected to the RSN, i.e. neither a capture-cone leaf nor an update
+///    target) composed out;
+///  - the multi-cycle closure of the circuit relation.
+///
+/// Deliberately computed *without* RSN-internal connections: the security
+/// resolution rewires the RSN repeatedly, and this relation stays valid
+/// across all rewirings (see the end of Sec. III-A).
+class DependencyAnalyzer {
+ public:
+  DependencyAnalyzer(const netlist::Netlist& nl, const rsn::Rsn& network,
+                     DepOptions options = {});
+
+  /// Runs the full analysis pipeline.
+  void run();
+
+  /// Multi-cycle circuit-internal dependency closure (after bridging).
+  /// Entry (i, j): dependency of circuit FF j on circuit FF i, indices via
+  /// circuit_index().
+  const DepMatrix& circuit_closure() const { return closure_; }
+
+  /// 1-cycle circuit relation before bridging (kept for tests/ablation).
+  const DepMatrix& one_cycle() const { return one_cycle_; }
+
+  /// Dense index of a circuit flip-flop node.
+  std::size_t circuit_index(netlist::NodeId ff) const {
+    return ff_index_[static_cast<std::size_t>(ff)];
+  }
+
+  /// Circuit flip-flop node at dense index i.
+  netlist::NodeId circuit_ff(std::size_t i) const { return ff_nodes_[i]; }
+
+  /// Number of circuit flip-flops in the relation.
+  std::size_t num_circuit_ffs() const { return ff_nodes_.size(); }
+
+  /// True if the circuit FF at dense index i is internal (bridged out).
+  bool is_internal(std::size_t i) const { return internal_[i]; }
+
+  /// Capture dependencies of scan FF `ff` of register `reg`.
+  const std::vector<CaptureDep>& capture_deps(rsn::ElemId reg,
+                                              std::size_t ff) const;
+
+  /// Multi-cycle dependency of circuit FF `to` on circuit FF `from`.
+  DepKind circuit_dep(netlist::NodeId from, netlist::NodeId to) const {
+    return closure_.get(circuit_index(from), circuit_index(to));
+  }
+
+  const DepStats& stats() const { return stats_; }
+  const DepOptions& options() const { return options_; }
+
+ private:
+  const netlist::Netlist& nl_;
+  const rsn::Rsn& rsn_;
+  DepOptions options_;
+  Rng rng_;
+
+  std::vector<netlist::NodeId> ff_nodes_;
+  std::vector<std::size_t> ff_index_;  // NodeId -> dense index
+  std::vector<bool> internal_;
+  DepMatrix one_cycle_;
+  DepMatrix closure_;
+  // capture_deps_[register slot][ff index]
+  std::vector<std::vector<std::vector<CaptureDep>>> capture_deps_;
+  std::vector<std::size_t> reg_slot_;
+  DepStats stats_;
+
+  void build_index();
+  void classify_internal();
+  /// Classifies the dependencies of the cone root on the cone's flip-flop
+  /// leaves (functional vs. only-structural).
+  std::vector<CaptureDep> cone_deps(const netlist::Cone& cone);
+  void compute_one_cycle();
+  void bridge_internal();
+  void compute_closure();
+};
+
+}  // namespace rsnsec::dep

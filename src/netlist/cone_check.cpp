@@ -1,0 +1,122 @@
+#include "netlist/cone_check.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "sat/encode.hpp"
+
+namespace rsnsec::netlist {
+
+using sat::Lit;
+using sat::mk_lit;
+
+ConeDependenceChecker::ConeDependenceChecker(const Netlist& nl,
+                                             const Cone& cone)
+    : nl_(nl), cone_(cone) {
+  // Literals for the leaves of both copies.
+  a_leaf_.reserve(cone_.leaves.size());
+  b_leaf_.reserve(cone_.leaves.size());
+  eq_sel_.reserve(cone_.leaves.size());
+  leaf_is_const_.reserve(cone_.leaves.size());
+  for (NodeId leaf : cone_.leaves) {
+    GateType t = nl_.node(leaf).type;
+    bool is_const = (t == GateType::Const0 || t == GateType::Const1);
+    leaf_is_const_.push_back(is_const);
+    Lit a = mk_lit(solver_.new_var());
+    Lit b = mk_lit(solver_.new_var());
+    Lit eq = mk_lit(solver_.new_var());
+    if (is_const) {
+      bool v = (t == GateType::Const1);
+      solver_.add_clause(v ? a : ~a);
+      solver_.add_clause(v ? b : ~b);
+    }
+    // eq -> (a == b)
+    solver_.add_clause(~eq, ~a, b);
+    solver_.add_clause(~eq, a, ~b);
+    a_leaf_.push_back(a);
+    b_leaf_.push_back(b);
+    eq_sel_.push_back(eq);
+  }
+
+  std::vector<Lit> node_lit_a, node_lit_b;
+  Lit out_a = encode_copy(node_lit_a, a_leaf_);
+  Lit out_b = encode_copy(node_lit_b, b_leaf_);
+
+  diff_ = mk_lit(solver_.new_var());
+  // diff -> (out_a != out_b)
+  solver_.add_clause(~diff_, out_a, out_b);
+  solver_.add_clause(~diff_, ~out_a, ~out_b);
+}
+
+Lit ConeDependenceChecker::encode_copy(
+    std::vector<Lit>& node_lit, const std::vector<Lit>& leaf_lits) {
+  node_lit.assign(nl_.num_nodes(), sat::lit_undef);
+  for (std::size_t i = 0; i < cone_.leaves.size(); ++i)
+    node_lit[cone_.leaves[i]] = leaf_lits[i];
+
+  for (NodeId id : cone_.gates) {
+    const Node& n = nl_.node(id);
+    std::vector<Lit> fanin_lits;
+    fanin_lits.reserve(n.fanins.size());
+    for (NodeId f : n.fanins) {
+      assert(node_lit[f] != sat::lit_undef &&
+             "cone gates must be topologically ordered");
+      fanin_lits.push_back(node_lit[f]);
+    }
+    Lit out = mk_lit(solver_.new_var());
+    switch (n.type) {
+      case GateType::Buf:
+        sat::encode_eq(solver_, out, fanin_lits[0]);
+        break;
+      case GateType::Not:
+        sat::encode_eq(solver_, out, ~fanin_lits[0]);
+        break;
+      case GateType::And:
+        sat::encode_and(solver_, out, fanin_lits);
+        break;
+      case GateType::Nand:
+        sat::encode_and(solver_, ~out, fanin_lits);
+        break;
+      case GateType::Or:
+        sat::encode_or(solver_, out, fanin_lits);
+        break;
+      case GateType::Nor:
+        sat::encode_or(solver_, ~out, fanin_lits);
+        break;
+      case GateType::Xor:
+        sat::encode_xor(solver_, out, fanin_lits);
+        break;
+      case GateType::Xnor:
+        sat::encode_xor(solver_, ~out, fanin_lits);
+        break;
+      case GateType::Mux:
+        sat::encode_mux(solver_, out, fanin_lits[0], fanin_lits[1],
+                        fanin_lits[2]);
+        break;
+      default:
+        throw std::logic_error("unexpected node type inside cone");
+    }
+    node_lit[id] = out;
+  }
+
+  assert(node_lit[cone_.root] != sat::lit_undef);
+  return node_lit[cone_.root];
+}
+
+bool ConeDependenceChecker::depends_on(std::size_t leaf_idx) {
+  assert(leaf_idx < cone_.leaves.size());
+  if (leaf_is_const_[leaf_idx]) return false;
+  std::vector<Lit> assumptions;
+  assumptions.reserve(cone_.leaves.size() + 3);
+  for (std::size_t i = 0; i < cone_.leaves.size(); ++i) {
+    if (i != leaf_idx) assumptions.push_back(eq_sel_[i]);
+  }
+  // WLOG fix the flipped leaf to 1 in copy A and 0 in copy B.
+  assumptions.push_back(a_leaf_[leaf_idx]);
+  assumptions.push_back(~b_leaf_[leaf_idx]);
+  assumptions.push_back(diff_);
+  ++sat_calls_;
+  return solver_.solve(assumptions) == sat::Result::Sat;
+}
+
+}  // namespace rsnsec::netlist

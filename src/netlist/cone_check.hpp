@@ -1,0 +1,52 @@
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "sat/solver.hpp"
+
+namespace rsnsec::netlist {
+
+/// SAT-based exact functional-dependence check for one combinational cone
+/// (the method of [18], Sec. III-A of the paper).
+///
+/// The checker encodes two copies A and B of the cone into one CNF. Every
+/// leaf i gets an equality selector eq_i (eq_i -> a_i == b_i) and a `diff`
+/// literal asserts that the two root values differ. Whether the root
+/// functionally depends on leaf j is then a single incremental SAT call
+/// under assumptions {eq_i : i != j} ∪ {a_j, ¬b_j, diff}: satisfiable iff
+/// some assignment of the remaining leaves lets a flip of leaf j flip the
+/// root — i.e. data can propagate. UNSAT means the structural connection
+/// is "only structural" (e.g. cancelled by reconvergence, as the XOR in
+/// Fig. 5 of the paper).
+class ConeDependenceChecker {
+ public:
+  /// Builds the two-copy CNF for `cone` of netlist `nl`. The cone must
+  /// have been produced by Netlist::extract_signal_cone or
+  /// Netlist::extract_next_state_cone.
+  ConeDependenceChecker(const Netlist& nl, const Cone& cone);
+
+  /// True if the cone root functionally depends on cone.leaves[leaf_idx].
+  /// Constant leaves never support dependence.
+  bool depends_on(std::size_t leaf_idx);
+
+  /// Number of SAT calls issued so far.
+  std::uint64_t sat_calls() const { return sat_calls_; }
+
+  /// Access to the underlying solver statistics.
+  const sat::SolverStats& solver_stats() const { return solver_.stats(); }
+
+ private:
+  const Netlist& nl_;
+  const Cone& cone_;
+  sat::Solver solver_;
+  std::vector<sat::Lit> a_leaf_, b_leaf_, eq_sel_;
+  std::vector<bool> leaf_is_const_;
+  sat::Lit diff_{};
+  std::uint64_t sat_calls_ = 0;
+
+  sat::Lit encode_copy(std::vector<sat::Lit>& node_lit,
+                       const std::vector<sat::Lit>& leaf_lits);
+};
+
+}  // namespace rsnsec::netlist

@@ -1,0 +1,222 @@
+#include "netlist/netlist.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace rsnsec::netlist {
+
+const char* gate_type_name(GateType t) {
+  switch (t) {
+    case GateType::Input: return "INPUT";
+    case GateType::Const0: return "CONST0";
+    case GateType::Const1: return "CONST1";
+    case GateType::Buf: return "BUF";
+    case GateType::Not: return "NOT";
+    case GateType::And: return "AND";
+    case GateType::Nand: return "NAND";
+    case GateType::Or: return "OR";
+    case GateType::Nor: return "NOR";
+    case GateType::Xor: return "XOR";
+    case GateType::Xnor: return "XNOR";
+    case GateType::Mux: return "MUX";
+    case GateType::FF: return "FF";
+  }
+  return "?";
+}
+
+ModuleId Netlist::add_module(std::string name) {
+  module_names_.push_back(std::move(name));
+  return static_cast<ModuleId>(module_names_.size() - 1);
+}
+
+NodeId Netlist::add_input(std::string name, ModuleId module) {
+  auto id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back({GateType::Input, {}, std::move(name), module});
+  inputs_.push_back(id);
+  return id;
+}
+
+NodeId Netlist::add_const(bool value) {
+  auto id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(
+      {value ? GateType::Const1 : GateType::Const0, {}, {}, no_module});
+  return id;
+}
+
+NodeId Netlist::add_gate(GateType type, std::vector<NodeId> fanins,
+                         std::string name, ModuleId module) {
+  assert(type != GateType::Input && type != GateType::FF);
+  if (type == GateType::Mux && fanins.size() != 3)
+    throw std::invalid_argument("MUX requires exactly 3 fanins");
+  if ((type == GateType::Buf || type == GateType::Not) && fanins.size() != 1)
+    throw std::invalid_argument("BUF/NOT require exactly 1 fanin");
+  auto id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back({type, std::move(fanins), std::move(name), module});
+  return id;
+}
+
+NodeId Netlist::add_ff(std::string name, ModuleId module, NodeId d) {
+  auto id = static_cast<NodeId>(nodes_.size());
+  std::vector<NodeId> fanins;
+  if (d != no_node) fanins.push_back(d);
+  nodes_.push_back({GateType::FF, std::move(fanins), std::move(name), module});
+  ffs_.push_back(id);
+  return id;
+}
+
+void Netlist::set_ff_input(NodeId ff, NodeId d) {
+  Node& n = nodes_[static_cast<std::size_t>(ff)];
+  assert(n.type == GateType::FF);
+  n.fanins.assign(1, d);
+}
+
+Cone Netlist::extract_next_state_cone(NodeId ff) const {
+  const Node& n = node(ff);
+  assert(n.type == GateType::FF);
+  if (n.fanins.empty()) return {};  // unconnected FF: empty cone
+  return extract_signal_cone(n.fanins[0]);
+}
+
+Cone Netlist::extract_signal_cone(NodeId net) const {
+  Cone cone;
+  cone.root = net;
+  NodeId start = net;
+
+  // Iterative post-order DFS producing a topological (leaves-first) order.
+  enum class Mark : std::uint8_t { Unseen, OnStack, Done };
+  std::vector<Mark> marks(nodes_.size(), Mark::Unseen);
+  std::vector<std::pair<NodeId, std::size_t>> stack;  // node, next-fanin idx
+
+  auto is_leaf = [this](NodeId id) {
+    GateType t = node(id).type;
+    return t == GateType::FF || t == GateType::Input ||
+           t == GateType::Const0 || t == GateType::Const1;
+  };
+
+  if (is_leaf(start)) {
+    cone.leaves.push_back(start);
+    return cone;
+  }
+  stack.emplace_back(start, 0);
+  marks[start] = Mark::OnStack;
+  while (!stack.empty()) {
+    auto& [id, next] = stack.back();
+    const Node& n = node(id);
+    if (next < n.fanins.size()) {
+      NodeId f = n.fanins[next++];
+      if (marks[f] != Mark::Unseen) continue;
+      if (is_leaf(f)) {
+        marks[f] = Mark::Done;
+        cone.leaves.push_back(f);
+      } else {
+        marks[f] = Mark::OnStack;
+        stack.emplace_back(f, 0);
+      }
+    } else {
+      marks[id] = Mark::Done;
+      cone.gates.push_back(id);
+      stack.pop_back();
+    }
+  }
+  return cone;
+}
+
+bool Netlist::validate(std::string* error) const {
+  auto fail = [error](const std::string& msg) {
+    if (error) *error = msg;
+    return false;
+  };
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    for (NodeId f : n.fanins) {
+      if (f >= nodes_.size())
+        return fail("node " + std::to_string(i) + " has invalid fanin");
+    }
+    if (n.type == GateType::FF && n.fanins.empty())
+      return fail("flip-flop " + std::to_string(i) + " ('" + n.name +
+                  "') has no data input");
+  }
+  // Combinational cycle check: DFS over combinational edges only (FF
+  // fanins break the cycle because an FF output is a sequential element).
+  enum class Mark : std::uint8_t { Unseen, OnStack, Done };
+  std::vector<Mark> marks(nodes_.size(), Mark::Unseen);
+  std::vector<std::pair<NodeId, std::size_t>> stack;
+  for (NodeId r = 0; r < nodes_.size(); ++r) {
+    if (marks[r] != Mark::Unseen) continue;
+    if (node(r).type == GateType::FF || node(r).type == GateType::Input)
+      continue;
+    stack.emplace_back(r, 0);
+    marks[r] = Mark::OnStack;
+    while (!stack.empty()) {
+      auto& [id, next] = stack.back();
+      const Node& n = node(id);
+      if (next < n.fanins.size()) {
+        NodeId f = n.fanins[next++];
+        GateType t = node(f).type;
+        if (t == GateType::FF || t == GateType::Input ||
+            t == GateType::Const0 || t == GateType::Const1)
+          continue;
+        if (marks[f] == Mark::OnStack)
+          return fail("combinational cycle through node " +
+                      std::to_string(f));
+        if (marks[f] == Mark::Unseen) {
+          marks[f] = Mark::OnStack;
+          stack.emplace_back(f, 0);
+        }
+      } else {
+        marks[id] = Mark::Done;
+        stack.pop_back();
+      }
+    }
+  }
+  return true;
+}
+
+std::uint64_t eval_gate(GateType type, const std::uint64_t* v,
+                        std::size_t n) {
+  switch (type) {
+    case GateType::Const0: return 0;
+    case GateType::Const1: return ~0ULL;
+    case GateType::Buf: return v[0];
+    case GateType::Not: return ~v[0];
+    case GateType::And: {
+      std::uint64_t r = ~0ULL;
+      for (std::size_t i = 0; i < n; ++i) r &= v[i];
+      return r;
+    }
+    case GateType::Nand: {
+      std::uint64_t r = ~0ULL;
+      for (std::size_t i = 0; i < n; ++i) r &= v[i];
+      return ~r;
+    }
+    case GateType::Or: {
+      std::uint64_t r = 0;
+      for (std::size_t i = 0; i < n; ++i) r |= v[i];
+      return r;
+    }
+    case GateType::Nor: {
+      std::uint64_t r = 0;
+      for (std::size_t i = 0; i < n; ++i) r |= v[i];
+      return ~r;
+    }
+    case GateType::Xor: {
+      std::uint64_t r = 0;
+      for (std::size_t i = 0; i < n; ++i) r ^= v[i];
+      return r;
+    }
+    case GateType::Xnor: {
+      std::uint64_t r = 0;
+      for (std::size_t i = 0; i < n; ++i) r ^= v[i];
+      return ~r;
+    }
+    case GateType::Mux:
+      return (v[0] & v[2]) | (~v[0] & v[1]);
+    case GateType::Input:
+    case GateType::FF:
+      break;  // sequential/primary nodes have no combinational function
+  }
+  assert(false && "eval_gate on non-combinational node");
+  return 0;
+}
+
+}  // namespace rsnsec::netlist

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "rsn/rsn.hpp"
+
+namespace rsnsec::rsn {
+
+/// A concrete plan to access one scan register: the mux configuration
+/// that puts it on the active scan path, and the shift offsets needed to
+/// read its captured contents at the scan-out port or to position
+/// scan-in data into it before an update.
+struct AccessPlan {
+  ElemId target = no_elem;
+  /// Mux settings establishing the path (muxes not listed are don't-care).
+  std::vector<std::pair<ElemId, std::size_t>> mux_settings;
+  /// The resulting active path (scan-in ... scan-out).
+  std::vector<ElemId> path;
+  /// Total scan flip-flops on the active path.
+  std::size_t chain_length = 0;
+  /// Position (0-based, from scan-in) of the target's first flip-flop in
+  /// the active chain.
+  std::size_t position = 0;
+  /// Width of the target register.
+  std::size_t width = 0;
+
+  /// Shift cycles after capture until the target's flip-flop `i` appears
+  /// at the scan-out port.
+  std::size_t read_shifts(std::size_t i = 0) const {
+    return chain_length - position - i;
+  }
+  /// Shift cycles needed to move a bit inserted at scan-in into the
+  /// target's flip-flop `i` (insert the bit, then shift the remainder).
+  std::size_t write_shifts(std::size_t i = 0) const {
+    return position + i + 1;
+  }
+};
+
+/// Plans scan access to registers of an RSN (the pattern-retargeting
+/// core of tools like eda1687 [20], reduced to path planning).
+///
+/// The paper's method guarantees that the transformed, secure network
+/// still contains every scan register; the planner makes that guarantee
+/// checkable: plan_access() must succeed for every register before *and*
+/// after the transformation.
+class AccessPlanner {
+ public:
+  explicit AccessPlanner(const Rsn& network) : net_(network) {}
+
+  /// Computes an access plan for `target`, or nullopt if no mux
+  /// configuration puts it on a complete scan path. Does not modify the
+  /// network.
+  std::optional<AccessPlan> plan(ElemId target) const;
+
+  /// Applies the plan's mux settings to `network` (which must have the
+  /// same topology this planner was built over).
+  static void apply(const AccessPlan& plan, Rsn& network);
+
+  /// True if every register of the network is accessible.
+  bool all_registers_accessible() const;
+
+ private:
+  const Rsn& net_;
+
+  /// Backward chain of elements from `to` to `from` following input
+  /// edges, or empty if none exists. The result is ordered from `from`
+  /// to `to` (inclusive).
+  std::vector<ElemId> find_chain(ElemId from, ElemId to) const;
+};
+
+}  // namespace rsnsec::rsn

@@ -1,0 +1,76 @@
+#include "rsn/csu_sim.hpp"
+
+#include <cassert>
+
+namespace rsnsec::rsn {
+
+CsuSimulator::CsuSimulator(const Rsn& rsn, const netlist::Netlist& nl)
+    : rsn_(rsn), sim_(nl), reg_slot_(rsn.num_elements(), 0) {
+  values_.reserve(rsn.registers().size());
+  for (ElemId r : rsn.registers()) {
+    reg_slot_[r] = values_.size();
+    values_.emplace_back(rsn.elem(r).ffs.size(), 0);
+  }
+}
+
+std::uint64_t CsuSimulator::scan_value(ElemId reg, std::size_t ff) const {
+  return values_[slot(reg)].at(ff);
+}
+
+void CsuSimulator::set_scan_value(ElemId reg, std::size_t ff,
+                                  std::uint64_t v) {
+  values_[slot(reg)].at(ff) = v;
+}
+
+std::vector<std::pair<ElemId, std::size_t>> CsuSimulator::active_chain()
+    const {
+  std::vector<std::pair<ElemId, std::size_t>> chain;
+  for (ElemId e : rsn_.active_path()) {
+    if (rsn_.elem(e).kind != ElemKind::Register) continue;
+    for (std::size_t i = 0; i < rsn_.elem(e).ffs.size(); ++i)
+      chain.emplace_back(e, i);
+  }
+  return chain;
+}
+
+void CsuSimulator::capture() {
+  sim_.eval_comb();
+  for (ElemId e : rsn_.active_path()) {
+    const Element& el = rsn_.elem(e);
+    if (el.kind != ElemKind::Register) continue;
+    for (std::size_t i = 0; i < el.ffs.size(); ++i) {
+      if (el.ffs[i].capture_src != netlist::no_node)
+        values_[slot(e)][i] = sim_.value(el.ffs[i].capture_src);
+    }
+  }
+}
+
+std::uint64_t CsuSimulator::shift(std::uint64_t scan_in_bits) {
+  auto chain = active_chain();
+  if (chain.empty()) return 0;
+  std::uint64_t out = values_[slot(chain.back().first)][chain.back().second];
+  for (std::size_t i = chain.size(); i-- > 1;) {
+    auto [reg, ff] = chain[i];
+    auto [preg, pff] = chain[i - 1];
+    values_[slot(reg)][ff] = values_[slot(preg)][pff];
+  }
+  values_[slot(chain.front().first)][chain.front().second] = scan_in_bits;
+  return out;
+}
+
+void CsuSimulator::update() {
+  for (ElemId e : rsn_.active_path()) {
+    const Element& el = rsn_.elem(e);
+    if (el.kind != ElemKind::Register) continue;
+    for (std::size_t i = 0; i < el.ffs.size(); ++i) {
+      if (el.ffs[i].update_dst != netlist::no_node)
+        sim_.set_value(el.ffs[i].update_dst, values_[slot(e)][i]);
+    }
+  }
+}
+
+void CsuSimulator::clock_circuit(std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) sim_.step();
+}
+
+}  // namespace rsnsec::rsn

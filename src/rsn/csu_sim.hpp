@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/sim.hpp"
+#include "rsn/rsn.hpp"
+
+namespace rsnsec::rsn {
+
+/// Capture/Shift/Update simulator for an RSN coupled to its underlying
+/// circuit (Sec. II-A). Used by tests and examples to demonstrate, bit by
+/// bit, the pure and hybrid attack paths of the paper's running example —
+/// and to verify that the transformed (secure) network no longer allows
+/// them.
+///
+/// Like netlist::Simulator, all values are 64-bit packed parallel patterns.
+class CsuSimulator {
+ public:
+  /// Couples `rsn` (whose mux selects define the active path) with the
+  /// circuit `nl`.
+  CsuSimulator(const Rsn& rsn, const netlist::Netlist& nl);
+
+  /// Underlying circuit simulator (flip-flop/input state access).
+  netlist::Simulator& circuit() { return sim_; }
+  const netlist::Simulator& circuit() const { return sim_; }
+
+  /// Value of scan flip-flop `ff` of register `reg`.
+  std::uint64_t scan_value(ElemId reg, std::size_t ff) const;
+
+  /// Sets the value of scan flip-flop `ff` of register `reg`.
+  void set_scan_value(ElemId reg, std::size_t ff, std::uint64_t v);
+
+  /// Capture phase: every scan flip-flop on the active path with a capture
+  /// source loads the current combinational value of that circuit node.
+  void capture();
+
+  /// One shift cycle: data moves one position along the active scan path;
+  /// the first flip-flop loads `scan_in_bits`; returns the bits shifted
+  /// out of the scan-out port. Registers off the active path hold.
+  std::uint64_t shift(std::uint64_t scan_in_bits);
+
+  /// Update phase: every scan flip-flop on the active path with an update
+  /// destination writes its value into that circuit flip-flop.
+  void update();
+
+  /// Runs `n` functional clock cycles of the underlying circuit.
+  void clock_circuit(std::size_t n = 1);
+
+  /// Scan flip-flops (as (register, ff-index) pairs) on the current active
+  /// path, ordered from scan-in to scan-out; empty if the configured path
+  /// is broken.
+  std::vector<std::pair<ElemId, std::size_t>> active_chain() const;
+
+ private:
+  const Rsn& rsn_;
+  netlist::Simulator sim_;
+  // Scan state: values_[register-order index][ff index].
+  std::vector<std::vector<std::uint64_t>> values_;
+  std::vector<std::size_t> reg_slot_;  // ElemId -> index into values_
+
+  std::size_t slot(ElemId reg) const {
+    return reg_slot_[static_cast<std::size_t>(reg)];
+  }
+};
+
+}  // namespace rsnsec::rsn

@@ -1,0 +1,160 @@
+#include "rsn/io.hpp"
+
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace rsnsec::rsn {
+
+void write_rsn(std::ostream& os, const Rsn& network,
+               const std::vector<std::string>& module_names,
+               const netlist::Netlist* circuit) {
+  os << "rsn " << network.name() << "\n";
+  for (std::size_t i = 0; i < module_names.size(); ++i)
+    os << "module " << i << " " << module_names[i] << "\n";
+  for (ElemId r : network.registers()) {
+    const Element& e = network.elem(r);
+    os << "register " << e.name << " ffs " << e.ffs.size() << " module "
+       << e.module << "\n";
+  }
+  for (ElemId m : network.muxes()) {
+    const Element& e = network.elem(m);
+    os << "mux " << e.name << " inputs " << e.inputs.size() << "\n";
+  }
+  auto emit_connections = [&](ElemId id) {
+    const Element& e = network.elem(id);
+    for (std::size_t p = 0; p < e.inputs.size(); ++p) {
+      if (e.inputs[p] == no_elem) continue;
+      os << "connect " << network.elem(e.inputs[p]).name << " " << e.name
+         << " " << p << "\n";
+    }
+  };
+  for (ElemId r : network.registers()) emit_connections(r);
+  for (ElemId m : network.muxes()) emit_connections(m);
+  emit_connections(network.scan_out());
+
+  if (circuit != nullptr) {
+    auto net_name = [&](netlist::NodeId id) {
+      const std::string& n = circuit->node(id).name;
+      return n.empty() ? "n" + std::to_string(id) : n;
+    };
+    for (ElemId r : network.registers()) {
+      const Element& e = network.elem(r);
+      for (std::size_t f = 0; f < e.ffs.size(); ++f) {
+        if (e.ffs[f].capture_src != netlist::no_node)
+          os << "capture " << e.name << " " << f << " "
+             << net_name(e.ffs[f].capture_src) << "\n";
+        if (e.ffs[f].update_dst != netlist::no_node)
+          os << "update " << e.name << " " << f << " "
+             << net_name(e.ffs[f].update_dst) << "\n";
+      }
+    }
+  }
+}
+
+void apply_attachments(RsnDocument& doc,
+                       const std::map<std::string, netlist::NodeId>& nets) {
+  for (const Attachment& a : doc.attachments) {
+    auto it = nets.find(a.net);
+    if (it == nets.end())
+      throw std::runtime_error("rsn attachment: unknown circuit net '" +
+                               a.net + "'");
+    if (a.is_update) {
+      doc.network.set_update(a.reg, a.ff, it->second);
+    } else {
+      doc.network.set_capture(a.reg, a.ff, it->second);
+    }
+  }
+}
+
+RsnDocument read_rsn(std::istream& is) {
+  RsnDocument doc;
+  std::map<std::string, ElemId, std::less<>> by_name;
+  std::string line;
+  int line_no = 0;
+  bool named = false;
+
+  auto fail = [&](const std::string& msg) -> std::runtime_error {
+    return std::runtime_error("rsn parse error at line " +
+                              std::to_string(line_no) + ": " + msg);
+  };
+  auto lookup = [&](const std::string& name) {
+    auto it = by_name.find(name);
+    if (it == by_name.end()) throw fail("unknown element '" + name + "'");
+    return it->second;
+  };
+
+  while (std::getline(is, line)) {
+    ++line_no;
+    std::string_view sv = trim(line);
+    if (sv.empty() || sv.front() == '#') continue;
+    std::vector<std::string> tok = split(sv, ' ');
+    const std::string& kw = tok[0];
+    if (kw == "rsn") {
+      if (tok.size() != 2) throw fail("expected: rsn <name>");
+      if (named) throw fail("duplicate rsn header");
+      doc.network = Rsn(tok[1]);
+      named = true;
+      by_name["scan_in"] = doc.network.scan_in();
+      by_name["scan_out"] = doc.network.scan_out();
+    } else if (kw == "module") {
+      if (tok.size() != 3) throw fail("expected: module <index> <name>");
+      auto idx = static_cast<std::size_t>(std::stoul(tok[1]));
+      if (idx != doc.module_names.size())
+        throw fail("module indices must be consecutive from 0");
+      doc.module_names.push_back(tok[2]);
+    } else if (kw == "register") {
+      if (tok.size() != 6 || tok[2] != "ffs" || tok[4] != "module")
+        throw fail("expected: register <name> ffs <n> module <index>");
+      if (!named) throw fail("missing rsn header");
+      auto n = static_cast<std::size_t>(std::stoul(tok[3]));
+      auto mod = static_cast<netlist::ModuleId>(std::stol(tok[5]));
+      if (by_name.count(tok[1])) throw fail("duplicate element name");
+      by_name[tok[1]] = doc.network.add_register(tok[1], n, mod);
+    } else if (kw == "mux") {
+      if (tok.size() != 4 || tok[2] != "inputs")
+        throw fail("expected: mux <name> inputs <k>");
+      if (!named) throw fail("missing rsn header");
+      auto k = static_cast<std::size_t>(std::stoul(tok[3]));
+      if (by_name.count(tok[1])) throw fail("duplicate element name");
+      by_name[tok[1]] = doc.network.add_mux(tok[1], k);
+    } else if (kw == "connect") {
+      if (tok.size() != 4) throw fail("expected: connect <from> <to> <port>");
+      ElemId from = lookup(tok[1]);
+      ElemId to = lookup(tok[2]);
+      auto port = static_cast<std::size_t>(std::stoul(tok[3]));
+      doc.network.connect(from, to, port);
+    } else if (kw == "capture" || kw == "update") {
+      if (tok.size() != 4)
+        throw fail("expected: " + kw + " <register> <ff> <net>");
+      Attachment a;
+      a.reg = lookup(tok[1]);
+      if (doc.network.elem(a.reg).kind != ElemKind::Register)
+        throw fail("'" + tok[1] + "' is not a register");
+      a.ff = std::stoul(tok[2]);
+      if (a.ff >= doc.network.elem(a.reg).ffs.size())
+        throw fail("ff index out of range on '" + tok[1] + "'");
+      a.is_update = (kw == "update");
+      a.net = tok[3];
+      doc.attachments.push_back(std::move(a));
+    } else {
+      throw fail("unknown keyword '" + kw + "'");
+    }
+  }
+  if (!named) throw fail("empty document (no rsn header)");
+  return doc;
+}
+
+std::string summarize(const Rsn& network) {
+  std::ostringstream os;
+  os << network.name() << ": " << network.registers().size()
+     << " registers, " << network.num_scan_ffs() << " scan FFs, "
+     << network.muxes().size() << " muxes";
+  return os.str();
+}
+
+}  // namespace rsnsec::rsn

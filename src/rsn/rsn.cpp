@@ -1,0 +1,273 @@
+#include "rsn/rsn.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace rsnsec::rsn {
+
+Rsn::Rsn(std::string name) : name_(std::move(name)) {
+  scan_in_ = static_cast<ElemId>(elems_.size());
+  elems_.push_back({ElemKind::ScanIn, "scan_in", {}, 0, {}, netlist::no_module});
+  scan_out_ = static_cast<ElemId>(elems_.size());
+  elems_.push_back({ElemKind::ScanOut,
+                    "scan_out",
+                    {no_elem},
+                    0,
+                    {},
+                    netlist::no_module});
+}
+
+ElemId Rsn::add_register(std::string name, std::size_t n_ffs,
+                         netlist::ModuleId module) {
+  if (n_ffs == 0) throw std::invalid_argument("register needs >= 1 scan FF");
+  auto id = static_cast<ElemId>(elems_.size());
+  Element e;
+  e.kind = ElemKind::Register;
+  e.name = std::move(name);
+  e.inputs.assign(1, no_elem);
+  e.module = module;
+  e.ffs.resize(n_ffs);
+  for (std::size_t i = 0; i < n_ffs; ++i)
+    e.ffs[i].name = e.name + "[" + std::to_string(i) + "]";
+  elems_.push_back(std::move(e));
+  registers_.push_back(id);
+  return id;
+}
+
+ElemId Rsn::add_mux(std::string name, std::size_t n_inputs) {
+  if (n_inputs < 2) throw std::invalid_argument("mux needs >= 2 inputs");
+  auto id = static_cast<ElemId>(elems_.size());
+  Element e;
+  e.kind = ElemKind::Mux;
+  e.name = std::move(name);
+  e.inputs.assign(n_inputs, no_elem);
+  elems_.push_back(std::move(e));
+  muxes_.push_back(id);
+  return id;
+}
+
+void Rsn::connect(ElemId from, ElemId to, std::size_t port) {
+  Element& t = mut(to);
+  if (t.kind == ElemKind::ScanIn)
+    throw std::invalid_argument("scan-in port has no inputs");
+  if (port >= t.inputs.size())
+    throw std::out_of_range("no such input port on '" + t.name + "'");
+  t.inputs[port] = from;
+}
+
+void Rsn::disconnect(ElemId to, std::size_t port) {
+  Element& t = mut(to);
+  if (port >= t.inputs.size())
+    throw std::out_of_range("no such input port on '" + t.name + "'");
+  t.inputs[port] = no_elem;
+}
+
+void Rsn::remove_mux_input(ElemId mux, std::size_t port) {
+  Element& m = mut(mux);
+  assert(m.kind == ElemKind::Mux);
+  if (port >= m.inputs.size())
+    throw std::out_of_range("no such mux port");
+  if (m.inputs.size() <= 1)
+    throw std::logic_error("cannot remove the last mux input");
+  m.inputs.erase(m.inputs.begin() + static_cast<std::ptrdiff_t>(port));
+  if (m.sel >= m.inputs.size()) m.sel = m.inputs.size() - 1;
+}
+
+std::size_t Rsn::add_mux_input(ElemId mux, ElemId from) {
+  Element& m = mut(mux);
+  assert(m.kind == ElemKind::Mux);
+  m.inputs.push_back(from);
+  return m.inputs.size() - 1;
+}
+
+ElemId Rsn::attach_to_scan_out(ElemId elem_id) {
+  Element& so = mut(scan_out_);
+  ElemId driver = so.inputs[0];
+  if (driver == no_elem) {
+    so.inputs[0] = elem_id;
+    return no_elem;
+  }
+  if (driver == elem_id) return no_elem;
+  if (elem(driver).kind == ElemKind::Mux && fanouts(driver).size() == 1) {
+    // Reuse the existing mux in front of scan-out as a collector — but
+    // only if it feeds nothing else, so the attached element cannot
+    // reach other segments through it.
+    for (ElemId in : elem(driver).inputs)
+      if (in == elem_id) return no_elem;
+    add_mux_input(driver, elem_id);
+    return no_elem;
+  }
+  ElemId m = add_mux("collect_mux" + std::to_string(next_auto_mux_++), 2);
+  connect(driver, m, 0);
+  connect(elem_id, m, 1);
+  connect(m, scan_out_, 0);
+  return m;
+}
+
+void Rsn::set_mux_select(ElemId mux, std::size_t sel) {
+  Element& m = mut(mux);
+  assert(m.kind == ElemKind::Mux);
+  if (sel >= m.inputs.size()) throw std::out_of_range("mux select");
+  m.sel = sel;
+}
+
+void Rsn::set_capture(ElemId reg, std::size_t ff, netlist::NodeId src) {
+  Element& r = mut(reg);
+  assert(r.kind == ElemKind::Register);
+  r.ffs.at(ff).capture_src = src;
+}
+
+void Rsn::set_update(ElemId reg, std::size_t ff, netlist::NodeId dst) {
+  Element& r = mut(reg);
+  assert(r.kind == ElemKind::Register);
+  r.ffs.at(ff).update_dst = dst;
+}
+
+std::size_t Rsn::num_scan_ffs() const {
+  std::size_t n = 0;
+  for (ElemId r : registers_) n += elem(r).ffs.size();
+  return n;
+}
+
+std::vector<std::pair<ElemId, std::size_t>> Rsn::fanouts(ElemId from) const {
+  std::vector<std::pair<ElemId, std::size_t>> out;
+  for (ElemId id = 0; id < elems_.size(); ++id) {
+    const Element& e = elem(id);
+    for (std::size_t p = 0; p < e.inputs.size(); ++p)
+      if (e.inputs[p] == from) out.emplace_back(id, p);
+  }
+  return out;
+}
+
+bool Rsn::is_acyclic() const {
+  // DFS over input edges; a back edge means a cycle.
+  enum class Mark : std::uint8_t { Unseen, OnStack, Done };
+  std::vector<Mark> marks(elems_.size(), Mark::Unseen);
+  std::vector<std::pair<ElemId, std::size_t>> stack;
+  for (ElemId r = 0; r < elems_.size(); ++r) {
+    if (marks[r] != Mark::Unseen) continue;
+    marks[r] = Mark::OnStack;
+    stack.emplace_back(r, 0);
+    while (!stack.empty()) {
+      auto& [id, next] = stack.back();
+      const Element& e = elem(id);
+      if (next < e.inputs.size()) {
+        ElemId f = e.inputs[next++];
+        if (f == no_elem) continue;
+        if (marks[f] == Mark::OnStack) return false;
+        if (marks[f] == Mark::Unseen) {
+          marks[f] = Mark::OnStack;
+          stack.emplace_back(f, 0);
+        }
+      } else {
+        marks[id] = Mark::Done;
+        stack.pop_back();
+      }
+    }
+  }
+  return true;
+}
+
+bool Rsn::validate(std::string* error) const {
+  auto fail = [error](const std::string& msg) {
+    if (error) *error = msg;
+    return false;
+  };
+  if (!is_acyclic()) return fail("scan network contains a cycle");
+  for (ElemId id = 0; id < elems_.size(); ++id) {
+    const Element& e = elem(id);
+    for (std::size_t p = 0; p < e.inputs.size(); ++p) {
+      if (e.inputs[p] == no_elem &&
+          (e.kind == ElemKind::Register || e.kind == ElemKind::ScanOut))
+        return fail("dangling input on '" + e.name + "'");
+      if (e.inputs[p] != no_elem && e.inputs[p] >= elems_.size())
+        return fail("invalid input id on '" + e.name + "'");
+    }
+  }
+  // Every register must be reachable from scan-in and must reach scan-out
+  // under some configuration (the paper's method keeps every scan register
+  // in the final secure network).
+  std::vector<ElemId> fwd = reachable_from(scan_in_);
+  std::vector<bool> fwd_set(elems_.size(), false);
+  for (ElemId id : fwd) fwd_set[id] = true;
+  std::vector<ElemId> bwd = reaching(scan_out_);
+  std::vector<bool> bwd_set(elems_.size(), false);
+  for (ElemId id : bwd) bwd_set[id] = true;
+  for (ElemId r : registers_) {
+    if (!fwd_set[r])
+      return fail("register '" + elem(r).name + "' unreachable from scan-in");
+    if (!bwd_set[r])
+      return fail("register '" + elem(r).name + "' cannot reach scan-out");
+  }
+  return true;
+}
+
+std::vector<ElemId> Rsn::active_path() const {
+  std::vector<ElemId> rev;
+  ElemId cur = scan_out_;
+  std::vector<bool> visited(elems_.size(), false);
+  while (cur != no_elem) {
+    if (visited[cur]) return {};  // configured cycle: broken configuration
+    visited[cur] = true;
+    rev.push_back(cur);
+    const Element& e = elem(cur);
+    if (e.kind == ElemKind::ScanIn) {
+      return {rev.rbegin(), rev.rend()};
+    }
+    if (e.inputs.empty()) return {};
+    cur = (e.kind == ElemKind::Mux) ? e.inputs[e.sel] : e.inputs[0];
+  }
+  return {};  // dangling port on the configured path
+}
+
+std::vector<ElemId> Rsn::reachable_from(ElemId from) const {
+  // Forward reachability needs fanout edges; build a reverse adjacency
+  // once per query (element counts are modest and the resolver snapshots).
+  std::vector<std::vector<ElemId>> fanout(elems_.size());
+  for (ElemId id = 0; id < elems_.size(); ++id) {
+    for (ElemId in : elem(id).inputs)
+      if (in != no_elem) fanout[in].push_back(id);
+  }
+  std::vector<bool> seen(elems_.size(), false);
+  std::vector<ElemId> queue{from}, out;
+  seen[from] = true;
+  while (!queue.empty()) {
+    ElemId id = queue.back();
+    queue.pop_back();
+    for (ElemId s : fanout[id]) {
+      if (!seen[s]) {
+        seen[s] = true;
+        out.push_back(s);
+        queue.push_back(s);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<ElemId> Rsn::reaching(ElemId to) const {
+  std::vector<bool> seen(elems_.size(), false);
+  std::vector<ElemId> queue{to}, out;
+  seen[to] = true;
+  while (!queue.empty()) {
+    ElemId id = queue.back();
+    queue.pop_back();
+    for (ElemId in : elem(id).inputs) {
+      if (in != no_elem && !seen[in]) {
+        seen[in] = true;
+        out.push_back(in);
+        queue.push_back(in);
+      }
+    }
+  }
+  return out;
+}
+
+bool Rsn::reaches(ElemId from, ElemId to) const {
+  if (from == to) return false;
+  std::vector<ElemId> r = reachable_from(from);
+  return std::find(r.begin(), r.end(), to) != r.end();
+}
+
+}  // namespace rsnsec::rsn

@@ -1,0 +1,160 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace rsnsec::rsn {
+
+/// Identifier of an RSN element (port, scan register or scan multiplexer).
+using ElemId = std::uint32_t;
+constexpr ElemId no_elem = 0xffffffffu;
+
+/// Kind of RSN element.
+enum class ElemKind : std::uint8_t { ScanIn, ScanOut, Register, Mux };
+
+/// One scan flip-flop of a scan register, with its optional attachment to
+/// the underlying circuit: `capture_src` is the circuit node whose value is
+/// loaded in the capture phase; `update_dst` is the circuit flip-flop
+/// written in the update phase (Sec. II-A).
+struct ScanFF {
+  netlist::NodeId capture_src = netlist::no_node;
+  netlist::NodeId update_dst = netlist::no_node;
+  std::string name;
+};
+
+/// One element of the reconfigurable scan network.
+struct Element {
+  ElemKind kind = ElemKind::Register;
+  std::string name;
+  /// Driving elements per input port. Registers and the scan-out port have
+  /// exactly one port; multiplexers have two or more; the scan-in port has
+  /// none. `no_elem` marks a dangling port.
+  std::vector<ElemId> inputs;
+  /// Multiplexer select (configuration state): index into `inputs`.
+  std::size_t sel = 0;
+  /// Scan flip-flops, ordered from scan-in side to scan-out side
+  /// (registers only).
+  std::vector<ScanFF> ffs;
+  /// Owning module/instrument (registers only); carries the trust
+  /// annotation of the security specification.
+  netlist::ModuleId module = netlist::no_module;
+};
+
+/// Reconfigurable scan network (IEEE Std 1687 style): a directed acyclic
+/// graph of scan registers and scan multiplexers between a scan-in and a
+/// scan-out port. Supports the structural edits (cut, reconnect, mux
+/// insertion) the resolution step of the paper applies, and computes
+/// active scan paths and any-configuration reachability for the security
+/// analysis. Value semantics: copying an Rsn snapshots the topology, which
+/// the resolver uses to trial-evaluate repair candidates.
+class Rsn {
+ public:
+  /// Creates a network containing only the scan-in and scan-out ports.
+  explicit Rsn(std::string name = "rsn");
+
+  /// Network name (benchmark name in the harness).
+  const std::string& name() const { return name_; }
+
+  /// The scan-in port element.
+  ElemId scan_in() const { return scan_in_; }
+
+  /// The scan-out port element.
+  ElemId scan_out() const { return scan_out_; }
+
+  /// Adds a scan register with `n_ffs` scan flip-flops owned by `module`.
+  ElemId add_register(std::string name, std::size_t n_ffs,
+                      netlist::ModuleId module = netlist::no_module);
+
+  /// Adds a scan multiplexer with `n_inputs` (>= 2) input ports.
+  ElemId add_mux(std::string name, std::size_t n_inputs);
+
+  /// Connects the output of `from` to input port `port` of `to`,
+  /// replacing any previous driver of that port.
+  void connect(ElemId from, ElemId to, std::size_t port = 0);
+
+  /// Clears input port `port` of `to` (leaves it dangling).
+  void disconnect(ElemId to, std::size_t port = 0);
+
+  /// Removes input port `port` from multiplexer `mux` entirely, shrinking
+  /// the port list (a mux reduced to one input keeps that single port and
+  /// behaves as a buffer).
+  void remove_mux_input(ElemId mux, std::size_t port);
+
+  /// Appends a new input port to multiplexer `mux` driven by `from`;
+  /// returns the new port index.
+  std::size_t add_mux_input(ElemId mux, ElemId from);
+
+  /// Routes the output of `elem` to the scan-out port: directly if the
+  /// port is dangling, via an existing collector mux, or by inserting a
+  /// fresh 2:1 mux in front of scan-out. Returns the mux created, or
+  /// `no_elem` if none was needed.
+  ElemId attach_to_scan_out(ElemId elem);
+
+  /// Mux configuration.
+  void set_mux_select(ElemId mux, std::size_t sel);
+  std::size_t mux_select(ElemId mux) const { return elem(mux).sel; }
+
+  /// Scan-FF circuit attachment.
+  void set_capture(ElemId reg, std::size_t ff, netlist::NodeId src);
+  void set_update(ElemId reg, std::size_t ff, netlist::NodeId dst);
+
+  /// Element accessors.
+  std::size_t num_elements() const { return elems_.size(); }
+  const Element& elem(ElemId id) const {
+    return elems_[static_cast<std::size_t>(id)];
+  }
+
+  /// All register element ids, in creation order.
+  const std::vector<ElemId>& registers() const { return registers_; }
+
+  /// All multiplexer element ids, in creation order.
+  const std::vector<ElemId>& muxes() const { return muxes_; }
+
+  /// Total number of scan flip-flops over all registers.
+  std::size_t num_scan_ffs() const;
+
+  /// Elements driven by `from` (fanout), as (element, port) pairs.
+  std::vector<std::pair<ElemId, std::size_t>> fanouts(ElemId from) const;
+
+  /// True if the connection graph is cycle-free. The paper's resolution
+  /// step must maintain this invariant (Sec. III-D).
+  bool is_acyclic() const;
+
+  /// Structural sanity: acyclic, every register/scan-out port driven, every
+  /// register's output reaches the scan-out port over some configuration,
+  /// and every register reachable from scan-in. Fills `error` on failure.
+  bool validate(std::string* error = nullptr) const;
+
+  /// The active scan path for the current mux configuration: elements from
+  /// scan-in to scan-out, or an empty vector if the configured path is
+  /// broken. Determined by a backward walk from scan-out following selected
+  /// mux inputs (Sec. II-A).
+  std::vector<ElemId> active_path() const;
+
+  /// Any-configuration reachability: true if data shifted out of `from`
+  /// can reach an input of `to` under some mux configuration (i.e. `to` is
+  /// a multi-cycle successor of `from` over pure scan paths).
+  bool reaches(ElemId from, ElemId to) const;
+
+  /// All elements reachable from `from` (excluding `from` itself).
+  std::vector<ElemId> reachable_from(ElemId from) const;
+
+  /// All elements that reach `to` (excluding `to` itself).
+  std::vector<ElemId> reaching(ElemId to) const;
+
+ private:
+  std::string name_;
+  std::vector<Element> elems_;
+  std::vector<ElemId> registers_;
+  std::vector<ElemId> muxes_;
+  ElemId scan_in_ = no_elem;
+  ElemId scan_out_ = no_elem;
+  int next_auto_mux_ = 0;
+
+  Element& mut(ElemId id) { return elems_[static_cast<std::size_t>(id)]; }
+};
+
+}  // namespace rsnsec::rsn

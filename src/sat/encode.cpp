@@ -1,0 +1,73 @@
+#include "sat/encode.hpp"
+
+namespace rsnsec::sat {
+
+void encode_and(Solver& s, Lit out, std::span<const Lit> ins) {
+  Clause big;
+  big.reserve(ins.size() + 1);
+  for (Lit in : ins) {
+    s.add_clause(~out, in);  // out -> in
+    big.push_back(~in);
+  }
+  big.push_back(out);  // all ins -> out
+  s.add_clause(std::move(big));
+}
+
+void encode_or(Solver& s, Lit out, std::span<const Lit> ins) {
+  Clause big;
+  big.reserve(ins.size() + 1);
+  for (Lit in : ins) {
+    s.add_clause(out, ~in);  // in -> out
+    big.push_back(in);
+  }
+  big.push_back(~out);  // out -> some in
+  s.add_clause(std::move(big));
+}
+
+namespace {
+void encode_xor2(Solver& s, Lit out, Lit a, Lit b) {
+  s.add_clause(~out, a, b);
+  s.add_clause(~out, ~a, ~b);
+  s.add_clause(out, ~a, b);
+  s.add_clause(out, a, ~b);
+}
+}  // namespace
+
+void encode_xor(Solver& s, Lit out, std::span<const Lit> ins) {
+  if (ins.empty()) {
+    s.add_clause(~out);
+    return;
+  }
+  if (ins.size() == 1) {
+    encode_eq(s, out, ins[0]);
+    return;
+  }
+  Lit acc = ins[0];
+  for (std::size_t i = 1; i + 1 < ins.size(); ++i) {
+    Lit t = mk_lit(s.new_var());
+    encode_xor2(s, t, acc, ins[i]);
+    acc = t;
+  }
+  encode_xor2(s, out, acc, ins.back());
+}
+
+void encode_mux(Solver& s, Lit out, Lit sel, Lit lo, Lit hi) {
+  s.add_clause(~sel, ~hi, out);
+  s.add_clause(~sel, hi, ~out);
+  s.add_clause(sel, ~lo, out);
+  s.add_clause(sel, lo, ~out);
+  // Redundant but propagation-strengthening clauses.
+  s.add_clause(~lo, ~hi, out);
+  s.add_clause(lo, hi, ~out);
+}
+
+void encode_eq(Solver& s, Lit out, Lit in) {
+  s.add_clause(~out, in);
+  s.add_clause(out, ~in);
+}
+
+void encode_eq2(Solver& s, Lit out, Lit a, Lit b) {
+  encode_xor2(s, ~out, a, b);
+}
+
+}  // namespace rsnsec::sat

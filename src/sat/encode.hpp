@@ -1,0 +1,33 @@
+#pragma once
+
+#include <span>
+
+#include "sat/literal.hpp"
+#include "sat/solver.hpp"
+
+namespace rsnsec::sat {
+
+/// Tseitin encodings of common gate functions. Each function adds clauses
+/// asserting `out` equals the gate function of the inputs. All helpers are
+/// safe for 0-input gates where noted.
+
+/// out <-> AND(ins); with empty `ins`, out is forced true.
+void encode_and(Solver& s, Lit out, std::span<const Lit> ins);
+
+/// out <-> OR(ins); with empty `ins`, out is forced false.
+void encode_or(Solver& s, Lit out, std::span<const Lit> ins);
+
+/// out <-> XOR(ins); with empty `ins`, out is forced false.
+/// Chains pairwise XORs through fresh variables for arity > 2.
+void encode_xor(Solver& s, Lit out, std::span<const Lit> ins);
+
+/// out <-> (sel ? hi : lo).
+void encode_mux(Solver& s, Lit out, Lit sel, Lit lo, Lit hi);
+
+/// out <-> in.
+void encode_eq(Solver& s, Lit out, Lit in);
+
+/// out <-> (a == b), i.e. out is an XNOR of a and b.
+void encode_eq2(Solver& s, Lit out, Lit a, Lit b);
+
+}  // namespace rsnsec::sat

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rsnsec::sat {
+
+/// Boolean variable index (0-based).
+using Var = std::int32_t;
+
+/// A literal: a variable or its negation, encoded as 2*var + sign.
+/// sign == 1 means the negated literal.
+struct Lit {
+  std::int32_t x = -2;
+
+  constexpr bool operator==(const Lit&) const = default;
+};
+
+/// Builds a literal for variable `v`, negated when `neg` is true.
+constexpr Lit mk_lit(Var v, bool neg = false) {
+  return Lit{v + v + static_cast<std::int32_t>(neg)};
+}
+
+/// Negation of a literal.
+constexpr Lit operator~(Lit l) { return Lit{l.x ^ 1}; }
+
+/// Variable of a literal.
+constexpr Var var(Lit l) { return l.x >> 1; }
+
+/// True if the literal is the negated form of its variable.
+constexpr bool sign(Lit l) { return (l.x & 1) != 0; }
+
+/// Sentinel "no literal" value.
+constexpr Lit lit_undef{-2};
+
+/// Ternary truth value used for assignments.
+enum class LBool : std::uint8_t { False = 0, True = 1, Undef = 2 };
+
+constexpr LBool lbool_of(bool b) { return b ? LBool::True : LBool::False; }
+
+/// Truth value of literal `l` given the value of its variable.
+constexpr LBool lit_value(LBool var_value, Lit l) {
+  if (var_value == LBool::Undef) return LBool::Undef;
+  bool v = (var_value == LBool::True);
+  return lbool_of(v != sign(l));
+}
+
+/// A clause is a disjunction of literals.
+using Clause = std::vector<Lit>;
+
+}  // namespace rsnsec::sat

@@ -1,0 +1,482 @@
+#include "sat/solver.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace rsnsec::sat {
+
+std::uint64_t luby(std::uint64_t i) {
+  // Find the finite subsequence that contains index i, then index into it.
+  std::uint64_t size = 1;
+  std::uint64_t seq = 0;
+  while (size < i + 1) {
+    ++seq;
+    size = 2 * size + 1;
+  }
+  while (size - 1 != i) {
+    size = (size - 1) / 2;
+    --seq;
+    i = i % size;
+  }
+  return 1ULL << seq;
+}
+
+Solver::Solver() = default;
+
+Var Solver::new_var() {
+  auto v = static_cast<Var>(assigns_.size());
+  assigns_.push_back(LBool::Undef);
+  phase_.push_back(false);
+  var_data_.push_back({});
+  activity_.push_back(0.0);
+  heap_pos_.push_back(-1);
+  seen_.push_back(false);
+  watches_.emplace_back();
+  watches_.emplace_back();
+  model_.push_back(false);
+  heap_insert(v);
+  return v;
+}
+
+Solver::CRef Solver::alloc_clause(const Clause& lits, bool learnt) {
+  auto c = static_cast<CRef>(arena_.size());
+  arena_.push_back((static_cast<std::uint32_t>(lits.size()) << 2) |
+                   (learnt ? 2u : 0u));
+  if (learnt) arena_.push_back(0);  // activity slot
+  for (Lit l : lits) arena_.push_back(static_cast<std::uint32_t>(l.x));
+  if (learnt) {
+    clause_activity(c) = 0.0f;
+    learnts_.push_back(c);
+    ++stats_.learned_clauses;
+  }
+  return c;
+}
+
+void Solver::attach_clause(CRef c) {
+  Lit* lits = clause_lits(c);
+  assert(clause_size(c) >= 2);
+  watches_[static_cast<std::size_t>((~lits[0]).x)].push_back(
+      {c, lits[1]});
+  watches_[static_cast<std::size_t>((~lits[1]).x)].push_back(
+      {c, lits[0]});
+}
+
+bool Solver::add_clause(Clause lits) {
+  assert(decision_level() == 0);
+  if (!ok_) return false;
+
+  // Normalize: sort, drop duplicates and level-0-false literals, detect
+  // tautologies and level-0-true literals.
+  std::sort(lits.begin(), lits.end(),
+            [](Lit a, Lit b) { return a.x < b.x; });
+  Clause out;
+  Lit prev = lit_undef;
+  for (Lit l : lits) {
+    if (value(l) == LBool::True || (prev != lit_undef && l == ~prev))
+      return true;  // satisfied or tautological
+    if (value(l) == LBool::False || l == prev) continue;
+    out.push_back(l);
+    prev = l;
+  }
+
+  if (out.empty()) {
+    ok_ = false;
+    return false;
+  }
+  if (out.size() == 1) {
+    enqueue(out[0], cref_undef);
+    ok_ = (propagate() == cref_undef);
+    return ok_;
+  }
+  attach_clause(alloc_clause(out, /*learnt=*/false));
+  return true;
+}
+
+void Solver::enqueue(Lit l, CRef reason) {
+  auto v = static_cast<std::size_t>(var(l));
+  assert(assigns_[v] == LBool::Undef);
+  assigns_[v] = lbool_of(!sign(l));
+  var_data_[v] = {reason, decision_level()};
+  trail_.push_back(l);
+}
+
+Solver::CRef Solver::propagate() {
+  CRef confl = cref_undef;
+  while (qhead_ < trail_.size()) {
+    Lit p = trail_[qhead_++];
+    ++stats_.propagations;
+    auto& ws = watches_[static_cast<std::size_t>(p.x)];
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < ws.size(); ++i) {
+      Watcher w = ws[i];
+      // Fast path: the blocker literal is already true.
+      if (value(w.blocker) == LBool::True) {
+        ws[keep++] = w;
+        continue;
+      }
+      CRef c = w.cref;
+      Lit* lits = clause_lits(c);
+      std::uint32_t size = clause_size(c);
+      Lit false_lit = ~p;
+      // Ensure the false watched literal is at position 1.
+      if (lits[0] == false_lit) std::swap(lits[0], lits[1]);
+      assert(lits[1] == false_lit);
+
+      if (value(lits[0]) == LBool::True) {
+        ws[keep++] = {c, lits[0]};
+        continue;
+      }
+      // Look for a new literal to watch.
+      bool moved = false;
+      for (std::uint32_t k = 2; k < size; ++k) {
+        if (value(lits[k]) != LBool::False) {
+          std::swap(lits[1], lits[k]);
+          watches_[static_cast<std::size_t>((~lits[1]).x)].push_back(
+              {c, lits[0]});
+          moved = true;
+          break;
+        }
+      }
+      if (moved) continue;
+
+      // Clause is unit or conflicting.
+      ws[keep++] = {c, lits[0]};
+      if (value(lits[0]) == LBool::False) {
+        confl = c;
+        qhead_ = trail_.size();
+        // Copy remaining watchers.
+        for (std::size_t j = i + 1; j < ws.size(); ++j) ws[keep++] = ws[j];
+        break;
+      }
+      enqueue(lits[0], c);
+    }
+    ws.resize(keep);
+    if (confl != cref_undef) break;
+  }
+  return confl;
+}
+
+void Solver::cancel_until(std::int32_t lvl) {
+  if (decision_level() <= lvl) return;
+  std::size_t bound = trail_lim_[static_cast<std::size_t>(lvl)];
+  for (std::size_t i = trail_.size(); i-- > bound;) {
+    auto v = static_cast<std::size_t>(var(trail_[i]));
+    phase_[v] = (assigns_[v] == LBool::True);
+    assigns_[v] = LBool::Undef;
+    if (heap_pos_[v] < 0) heap_insert(static_cast<Var>(v));
+  }
+  trail_.resize(bound);
+  trail_lim_.resize(static_cast<std::size_t>(lvl));
+  qhead_ = trail_.size();
+}
+
+bool Solver::lit_redundant(Lit l, std::uint32_t abstract_levels) {
+  // A literal is redundant in the learnt clause if it is implied by other
+  // clause literals (standard recursive minimization with an explicit
+  // stack; `seen_` marks clause literals and proven-redundant ones).
+  analyze_stack_.clear();
+  analyze_stack_.push_back(l);
+  std::size_t top = 0;
+  std::vector<Var> to_unmark;
+  while (top < analyze_stack_.size()) {
+    Lit q = analyze_stack_[top++];
+    CRef reason = var_data_[static_cast<std::size_t>(var(q))].reason;
+    if (reason == cref_undef) {
+      for (Var v : to_unmark) seen_[static_cast<std::size_t>(v)] = false;
+      return false;
+    }
+    const Lit* lits = clause_lits(reason);
+    std::uint32_t size = clause_size(reason);
+    for (std::uint32_t k = 0; k < size; ++k) {
+      Lit r = lits[k];
+      if (r == q || r == ~q) continue;
+      Var v = var(r);
+      if (seen_[static_cast<std::size_t>(v)] || level(v) == 0) continue;
+      std::uint32_t lv_abs = 1u << (level(v) & 31);
+      if ((lv_abs & abstract_levels) == 0) {
+        for (Var u : to_unmark) seen_[static_cast<std::size_t>(u)] = false;
+        return false;
+      }
+      seen_[static_cast<std::size_t>(v)] = true;
+      to_unmark.push_back(v);
+      analyze_stack_.push_back(r);
+    }
+  }
+  return true;
+}
+
+void Solver::analyze(CRef confl, Clause& out_learnt,
+                     std::int32_t& out_btlevel) {
+  // First-UIP conflict analysis.
+  out_learnt.clear();
+  out_learnt.push_back(lit_undef);  // placeholder for the asserting literal
+  std::int32_t path_count = 0;
+  Lit p = lit_undef;
+  std::size_t index = trail_.size();
+
+  do {
+    assert(confl != cref_undef);
+    if (clause_learnt(confl)) cla_bump(confl);
+    const Lit* lits = clause_lits(confl);
+    std::uint32_t size = clause_size(confl);
+    for (std::uint32_t k = (p == lit_undef ? 0u : 1u); k < size; ++k) {
+      // For reason clauses, lits[0] is the implied literal (== p).
+      Lit q = lits[k];
+      if (p != lit_undef && q == p) continue;
+      Var v = var(q);
+      if (seen_[static_cast<std::size_t>(v)] || level(v) == 0) continue;
+      seen_[static_cast<std::size_t>(v)] = true;
+      var_bump(v);
+      if (level(v) >= decision_level()) {
+        ++path_count;
+      } else {
+        out_learnt.push_back(q);
+      }
+    }
+    // Select the next literal on the trail to resolve on.
+    while (!seen_[static_cast<std::size_t>(var(trail_[index - 1]))]) --index;
+    p = trail_[--index];
+    confl = var_data_[static_cast<std::size_t>(var(p))].reason;
+    seen_[static_cast<std::size_t>(var(p))] = false;
+    --path_count;
+  } while (path_count > 0);
+  out_learnt[0] = ~p;
+
+  // Minimize: remove redundant literals.
+  std::uint32_t abstract_levels = 0;
+  for (std::size_t i = 1; i < out_learnt.size(); ++i)
+    abstract_levels |= 1u << (level(var(out_learnt[i])) & 31);
+  std::size_t keep = 1;
+  for (std::size_t i = 1; i < out_learnt.size(); ++i) {
+    Lit l = out_learnt[i];
+    if (var_data_[static_cast<std::size_t>(var(l))].reason == cref_undef ||
+        !lit_redundant(l, abstract_levels)) {
+      out_learnt[keep++] = l;
+    }
+  }
+  out_learnt.resize(keep);
+
+  // Compute the backtrack level and put a literal of that level at index 1.
+  if (out_learnt.size() == 1) {
+    out_btlevel = 0;
+  } else {
+    std::size_t max_i = 1;
+    for (std::size_t i = 2; i < out_learnt.size(); ++i) {
+      if (level(var(out_learnt[i])) > level(var(out_learnt[max_i])))
+        max_i = i;
+    }
+    std::swap(out_learnt[1], out_learnt[max_i]);
+    out_btlevel = level(var(out_learnt[1]));
+  }
+
+  for (Lit l : out_learnt) seen_[static_cast<std::size_t>(var(l))] = false;
+}
+
+void Solver::var_bump(Var v) {
+  auto i = static_cast<std::size_t>(v);
+  activity_[i] += var_inc_;
+  if (activity_[i] > 1e100) rescale_var_activity();
+  if (heap_pos_[i] >= 0) heap_sift_up(static_cast<std::size_t>(heap_pos_[i]));
+}
+
+void Solver::rescale_var_activity() {
+  for (double& a : activity_) a *= 1e-100;
+  var_inc_ *= 1e-100;
+}
+
+void Solver::cla_bump(CRef c) {
+  float& act = clause_activity(c);
+  act += static_cast<float>(cla_inc_);
+  if (act > 1e20f) {
+    for (CRef lc : learnts_) clause_activity(lc) *= 1e-20f;
+    cla_inc_ *= 1e-20;
+  }
+}
+
+void Solver::heap_insert(Var v) {
+  heap_pos_[static_cast<std::size_t>(v)] =
+      static_cast<std::int32_t>(heap_.size());
+  heap_.push_back(v);
+  heap_sift_up(heap_.size() - 1);
+}
+
+void Solver::heap_sift_up(std::size_t i) {
+  Var v = heap_[i];
+  double act = activity_[static_cast<std::size_t>(v)];
+  while (i > 0) {
+    std::size_t parent = (i - 1) / 2;
+    if (activity_[static_cast<std::size_t>(heap_[parent])] >= act) break;
+    heap_[i] = heap_[parent];
+    heap_pos_[static_cast<std::size_t>(heap_[i])] =
+        static_cast<std::int32_t>(i);
+    i = parent;
+  }
+  heap_[i] = v;
+  heap_pos_[static_cast<std::size_t>(v)] = static_cast<std::int32_t>(i);
+}
+
+void Solver::heap_sift_down(std::size_t i) {
+  Var v = heap_[i];
+  double act = activity_[static_cast<std::size_t>(v)];
+  for (;;) {
+    std::size_t child = 2 * i + 1;
+    if (child >= heap_.size()) break;
+    if (child + 1 < heap_.size() &&
+        activity_[static_cast<std::size_t>(heap_[child + 1])] >
+            activity_[static_cast<std::size_t>(heap_[child])])
+      ++child;
+    if (activity_[static_cast<std::size_t>(heap_[child])] <= act) break;
+    heap_[i] = heap_[child];
+    heap_pos_[static_cast<std::size_t>(heap_[i])] =
+        static_cast<std::int32_t>(i);
+    i = child;
+  }
+  heap_[i] = v;
+  heap_pos_[static_cast<std::size_t>(v)] = static_cast<std::int32_t>(i);
+}
+
+Var Solver::heap_pop() {
+  Var v = heap_[0];
+  heap_pos_[static_cast<std::size_t>(v)] = -1;
+  heap_[0] = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    heap_pos_[static_cast<std::size_t>(heap_[0])] = 0;
+    heap_sift_down(0);
+  }
+  return v;
+}
+
+Lit Solver::pick_branch_lit() {
+  while (!heap_empty()) {
+    Var v = heap_pop();
+    if (value(v) == LBool::Undef) {
+      return mk_lit(v, !phase_[static_cast<std::size_t>(v)]);
+    }
+  }
+  return lit_undef;
+}
+
+void Solver::reduce_db() {
+  // Remove the least active half of the learnt clauses, keeping clauses
+  // that are currently a propagation reason.
+  std::sort(learnts_.begin(), learnts_.end(), [this](CRef a, CRef b) {
+    return clause_activity(a) < clause_activity(b);
+  });
+  std::size_t removed = 0;
+  std::size_t half = learnts_.size() / 2;
+  std::vector<CRef> kept;
+  kept.reserve(learnts_.size());
+  for (std::size_t i = 0; i < learnts_.size(); ++i) {
+    CRef c = learnts_[i];
+    Lit first = clause_lits(c)[0];
+    bool locked =
+        value(first) == LBool::True &&
+        var_data_[static_cast<std::size_t>(var(first))].reason == c;
+    if (removed < half && !locked && clause_size(c) > 2) {
+      // Detach from both watch lists, then mark deleted.
+      for (int w = 0; w < 2; ++w) {
+        Lit watched = clause_lits(c)[w];
+        auto& ws = watches_[static_cast<std::size_t>((~watched).x)];
+        for (std::size_t k = 0; k < ws.size(); ++k) {
+          if (ws[k].cref == c) {
+            ws[k] = ws.back();
+            ws.pop_back();
+            break;
+          }
+        }
+      }
+      mark_deleted(c);
+      ++removed;
+    } else {
+      kept.push_back(c);
+    }
+  }
+  learnts_ = std::move(kept);
+}
+
+Result Solver::search(std::uint64_t conflicts_budget,
+                      const std::vector<Lit>& assumptions) {
+  std::uint64_t conflicts_here = 0;
+  Clause learnt;
+  for (;;) {
+    CRef confl = propagate();
+    if (confl != cref_undef) {
+      ++stats_.conflicts;
+      ++conflicts_here;
+      if (decision_level() == 0) {
+        ok_ = false;
+        return Result::Unsat;
+      }
+      std::int32_t bt = 0;
+      analyze(confl, learnt, bt);
+      cancel_until(bt);
+      if (learnt.size() == 1) {
+        enqueue(learnt[0], cref_undef);
+      } else {
+        CRef c = alloc_clause(learnt, /*learnt=*/true);
+        attach_clause(c);
+        cla_bump(c);
+        enqueue(learnt[0], c);
+      }
+      var_decay();
+      cla_decay();
+      if (conflict_limit_ != 0 && stats_.conflicts >= conflict_limit_)
+        return Result::Unknown;
+      if (conflicts_here >= conflicts_budget) {
+        cancel_until(0);
+        return Result::Unknown;  // restart
+      }
+      if (learnts_.size() > 4000 + 8 * num_vars()) reduce_db();
+    } else {
+      // Re-establish assumptions, then decide.
+      Lit next = lit_undef;
+      while (static_cast<std::size_t>(decision_level()) <
+             assumptions.size()) {
+        Lit a = assumptions[static_cast<std::size_t>(decision_level())];
+        if (value(a) == LBool::True) {
+          new_decision_level();  // already implied; dummy level
+        } else if (value(a) == LBool::False) {
+          return Result::Unsat;  // conflicts with the formula
+        } else {
+          next = a;
+          break;
+        }
+      }
+      if (next == lit_undef) {
+        next = pick_branch_lit();
+        if (next == lit_undef) {
+          // All variables assigned: model found.
+          for (std::size_t v = 0; v < assigns_.size(); ++v)
+            model_[v] = (assigns_[v] == LBool::True);
+          return Result::Sat;
+        }
+        ++stats_.decisions;
+      }
+      new_decision_level();
+      enqueue(next, cref_undef);
+    }
+  }
+}
+
+Result Solver::solve(const std::vector<Lit>& assumptions) {
+  if (!ok_) return Result::Unsat;
+  cancel_until(0);
+  std::uint64_t restart = 0;
+  for (;;) {
+    Result r = search(luby(restart) * 100, assumptions);
+    if (r != Result::Unknown) {
+      cancel_until(0);
+      return r;
+    }
+    if (conflict_limit_ != 0 && stats_.conflicts >= conflict_limit_) {
+      cancel_until(0);
+      return Result::Unknown;
+    }
+    ++restart;
+    ++stats_.restarts;
+  }
+}
+
+}  // namespace rsnsec::sat

@@ -1,0 +1,164 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sat/literal.hpp"
+
+namespace rsnsec::sat {
+
+/// Outcome of a solve() call.
+enum class Result : std::uint8_t { Sat, Unsat, Unknown };
+
+/// Aggregate solver statistics, exposed for the micro-benchmarks.
+struct SolverStats {
+  std::uint64_t conflicts = 0;
+  std::uint64_t decisions = 0;
+  std::uint64_t propagations = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t learned_clauses = 0;
+};
+
+/// Conflict-driven clause-learning (CDCL) SAT solver.
+///
+/// Implements the standard architecture: two-watched-literal propagation,
+/// first-UIP conflict analysis with clause minimization, VSIDS-style
+/// activity-ordered decisions, phase saving, Luby-sequence restarts and
+/// activity-based learned-clause database reduction. Supports solving under
+/// assumptions, which the dependency engine (src/dep) uses to reuse one CNF
+/// encoding of a flip-flop's input cone across all candidate source
+/// flip-flops (Sec. III-A; method of [18]).
+class Solver {
+ public:
+  Solver();
+
+  /// Creates a fresh unassigned variable and returns its index.
+  Var new_var();
+
+  /// Number of variables created so far.
+  std::size_t num_vars() const { return assigns_.size(); }
+
+  /// Adds a clause. Returns false if the formula became trivially
+  /// unsatisfiable (empty clause or conflicting units at level 0).
+  bool add_clause(Clause lits);
+
+  /// Convenience overloads for short clauses.
+  bool add_clause(Lit a) { return add_clause(Clause{a}); }
+  bool add_clause(Lit a, Lit b) { return add_clause(Clause{a, b}); }
+  bool add_clause(Lit a, Lit b, Lit c) { return add_clause(Clause{a, b, c}); }
+
+  /// Solves the formula under the given assumptions.
+  Result solve(const std::vector<Lit>& assumptions = {});
+
+  /// Model value of variable `v`; valid only after solve() returned Sat.
+  bool model_value(Var v) const { return model_[static_cast<std::size_t>(v)]; }
+
+  /// Model value of a literal; valid only after solve() returned Sat.
+  bool model_value(Lit l) const { return model_value(var(l)) != sign(l); }
+
+  /// Limits the number of conflicts per solve() call (0 = unlimited);
+  /// exceeding the limit makes solve() return Unknown.
+  void set_conflict_limit(std::uint64_t limit) { conflict_limit_ = limit; }
+
+  /// Cumulative statistics across all solve() calls.
+  const SolverStats& stats() const { return stats_; }
+
+ private:
+  using CRef = std::uint32_t;
+  static constexpr CRef cref_undef = 0xffffffffu;
+
+  struct Watcher {
+    CRef cref;
+    Lit blocker;
+  };
+
+  struct VarData {
+    CRef reason = cref_undef;
+    std::int32_t level = 0;
+  };
+
+  // Clause arena: header word (size << 2 | learnt << 1 | deleted), float
+  // activity word for learnt clauses, then literals.
+  std::vector<std::uint32_t> arena_;
+  std::vector<CRef> learnts_;
+
+  std::vector<LBool> assigns_;
+  std::vector<bool> phase_;
+  std::vector<VarData> var_data_;
+  std::vector<std::vector<Watcher>> watches_;  // indexed by literal code
+  std::vector<Lit> trail_;
+  std::vector<std::size_t> trail_lim_;
+  std::size_t qhead_ = 0;
+
+  std::vector<double> activity_;
+  double var_inc_ = 1.0;
+  std::vector<Var> heap_;          // binary max-heap on activity
+  std::vector<std::int32_t> heap_pos_;  // -1 when not in heap
+
+  double cla_inc_ = 1.0;
+  std::vector<bool> seen_;
+  std::vector<Lit> analyze_stack_;
+
+  std::vector<bool> model_;
+  bool ok_ = true;
+  std::uint64_t conflict_limit_ = 0;
+  SolverStats stats_;
+
+  // --- clause arena helpers ---
+  CRef alloc_clause(const Clause& lits, bool learnt);
+  std::uint32_t clause_size(CRef c) const { return arena_[c] >> 2; }
+  bool clause_learnt(CRef c) const { return (arena_[c] & 2) != 0; }
+  bool clause_deleted(CRef c) const { return (arena_[c] & 1) != 0; }
+  void mark_deleted(CRef c) { arena_[c] |= 1; }
+  Lit* clause_lits(CRef c) {
+    return reinterpret_cast<Lit*>(&arena_[c + (clause_learnt(c) ? 2 : 1)]);
+  }
+  const Lit* clause_lits(CRef c) const {
+    return reinterpret_cast<const Lit*>(
+        &arena_[c + (clause_learnt(c) ? 2 : 1)]);
+  }
+  float& clause_activity(CRef c) {
+    return *reinterpret_cast<float*>(&arena_[c + 1]);
+  }
+
+  // --- core CDCL ---
+  LBool value(Lit l) const {
+    return lit_value(assigns_[static_cast<std::size_t>(var(l))], l);
+  }
+  LBool value(Var v) const { return assigns_[static_cast<std::size_t>(v)]; }
+  std::int32_t level(Var v) const {
+    return var_data_[static_cast<std::size_t>(v)].level;
+  }
+  std::int32_t decision_level() const {
+    return static_cast<std::int32_t>(trail_lim_.size());
+  }
+
+  void attach_clause(CRef c);
+  void enqueue(Lit l, CRef reason);
+  CRef propagate();
+  void new_decision_level() { trail_lim_.push_back(trail_.size()); }
+  void cancel_until(std::int32_t lvl);
+  void analyze(CRef confl, Clause& out_learnt, std::int32_t& out_btlevel);
+  bool lit_redundant(Lit l, std::uint32_t abstract_levels);
+  Lit pick_branch_lit();
+  Result search(std::uint64_t conflicts_budget,
+                const std::vector<Lit>& assumptions);
+  void reduce_db();
+
+  // --- VSIDS heap ---
+  void var_bump(Var v);
+  void var_decay() { var_inc_ *= (1.0 / 0.95); }
+  void cla_bump(CRef c);
+  void cla_decay() { cla_inc_ *= (1.0 / 0.999); }
+  void heap_insert(Var v);
+  void heap_sift_up(std::size_t i);
+  void heap_sift_down(std::size_t i);
+  Var heap_pop();
+  bool heap_empty() const { return heap_.empty(); }
+  void rescale_var_activity();
+};
+
+/// Luby restart sequence value for index i (1, 1, 2, 1, 1, 2, 4, ...).
+std::uint64_t luby(std::uint64_t i);
+
+}  // namespace rsnsec::sat

@@ -1,0 +1,84 @@
+#include "security/filter.hpp"
+
+#include <set>
+#include <tuple>
+
+namespace rsnsec::security {
+
+using rsn::ElemId;
+using rsn::ElemKind;
+
+bool AccessFilterBaseline::has_clean_path(ElemId target) const {
+  if (net_.elem(target).kind != ElemKind::Register) return false;
+
+  // Forward adjacency.
+  std::vector<std::vector<ElemId>> fanout(net_.num_elements());
+  for (ElemId id = 0; id < net_.num_elements(); ++id) {
+    for (ElemId in : net_.elem(id).inputs)
+      if (in != rsn::no_elem) fanout[in].push_back(id);
+  }
+
+  // DFS over (element, accumulated tokens, passed-target) states. The
+  // token set grows monotonically along a path, so memoizing visited
+  // states is sound; the state space is bounded by
+  // elements x 2^(active tokens) x 2 and additionally by node_budget_.
+  std::set<std::tuple<ElemId, bool, std::vector<std::uint64_t>>> seen;
+  auto key = [](ElemId e, bool passed, const TokenSet& t) {
+    std::vector<std::uint64_t> words(TokenSet::capacity / 64);
+    for (std::size_t i = 0; i < TokenSet::capacity; ++i)
+      if (t.test(i)) words[i >> 6] |= 1ULL << (i & 63);
+    return std::make_tuple(e, passed, std::move(words));
+  };
+
+  struct Frame {
+    ElemId elem;
+    TokenSet tokens;
+    bool passed;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({net_.scan_in(), {}, false});
+  std::size_t visited = 0;
+
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    if (++visited > node_budget_) {
+      truncated_ = true;
+      return false;  // conservative: treat as inaccessible
+    }
+    if (!seen.insert(key(f.elem, f.passed, f.tokens)).second) continue;
+
+    const rsn::Element& e = net_.elem(f.elem);
+    if (e.kind == ElemKind::Register) {
+      // Entering this register: the accumulated upstream data shifts
+      // through it; violation if any incoming token rejects its trust.
+      TrustCategory t = spec_.policy(e.module).trust;
+      if (f.tokens.intersects(tokens_.bad(t))) continue;  // filtered
+      int tok = tokens_.token_of(e.module);
+      if (tok >= 0) f.tokens.set(static_cast<std::size_t>(tok));
+      if (f.elem == target) f.passed = true;
+    }
+    if (e.kind == ElemKind::ScanOut) {
+      if (f.passed) return true;
+      continue;
+    }
+    for (ElemId s : fanout[f.elem]) stack.push_back({s, f.tokens, f.passed});
+  }
+  return false;
+}
+
+FilterReport AccessFilterBaseline::analyze() const {
+  FilterReport report;
+  truncated_ = false;
+  for (ElemId r : net_.registers()) {
+    if (has_clean_path(r)) {
+      report.accessible.push_back(r);
+    } else {
+      report.inaccessible.push_back(r);
+    }
+  }
+  report.search_truncated = truncated_;
+  return report;
+}
+
+}  // namespace rsnsec::security

@@ -1,0 +1,401 @@
+#include "security/hybrid.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace rsnsec::security {
+
+using rsn::ElemId;
+using rsn::ElemKind;
+using rsn::Rsn;
+
+HybridAnalyzer::HybridAnalyzer(const netlist::Netlist& nl,
+                               const Rsn& layout_network,
+                               const dep::DependencyAnalyzer& deps,
+                               const SecuritySpec& spec,
+                               const TokenTable& tokens)
+    : nl_(nl), deps_(deps), spec_(spec), tokens_(tokens) {
+  build_nodes(layout_network);
+  build_static_edges(layout_network);
+}
+
+std::size_t HybridAnalyzer::scan_node(ElemId reg, std::size_t ff) const {
+  return scan_base_[static_cast<std::size_t>(reg)] + ff;
+}
+
+std::size_t HybridAnalyzer::circuit_node(netlist::NodeId ff) const {
+  return circuit_base_ + deps_.circuit_index(ff);
+}
+
+std::string HybridAnalyzer::node_name(std::size_t node) const {
+  if (node < circuit_base_) {
+    return "scan:" + std::to_string(node_reg_[node]) + "[" +
+           std::to_string(node_ff_[node]) + "]";
+  }
+  netlist::NodeId ff = deps_.circuit_ff(node - circuit_base_);
+  const std::string& n = nl_.node(ff).name;
+  return "ff:" + (n.empty() ? std::to_string(ff) : n);
+}
+
+void HybridAnalyzer::build_nodes(const Rsn& layout) {
+  scan_base_.assign(layout.num_elements(), 0);
+  std::size_t next = 0;
+  for (ElemId r : layout.registers()) {
+    scan_base_[r] = next;
+    const rsn::Element& e = layout.elem(r);
+    for (std::size_t f = 0; f < e.ffs.size(); ++f) {
+      node_reg_.push_back(r);
+      node_ff_.push_back(f);
+      owner_module_.push_back(e.module);
+      ++next;
+    }
+  }
+  circuit_base_ = next;
+  for (std::size_t i = 0; i < deps_.num_circuit_ffs(); ++i) {
+    owner_module_.push_back(nl_.node(deps_.circuit_ff(i)).module);
+  }
+
+  seed_token_.assign(owner_module_.size(), -1);
+  for (std::size_t n = 0; n < owner_module_.size(); ++n) {
+    // Internal circuit flip-flops are transit-only: they were bridged out
+    // of the relation and contribute no tokens (Sec. III-A.2).
+    if (n >= circuit_base_ && deps_.is_internal(n - circuit_base_)) continue;
+    seed_token_[n] = tokens_.token_of(owner_module_[n]);
+  }
+}
+
+void HybridAnalyzer::build_static_edges(const Rsn& layout) {
+  static_succ_.assign(owner_module_.size(), {});
+  circuit_succ_.assign(owner_module_.size(), {});
+
+  for (ElemId r : layout.registers()) {
+    const rsn::Element& e = layout.elem(r);
+    for (std::size_t f = 0; f < e.ffs.size(); ++f) {
+      std::size_t node = scan_node(r, f);
+      // Shift order inside the register: data only moves toward scan-out
+      // (SF5 -> SF6, never SF6 -> SF5; Sec. III-C).
+      if (f + 1 < e.ffs.size())
+        static_succ_[node].push_back(scan_node(r, f + 1));
+      // Capture-cone dependencies (path-dependent only: tokens cannot
+      // ride only-structural connections).
+      for (const dep::CaptureDep& d : deps_.capture_deps(r, f)) {
+        if (d.kind == DepKind::Path)
+          static_succ_[circuit_node(d.circuit_ff)].push_back(node);
+      }
+      // Update connection into the circuit.
+      if (e.ffs[f].update_dst != netlist::no_node)
+        static_succ_[node].push_back(circuit_node(e.ffs[f].update_dst));
+    }
+  }
+
+  // Multi-cycle circuit closure: one edge per path-dependent pair. The
+  // closure is transitively closed, so a single hop covers any number of
+  // functional clock cycles.
+  const DepMatrix& closure = deps_.circuit_closure();
+  for (std::size_t i = 0; i < deps_.num_circuit_ffs(); ++i) {
+    if (deps_.is_internal(i)) continue;
+    for (std::size_t j : closure.successors(i)) {
+      if (closure.get(i, j) == DepKind::Path && i != j)
+        circuit_succ_[circuit_base_ + i].push_back(circuit_base_ + j);
+    }
+  }
+}
+
+std::vector<HybridAnalyzer::RsnEdge> HybridAnalyzer::build_rsn_edges(
+    const Rsn& network) const {
+  // For every register, find the registers reachable through mux-only
+  // element chains, recording the concrete connections of each chain
+  // (cut candidates for the resolution step).
+  std::vector<RsnEdge> edges;
+  std::vector<std::vector<std::pair<ElemId, std::size_t>>> fanout(
+      network.num_elements());
+  for (ElemId id = 0; id < network.num_elements(); ++id) {
+    const rsn::Element& e = network.elem(id);
+    for (std::size_t p = 0; p < e.inputs.size(); ++p)
+      if (e.inputs[p] != rsn::no_elem)
+        fanout[e.inputs[p]].push_back({id, p});
+  }
+  constexpr std::size_t max_chains_per_register = 256;
+  for (ElemId r : network.registers()) {
+    std::size_t emitted = 0;
+    // DFS over (element, chain-so-far); chains are short in practice.
+    std::vector<std::pair<ElemId, std::vector<Connection>>> stack;
+    stack.push_back({r, {}});
+    while (!stack.empty() && emitted < max_chains_per_register) {
+      auto [cur, chain] = std::move(stack.back());
+      stack.pop_back();
+      for (auto [to, port] : fanout[cur]) {
+        std::vector<Connection> next_chain = chain;
+        next_chain.push_back({cur, to, port});
+        const rsn::Element& te = network.elem(to);
+        if (te.kind == ElemKind::Register) {
+          edges.push_back({r, to, std::move(next_chain)});
+          ++emitted;
+        } else if (te.kind == ElemKind::Mux) {
+          stack.push_back({to, std::move(next_chain)});
+        }
+        // Scan-out: data leaves the chip; no further segment is reached.
+      }
+    }
+  }
+  return edges;
+}
+
+std::vector<TokenSet> HybridAnalyzer::run_worklist(
+    const std::vector<std::vector<std::size_t>>& extra_succ,
+    bool circuit_only) const {
+  std::vector<TokenSet> state(owner_module_.size());
+  std::vector<std::size_t> worklist;
+  std::vector<bool> queued(owner_module_.size(), false);
+  for (std::size_t n = 0; n < owner_module_.size(); ++n) {
+    if (circuit_only && n < circuit_base_) continue;
+    if (seed_token_[n] >= 0) {
+      state[n].set(static_cast<std::size_t>(seed_token_[n]));
+      worklist.push_back(n);
+      queued[n] = true;
+    }
+  }
+  auto relax = [&](std::size_t from, std::size_t to) {
+    if (state[to].merge(state[from]) && !queued[to]) {
+      queued[to] = true;
+      worklist.push_back(to);
+    }
+  };
+  while (!worklist.empty()) {
+    std::size_t n = worklist.back();
+    worklist.pop_back();
+    queued[n] = false;
+    if (!circuit_only) {
+      for (std::size_t s : static_succ_[n]) relax(n, s);
+      if (n < extra_succ.size()) {
+        for (std::size_t s : extra_succ[n]) relax(n, s);
+      }
+    }
+    for (std::size_t s : circuit_succ_[n]) relax(n, s);
+  }
+  return state;
+}
+
+std::vector<TokenSet> HybridAnalyzer::propagate(const Rsn* network,
+                                                bool circuit_only) const {
+  std::vector<std::vector<std::size_t>> extra;
+  if (network != nullptr && !circuit_only) {
+    extra.assign(owner_module_.size(), {});
+    for (const RsnEdge& e : build_rsn_edges(*network)) {
+      std::size_t from =
+          scan_node(e.from_reg, network->elem(e.from_reg).ffs.size() - 1);
+      std::size_t to = scan_node(e.to_reg, 0);
+      extra[from].push_back(to);
+    }
+  }
+  return run_worklist(extra, circuit_only);
+}
+
+std::size_t HybridAnalyzer::violating_pairs(
+    const std::vector<TokenSet>& state) const {
+  std::size_t count = 0;
+  for (std::size_t n = 0; n < state.size(); ++n) {
+    if (owner_module_[n] < 0) continue;  // unannotated: transit only
+    TrustCategory t = spec_.policy(owner_module_[n]).trust;
+    const TokenSet& bad = tokens_.bad(t);
+    for (std::size_t k = 0; k < tokens_.num_tokens(); ++k)
+      if (state[n].test(k) && bad.test(k)) ++count;
+  }
+  return count;
+}
+
+StaticReport HybridAnalyzer::check_static() const {
+  StaticReport report;
+  std::vector<TokenSet> circ = propagate(nullptr, /*circuit_only=*/true);
+  std::vector<TokenSet> stat = propagate(nullptr, /*circuit_only=*/false);
+  for (std::size_t n = 0; n < stat.size(); ++n) {
+    if (owner_module_[n] < 0) continue;
+    TrustCategory t = spec_.policy(owner_module_[n]).trust;
+    const TokenSet& bad = tokens_.bad(t);
+    for (std::size_t k = 0; k < tokens_.num_tokens(); ++k) {
+      bool in_circ = circ[n].test(k) && bad.test(k);
+      bool in_stat = stat[n].test(k) && bad.test(k);
+      if (in_circ) {
+        report.insecure_logic = true;
+        report.details.push_back("insecure circuit logic: token " +
+                                 std::to_string(k) + " reaches " +
+                                 node_name(n));
+      } else if (in_stat) {
+        report.intra_segment = true;
+        report.details.push_back("intra-segment flow: token " +
+                                 std::to_string(k) + " reaches " +
+                                 node_name(n));
+      }
+    }
+  }
+  return report;
+}
+
+std::size_t HybridAnalyzer::count_violating_pairs(const Rsn& network) const {
+  return violating_pairs(propagate(&network));
+}
+
+std::size_t HybridAnalyzer::count_violating_registers(
+    const Rsn& network) const {
+  std::vector<TokenSet> state = propagate(&network);
+  std::size_t count = 0;
+  for (ElemId r : network.registers()) {
+    const rsn::Element& e = network.elem(r);
+    if (e.module < 0) continue;
+    TrustCategory t = spec_.policy(e.module).trust;
+    const TokenSet& bad = tokens_.bad(t);
+    for (std::size_t f = 0; f < e.ffs.size(); ++f) {
+      if (state[scan_node(r, f)].intersects(bad)) {
+        ++count;
+        break;
+      }
+    }
+  }
+  return count;
+}
+
+std::optional<HybridAnalyzer::Violation> HybridAnalyzer::find_violation(
+    const Rsn& network) const {
+  std::vector<RsnEdge> rsn_edges = build_rsn_edges(network);
+
+  // Forward adjacency with provenance (-1 = static/circuit edge, else
+  // index into rsn_edges), for path tracing.
+  struct Pred {
+    std::size_t node;
+    int rsn_edge;
+  };
+  std::vector<std::vector<Pred>> preds(owner_module_.size());
+  for (std::size_t n = 0; n < owner_module_.size(); ++n) {
+    for (std::size_t s : static_succ_[n]) preds[s].push_back({n, -1});
+    for (std::size_t s : circuit_succ_[n]) preds[s].push_back({n, -1});
+  }
+  std::vector<std::vector<std::size_t>> extra(owner_module_.size());
+  for (std::size_t ei = 0; ei < rsn_edges.size(); ++ei) {
+    const RsnEdge& e = rsn_edges[ei];
+    std::size_t from =
+        scan_node(e.from_reg, network.elem(e.from_reg).ffs.size() - 1);
+    std::size_t to = scan_node(e.to_reg, 0);
+    extra[from].push_back(to);
+    preds[to].push_back({from, static_cast<int>(ei)});
+  }
+
+  std::vector<TokenSet> state = run_worklist(extra, false);
+  for (std::size_t victim = 0; victim < state.size(); ++victim) {
+    if (owner_module_[victim] < 0) continue;
+    TrustCategory t = spec_.policy(owner_module_[victim]).trust;
+    int tok = state[victim].first_common(tokens_.bad(t));
+    if (tok < 0) continue;
+
+    // Backward BFS to a seed of the token, over predecessors carrying it.
+    std::vector<int> parent_edge(owner_module_.size(), -2);
+    std::vector<std::size_t> parent(owner_module_.size(), 0);
+    std::vector<bool> seen(owner_module_.size(), false);
+    std::vector<std::size_t> queue{victim};
+    seen[victim] = true;
+    std::size_t seed = owner_module_.size();
+    bool victim_is_seed = false;
+    for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+      std::size_t cur = queue[qi];
+      if (seed_token_[cur] == tok && cur != victim) {
+        seed = cur;
+        break;
+      }
+      for (const Pred& p : preds[cur]) {
+        if (seen[p.node]) continue;
+        if (!state[p.node].test(static_cast<std::size_t>(tok))) continue;
+        seen[p.node] = true;
+        parent[p.node] = cur;
+        parent_edge[p.node] = p.rsn_edge;
+        queue.push_back(p.node);
+      }
+    }
+    if (seed == owner_module_.size() && !victim_is_seed) {
+      // The token can only have been seeded upstream; if no seed was
+      // found the victim itself must carry it (cannot happen after spec
+      // validation, but keep the analysis robust).
+      continue;
+    }
+
+    Violation v;
+    v.token = tok;
+    v.victim_node = victim;
+    for (std::size_t cur = seed;; cur = parent[cur]) {
+      v.node_path.push_back(cur);
+      if (parent_edge[cur] >= 0) {
+        const RsnEdge& e = rsn_edges[static_cast<std::size_t>(
+            parent_edge[cur])];
+        for (const Connection& c : e.chain) v.rsn_connections.push_back(c);
+      }
+      if (cur == victim) break;
+    }
+    return v;
+  }
+  return std::nullopt;
+}
+
+HybridStats HybridAnalyzer::detect_and_resolve(
+    Rsn& network, std::vector<AppliedChange>* log,
+    ResolutionPolicy policy) {
+  HybridStats stats;
+  stats.initial_violating_registers = count_violating_registers(network);
+  stats.initial_violating_pairs = count_violating_pairs(network);
+
+  std::size_t max_iters = 8 * network.registers().size() + 64;
+  std::size_t iter = 0;
+  while (auto v = find_violation(network)) {
+    if (++iter > max_iters)
+      throw std::runtime_error(
+          "hybrid resolution did not converge (iteration cap exceeded)");
+    if (v->rsn_connections.empty())
+      throw std::runtime_error(
+          "hybrid violation without RSN connection on its path; "
+          "run check_static() before resolution");
+
+    // Each cut is evaluated with both reconnection variants ([17]-style
+    // candidate generation); the policy decides how exhaustively.
+    std::size_t cur_pairs = count_violating_pairs(network);
+    Rewirer::Selection sel = Rewirer::select_cut(
+        network, v->rsn_connections,
+        [this](const Rsn& n) { return count_violating_pairs(n); },
+        cur_pairs, policy);
+
+    AppliedChange change;
+    if (sel.found) {
+      change.kind = AppliedChange::Kind::CutConnection;
+      change.cut = sel.cut;
+      change.rewire_operations =
+          Rewirer::cut_connection(network, sel.cut, sel.reconnect_hint);
+      change.note = "hybrid: cut " + network.elem(sel.cut.from).name +
+                    " -> " + network.elem(sel.cut.to).name;
+    } else {
+      // Isolate the source register of the last RSN hop on the path.
+      ElemId iso = v->rsn_connections.front().from;
+      // rsn_connections were collected walking seed -> victim, so the
+      // last chain's first element is the register driving the final
+      // inter-segment hop; fall back to any register endpoint.
+      for (auto it = v->rsn_connections.rbegin();
+           it != v->rsn_connections.rend(); ++it) {
+        if (network.elem(it->from).kind == ElemKind::Register) {
+          iso = it->from;
+          break;
+        }
+      }
+      if (network.elem(iso).kind != ElemKind::Register) {
+        throw std::runtime_error(
+            "hybrid resolution fallback found no register to isolate");
+      }
+      change.kind = AppliedChange::Kind::IsolateRegister;
+      change.isolated = iso;
+      change.rewire_operations =
+          Rewirer::isolate_register_output(network, iso);
+      change.note = "hybrid: isolate " + network.elem(iso).name;
+      ++stats.fallback_isolations;
+    }
+    ++stats.applied_changes;
+    stats.rewire_operations += change.rewire_operations;
+    if (log) log->push_back(std::move(change));
+  }
+  return stats;
+}
+
+}  // namespace rsnsec::security

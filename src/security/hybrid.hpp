@@ -1,0 +1,145 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dep/analyzer.hpp"
+#include "netlist/netlist.hpp"
+#include "rsn/rsn.hpp"
+#include "security/rewire.hpp"
+#include "security/spec.hpp"
+
+namespace rsnsec::security {
+
+/// Outcome of the scan-infrastructure-independent checks (Sec. III-B plus
+/// the intra-segment extension documented in DESIGN.md). Violations of
+/// these classes cannot be removed by rewiring the RSN.
+struct StaticReport {
+  /// Circuit-logic-only violations: data of a too-confidential module is
+  /// path-dependent into an untrusted module purely through circuit logic
+  /// (Sec. III-B). Requires redesigning the circuit.
+  bool insecure_logic = false;
+  /// Violations through a single register's own capture/shift/update flow
+  /// (confidential data captured at FF i, updated out at FF j >= i into an
+  /// untrusted sink). Requires redesigning the register, not the RSN.
+  bool intra_segment = false;
+  std::vector<std::string> details;
+
+  bool clean() const { return !insecure_logic && !intra_segment; }
+};
+
+/// Statistics of one hybrid detect-and-resolve run.
+struct HybridStats {
+  std::size_t initial_violating_registers = 0;
+  std::size_t initial_violating_pairs = 0;
+  int applied_changes = 0;  ///< Table I "hybrid" changes column
+  int rewire_operations = 0;
+  int fallback_isolations = 0;
+};
+
+/// Detection and resolution of security violations over *hybrid* scan
+/// paths — paths through both the RSN and the underlying circuit logic
+/// (the paper's contribution, Sec. III-C / III-D).
+///
+/// The analyzer works at flip-flop granularity: its propagation graph has
+/// one node per scan flip-flop and one per (non-bridged) circuit
+/// flip-flop. Static edges — intra-register shift order, capture-cone
+/// dependencies, update connections and the multi-cycle circuit closure —
+/// are built once from the dependency analysis and remain valid across
+/// all RSN rewirings; the RSN inter-segment edges are recomputed from the
+/// current network on every propagation ("the dependencies are calculated
+/// once ... without RSN-internal connections", Sec. III-A). Tokens
+/// propagate only over path-dependent edges; only-structural connections
+/// cannot transport data (Fig. 5's XOR reconvergence). Propagation is
+/// cyclic ("omnidirectional", Sec. III-D) and runs to a fixed point,
+/// recomputed from scratch after every applied change.
+class HybridAnalyzer {
+ public:
+  HybridAnalyzer(const netlist::Netlist& nl,
+                 const rsn::Rsn& layout_network,
+                 const dep::DependencyAnalyzer& deps,
+                 const SecuritySpec& spec, const TokenTable& tokens);
+
+  /// Number of nodes of the propagation graph.
+  std::size_t num_nodes() const { return owner_module_.size(); }
+
+  /// Node index of scan FF `ff` of register `reg`.
+  std::size_t scan_node(rsn::ElemId reg, std::size_t ff) const;
+
+  /// Node index of circuit flip-flop `ff`.
+  std::size_t circuit_node(netlist::NodeId ff) const;
+
+  /// Human-readable node label (for reports).
+  std::string node_name(std::size_t node) const;
+
+  /// Runs the fixed-point token propagation. `network` provides the RSN
+  /// inter-segment edges; pass nullptr to propagate over static edges
+  /// only (scan-infrastructure-independent flows). `circuit_only`
+  /// restricts edges to the circuit closure (Sec. III-B check).
+  std::vector<TokenSet> propagate(const rsn::Rsn* network,
+                                  bool circuit_only = false) const;
+
+  /// Scan-infrastructure-independent violation checks; must be clean
+  /// before detect_and_resolve is meaningful.
+  StaticReport check_static() const;
+
+  /// Number of (node, token) violating pairs under the given propagation.
+  std::size_t count_violating_pairs(const rsn::Rsn& network) const;
+
+  /// Registers with at least one violating scan flip-flop.
+  std::size_t count_violating_registers(const rsn::Rsn& network) const;
+
+  /// A violation over a hybrid (or pure) path in the combined graph.
+  struct Violation {
+    int token = -1;
+    std::size_t victim_node = 0;
+    std::vector<std::size_t> node_path;  ///< seed ... victim
+    /// Concrete RSN connections crossed by the path (cut candidates).
+    std::vector<Connection> rsn_connections;
+  };
+
+  /// Finds one violation with a witnessing path, or nullopt if secure.
+  std::optional<Violation> find_violation(const rsn::Rsn& network) const;
+
+  /// Repeatedly detects and resolves violations by cutting RSN
+  /// connections until the network is secure. Requires check_static() to
+  /// be clean. Modifies `network`; appends changes to `log`.
+  HybridStats detect_and_resolve(
+      rsn::Rsn& network, std::vector<AppliedChange>* log = nullptr,
+      ResolutionPolicy policy = ResolutionPolicy::BestGlobal);
+
+ private:
+  const netlist::Netlist& nl_;
+  const dep::DependencyAnalyzer& deps_;
+  const SecuritySpec& spec_;
+  const TokenTable& tokens_;
+
+  // Node layout: [scan FFs by register, flattened][circuit FFs].
+  std::vector<std::size_t> scan_base_;  // ElemId -> first node index
+  std::vector<rsn::ElemId> node_reg_;   // scan node -> register
+  std::vector<std::size_t> node_ff_;    // scan node -> ff index
+  std::size_t circuit_base_ = 0;
+  std::vector<netlist::ModuleId> owner_module_;  // per node
+  std::vector<int> seed_token_;                  // per node, -1 = none
+
+  // Static adjacency (node -> successor nodes), path-dependent edges only.
+  std::vector<std::vector<std::size_t>> static_succ_;
+  std::vector<std::vector<std::size_t>> circuit_succ_;  // circuit closure only
+
+  struct RsnEdge {
+    rsn::ElemId from_reg, to_reg;
+    std::vector<Connection> chain;
+  };
+  std::vector<RsnEdge> build_rsn_edges(const rsn::Rsn& network) const;
+
+  void build_nodes(const rsn::Rsn& layout);
+  void build_static_edges(const rsn::Rsn& layout);
+  std::vector<TokenSet> run_worklist(
+      const std::vector<std::vector<std::size_t>>& extra_succ,
+      bool circuit_only) const;
+  std::size_t violating_pairs(const std::vector<TokenSet>& state) const;
+};
+
+}  // namespace rsnsec::security

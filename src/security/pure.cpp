@@ -1,0 +1,209 @@
+#include "security/pure.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace rsnsec::security {
+
+using rsn::ElemId;
+using rsn::ElemKind;
+using rsn::Rsn;
+
+PureScanAnalyzer::PureScanAnalyzer(const SecuritySpec& spec,
+                                   const TokenTable& tokens)
+    : spec_(spec), tokens_(tokens) {}
+
+int PureScanAnalyzer::register_token(const Rsn& network, ElemId reg) const {
+  return tokens_.token_of(network.elem(reg).module);
+}
+
+namespace {
+
+/// Topological order of RSN elements along connection edges (drivers
+/// before consumers). The network is acyclic by invariant.
+std::vector<ElemId> topo_order(const Rsn& network) {
+  std::vector<std::uint32_t> pending(network.num_elements(), 0);
+  std::vector<std::vector<ElemId>> fanout(network.num_elements());
+  for (ElemId id = 0; id < network.num_elements(); ++id) {
+    for (ElemId in : network.elem(id).inputs) {
+      if (in == rsn::no_elem) continue;
+      ++pending[id];
+      fanout[in].push_back(id);
+    }
+  }
+  std::vector<ElemId> ready, order;
+  for (ElemId id = 0; id < network.num_elements(); ++id)
+    if (pending[id] == 0) ready.push_back(id);
+  while (!ready.empty()) {
+    ElemId id = ready.back();
+    ready.pop_back();
+    order.push_back(id);
+    for (ElemId s : fanout[id])
+      if (--pending[s] == 0) ready.push_back(s);
+  }
+  return order;
+}
+
+}  // namespace
+
+std::vector<TokenSet> PureScanAnalyzer::propagate(const Rsn& network) const {
+  std::vector<TokenSet> out(network.num_elements());
+  for (ElemId id : topo_order(network)) {
+    const rsn::Element& e = network.elem(id);
+    for (ElemId in : e.inputs) {
+      if (in != rsn::no_elem) out[id].merge(out[in]);
+    }
+    if (e.kind == ElemKind::Register) {
+      int tok = register_token(network, id);
+      if (tok >= 0) out[id].set(static_cast<std::size_t>(tok));
+    }
+  }
+  return out;
+}
+
+bool PureScanAnalyzer::violates(const Rsn& network, ElemId reg,
+                                const TokenSet& incoming) const {
+  TrustCategory t = spec_.policy(network.elem(reg).module).trust;
+  return incoming.intersects(tokens_.bad(t));
+}
+
+std::size_t PureScanAnalyzer::count_violating_registers(
+    const Rsn& network) const {
+  std::vector<TokenSet> out = propagate(network);
+  std::size_t n = 0;
+  for (ElemId reg : network.registers()) {
+    TokenSet incoming;
+    for (ElemId in : network.elem(reg).inputs)
+      if (in != rsn::no_elem) incoming.merge(out[in]);
+    if (violates(network, reg, incoming)) ++n;
+  }
+  return n;
+}
+
+std::size_t PureScanAnalyzer::count_violating_pairs(
+    const Rsn& network) const {
+  std::vector<TokenSet> out = propagate(network);
+  std::size_t n = 0;
+  for (ElemId reg : network.registers()) {
+    TokenSet incoming;
+    for (ElemId in : network.elem(reg).inputs)
+      if (in != rsn::no_elem) incoming.merge(out[in]);
+    TrustCategory t = spec_.policy(network.elem(reg).module).trust;
+    const TokenSet& bad = tokens_.bad(t);
+    for (std::size_t k = 0; k < tokens_.num_tokens(); ++k)
+      if (incoming.test(k) && bad.test(k)) ++n;
+  }
+  return n;
+}
+
+std::optional<PureViolation> PureScanAnalyzer::find_violation(
+    const Rsn& network) const {
+  std::vector<TokenSet> out = propagate(network);
+  for (ElemId reg : network.registers()) {
+    TokenSet incoming;
+    for (ElemId in : network.elem(reg).inputs)
+      if (in != rsn::no_elem) incoming.merge(out[in]);
+    TrustCategory t = spec_.policy(network.elem(reg).module).trust;
+    int tok = incoming.first_common(tokens_.bad(t));
+    if (tok < 0) continue;
+
+    // Trace a witnessing path: walk backward over drivers that carry the
+    // token until a register that contributes it.
+    PureViolation v;
+    v.victim = reg;
+    v.token = tok;
+    std::vector<ElemId> parent(network.num_elements(), rsn::no_elem);
+    std::vector<bool> seen(network.num_elements(), false);
+    std::vector<ElemId> queue;
+    seen[reg] = true;
+    queue.push_back(reg);
+    ElemId origin = rsn::no_elem;
+    for (std::size_t qi = 0; qi < queue.size() && origin == rsn::no_elem;
+         ++qi) {
+      ElemId cur = queue[qi];
+      for (ElemId in : network.elem(cur).inputs) {
+        if (in == rsn::no_elem || seen[in]) continue;
+        if (!out[in].test(static_cast<std::size_t>(tok))) continue;
+        seen[in] = true;
+        parent[in] = cur;
+        if (network.elem(in).kind == ElemKind::Register &&
+            register_token(network, in) == tok) {
+          origin = in;
+          break;
+        }
+        queue.push_back(in);
+      }
+    }
+    assert(origin != rsn::no_elem && "token present but no origin found");
+    v.origin = origin;
+    for (ElemId cur = origin; cur != rsn::no_elem; cur = parent[cur])
+      v.path.push_back(cur);
+    return v;
+  }
+  return std::nullopt;
+}
+
+PureStats PureScanAnalyzer::detect_and_resolve(
+    Rsn& network, std::vector<AppliedChange>* log,
+    ResolutionPolicy policy) {
+  PureStats stats;
+  stats.initial_violating_registers = count_violating_registers(network);
+  stats.initial_violating_pairs = count_violating_pairs(network);
+
+  std::size_t max_iters = 8 * network.registers().size() + 64;
+  std::size_t iter = 0;
+  while (auto v = find_violation(network)) {
+    if (++iter > max_iters)
+      throw std::runtime_error(
+          "pure resolution did not converge (iteration cap exceeded)");
+
+    // Candidate cuts: every connection along the witnessing path.
+    std::vector<Connection> candidates;
+    for (std::size_t i = 0; i + 1 < v->path.size(); ++i) {
+      const rsn::Element& to = network.elem(v->path[i + 1]);
+      for (std::size_t p = 0; p < to.inputs.size(); ++p) {
+        if (to.inputs[p] == v->path[i])
+          candidates.push_back({v->path[i], v->path[i + 1], p});
+      }
+    }
+
+    // Each cut is evaluated with both reconnection variants ([17]-style
+    // candidate generation); the policy decides how exhaustively.
+    std::size_t cur_pairs = count_violating_pairs(network);
+    Rewirer::Selection sel = Rewirer::select_cut(
+        network, candidates,
+        [this](const Rsn& n) { return count_violating_pairs(n); },
+        cur_pairs, policy);
+
+    AppliedChange change;
+    if (sel.found) {
+      change.kind = AppliedChange::Kind::CutConnection;
+      change.cut = sel.cut;
+      change.rewire_operations =
+          Rewirer::cut_connection(network, sel.cut, sel.reconnect_hint);
+      change.note = "pure: cut " + network.elem(sel.cut.from).name + " -> " +
+                    network.elem(sel.cut.to).name;
+    } else {
+      // Guaranteed-progress fallback: isolate the last register on the
+      // path before the victim (or the origin itself).
+      ElemId iso = v->origin;
+      for (std::size_t i = 0; i + 1 < v->path.size(); ++i) {
+        if (network.elem(v->path[i]).kind == ElemKind::Register)
+          iso = v->path[i];
+      }
+      change.kind = AppliedChange::Kind::IsolateRegister;
+      change.isolated = iso;
+      change.rewire_operations =
+          Rewirer::isolate_register_output(network, iso);
+      change.note = "pure: isolate " + network.elem(iso).name;
+      ++stats.fallback_isolations;
+    }
+    ++stats.applied_changes;
+    stats.rewire_operations += change.rewire_operations;
+    if (log) log->push_back(std::move(change));
+  }
+  return stats;
+}
+
+}  // namespace rsnsec::security

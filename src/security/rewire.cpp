@@ -1,0 +1,182 @@
+#include "security/rewire.hpp"
+
+#include <cassert>
+
+namespace rsnsec::security {
+
+using rsn::ElemId;
+using rsn::ElemKind;
+using rsn::Rsn;
+
+std::vector<Connection> Rewirer::all_connections(const Rsn& network) {
+  std::vector<Connection> out;
+  for (ElemId id = 0; id < network.num_elements(); ++id) {
+    const rsn::Element& e = network.elem(id);
+    for (std::size_t p = 0; p < e.inputs.size(); ++p) {
+      if (e.inputs[p] != rsn::no_elem)
+        out.push_back({e.inputs[p], id, p});
+    }
+  }
+  return out;
+}
+
+int Rewirer::repair_dangling_input(Rsn& network, ElemId to, std::size_t port,
+                                   const std::vector<ElemId>& pre_preds,
+                                   ElemId avoid, ElemId hint) {
+  // Reconnect to a multi-cycle predecessor over pure scan paths that does
+  // not recreate a cycle (Sec. III-D: "only segments that are multi-cycle
+  // predecessors/successors over pure scan paths are connected"); fall
+  // back to the scan-in port. A hint (evaluated as a separate repair
+  // candidate by the resolver) overrides the default choice.
+  if (hint != rsn::no_elem && hint != avoid && hint != to &&
+      network.elem(hint).kind != ElemKind::ScanOut) {
+    network.connect(hint, to, port);
+    if (network.is_acyclic()) return 1;
+    network.disconnect(to, port);
+  }
+  for (ElemId cand : pre_preds) {
+    if (cand == avoid || cand == to) continue;
+    ElemKind k = network.elem(cand).kind;
+    if (k == ElemKind::ScanOut) continue;
+    network.connect(cand, to, port);
+    if (network.is_acyclic()) return 1;
+    network.disconnect(to, port);
+  }
+  network.connect(network.scan_in(), to, port);
+  return 1;
+}
+
+int Rewirer::repair_lost_fanout(Rsn& network, ElemId from,
+                                const std::vector<ElemId>& pre_succs,
+                                ElemId avoid) {
+  int ops = 0;
+  for (ElemId cand : pre_succs) {
+    if (cand == avoid || cand == from) continue;
+    const rsn::Element& e = network.elem(cand);
+    if (e.kind == ElemKind::Mux) {
+      network.add_mux_input(cand, from);
+      if (network.is_acyclic()) return 1;
+      network.remove_mux_input(cand, e.inputs.size() - 1);
+      continue;
+    }
+    if (e.kind == ElemKind::Register) {
+      // Insert a fresh 2:1 mux in front of the register ("placing new
+      // multiplexers", Sec. IV-C).
+      ElemId old_driver = e.inputs[0];
+      if (old_driver == rsn::no_elem) {
+        network.connect(from, cand, 0);
+        if (network.is_acyclic()) return 1;
+        network.disconnect(cand, 0);
+        continue;
+      }
+      ElemId m = network.add_mux(
+          "repair_mux_" + std::to_string(network.num_elements()), 2);
+      network.connect(old_driver, m, 0);
+      network.connect(from, m, 1);
+      network.connect(m, cand, 0);
+      if (network.is_acyclic()) return 2;
+      // Roll back: restore the old driver. The fresh mux stays allocated
+      // but unused; it has no connections into the rest of the network.
+      network.disconnect(m, 0);
+      network.disconnect(m, 1);
+      network.connect(old_driver, cand, 0);
+      ops = 0;
+      continue;
+    }
+  }
+  (void)ops;
+  return attach_to_scan_out_avoiding(network, from, avoid);
+}
+
+int Rewirer::attach_to_scan_out_avoiding(Rsn& network, ElemId from,
+                                         ElemId avoid) {
+  // Like Rsn::attach_to_scan_out, but never reuses `avoid` as the
+  // collector mux (we just disconnected `from` from it; reusing it would
+  // silently recreate the cut connection).
+  ElemId driver = network.elem(network.scan_out()).inputs[0];
+  if (driver == avoid && driver != rsn::no_elem) {
+    ElemId m = network.add_mux(
+        "collect_mux_" + std::to_string(network.num_elements()), 2);
+    network.connect(driver, m, 0);
+    network.connect(from, m, 1);
+    network.connect(m, network.scan_out(), 0);
+    return 2;
+  }
+  ElemId created = network.attach_to_scan_out(from);
+  return created == rsn::no_elem ? 1 : 2;
+}
+
+Rewirer::Selection Rewirer::select_cut(
+    const Rsn& network, const std::vector<Connection>& candidates,
+    const std::function<std::size_t(const Rsn&)>& count_pairs,
+    std::size_t current_pairs, ResolutionPolicy policy) {
+  Selection best;
+  for (const Connection& c : candidates) {
+    std::vector<ElemId> hints{rsn::no_elem, network.scan_in()};
+    if (policy == ResolutionPolicy::PreferScanIn)
+      std::swap(hints[0], hints[1]);
+    for (ElemId hint : hints) {
+      Rsn trial = network;
+      int ops = cut_connection(trial, c, hint);
+      std::size_t pairs = count_pairs(trial);
+      if (pairs >= current_pairs) continue;
+      if (policy != ResolutionPolicy::BestGlobal) {
+        return {true, c, hint, pairs, ops};
+      }
+      if (!best.found || pairs < best.residual_pairs ||
+          (pairs == best.residual_pairs && ops < best.operations)) {
+        best = {true, c, hint, pairs, ops};
+      }
+    }
+  }
+  return best;
+}
+
+int Rewirer::cut_connection(Rsn& network, const Connection& c,
+                            ElemId reconnect_hint) {
+  assert(network.elem(c.to).inputs.at(c.port) == c.from);
+  // Predecessor/successor sets *before* the cut, per Sec. III-D.
+  std::vector<ElemId> pre_preds = network.reaching(c.to);
+  std::vector<ElemId> pre_succs = network.reachable_from(c.from);
+
+  int ops = 1;
+  const rsn::Element& to_elem = network.elem(c.to);
+  if (to_elem.kind == ElemKind::Mux && to_elem.inputs.size() > 1) {
+    network.remove_mux_input(c.to, c.port);
+  } else {
+    network.disconnect(c.to, c.port);
+    ops += repair_dangling_input(network, c.to, c.port, pre_preds, c.from,
+                                 reconnect_hint);
+  }
+
+  if (network.fanouts(c.from).empty() &&
+      network.elem(c.from).kind != ElemKind::ScanIn) {
+    ops += repair_lost_fanout(network, c.from, pre_succs, c.to);
+  }
+  return ops;
+}
+
+int Rewirer::isolate_register_output(Rsn& network, ElemId reg) {
+  assert(network.elem(reg).kind == ElemKind::Register);
+  int ops = 0;
+  for (;;) {
+    auto fo = network.fanouts(reg);
+    if (fo.empty()) break;
+    auto [to, port] = fo.front();
+    std::vector<ElemId> pre_preds = network.reaching(to);
+    const rsn::Element& te = network.elem(to);
+    ++ops;
+    if (te.kind == ElemKind::Mux && te.inputs.size() > 1) {
+      network.remove_mux_input(to, port);
+    } else {
+      network.disconnect(to, port);
+      ops += repair_dangling_input(network, to, port, pre_preds, reg,
+                                   rsn::no_elem);
+    }
+  }
+  network.attach_to_scan_out(reg);
+  ++ops;
+  return ops;
+}
+
+}  // namespace rsnsec::security

@@ -1,0 +1,112 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "rsn/rsn.hpp"
+
+namespace rsnsec::security {
+
+/// Candidate-selection strategy of the resolution loops (pure and
+/// hybrid). [17] generates multiple repair candidates per violation and
+/// applies the cheapest; the strategies below trade repair quality
+/// against trial-evaluation cost (see bench/ablation_resolution).
+enum class ResolutionPolicy : std::uint8_t {
+  /// Evaluate every (cut, reconnect) candidate; apply the one leaving the
+  /// fewest violating pairs, breaking ties by wiring cost. Default.
+  BestGlobal,
+  /// Apply the first candidate that reduces the violating-pair count
+  /// (path order). Fewer trial propagations, possibly more changes.
+  FirstImproving,
+  /// Like FirstImproving, but try the reconnect-to-scan-in variant first
+  /// (aggressively isolating upstream flow).
+  PreferScanIn
+};
+
+/// One concrete RSN connection (driver `from` feeding input `port` of
+/// `to`), the unit the resolution step cuts.
+struct Connection {
+  rsn::ElemId from = rsn::no_elem;
+  rsn::ElemId to = rsn::no_elem;
+  std::size_t port = 0;
+
+  bool operator==(const Connection&) const = default;
+};
+
+/// Record of one applied repair (for reporting and the #Applied-Changes
+/// columns of Table I).
+struct AppliedChange {
+  enum class Kind : std::uint8_t { CutConnection, IsolateRegister };
+  Kind kind = Kind::CutConnection;
+  Connection cut;             ///< for CutConnection
+  rsn::ElemId isolated = rsn::no_elem;  ///< for IsolateRegister
+  int rewire_operations = 0;  ///< individual wiring edits performed
+  std::string note;
+};
+
+/// Structural repair operations on an RSN, implementing the reconnection
+/// rules of Sec. III-D:
+///  - segments never dangle: a register (or the scan-out port) that loses
+///    its driver is reconnected to a pre-cut multi-cycle predecessor that
+///    does not create a cycle, else to the scan-in port;
+///  - an element that loses all fanout is attached to a pre-cut
+///    multi-cycle successor (adding a mux input, or inserting a fresh
+///    2:1 mux in front of a register), else routed to the scan-out port;
+///  - the scan network stays cycle-free and keeps every scan register.
+class Rewirer {
+ public:
+  /// Cuts `c` from `network` and repairs both sides. Returns the number of
+  /// individual wiring operations performed (>= 1).
+  ///
+  /// `reconnect_hint` selects the new driver for a dangling to-side input:
+  /// by default the first multi-cycle predecessor that keeps the network
+  /// acyclic is chosen; passing the scan-in port (or another element)
+  /// forces that driver instead. The resolution loop evaluates both
+  /// variants as separate repair candidates ([17]: "multiple candidates
+  /// to resolve that violation were generated and evaluated").
+  static int cut_connection(rsn::Rsn& network, const Connection& c,
+                            rsn::ElemId reconnect_hint = rsn::no_elem);
+
+  /// Removes every outgoing connection of register `reg` and routes its
+  /// output directly to the scan-out port; downstream dangling inputs are
+  /// repaired. This is the guaranteed-progress fallback of the resolution
+  /// loop: after isolation no data can leave `reg` over the scan
+  /// infrastructure. Returns the number of wiring operations.
+  static int isolate_register_output(rsn::Rsn& network, rsn::ElemId reg);
+
+  /// All current connections of `network`.
+  static std::vector<Connection> all_connections(const rsn::Rsn& network);
+
+  /// Outcome of trial-evaluating repair candidates.
+  struct Selection {
+    bool found = false;
+    Connection cut;
+    rsn::ElemId reconnect_hint = rsn::no_elem;
+    std::size_t residual_pairs = 0;
+    int operations = 0;
+  };
+
+  /// Trial-evaluates cutting each candidate (with both reconnection
+  /// variants) against `count_pairs` and selects per `policy`. Only
+  /// candidates that strictly reduce the violating-pair count below
+  /// `current_pairs` qualify.
+  static Selection select_cut(
+      const rsn::Rsn& network, const std::vector<Connection>& candidates,
+      const std::function<std::size_t(const rsn::Rsn&)>& count_pairs,
+      std::size_t current_pairs, ResolutionPolicy policy);
+
+ private:
+  static int repair_dangling_input(rsn::Rsn& network, rsn::ElemId to,
+                                   std::size_t port,
+                                   const std::vector<rsn::ElemId>& pre_preds,
+                                   rsn::ElemId avoid, rsn::ElemId hint);
+  static int repair_lost_fanout(rsn::Rsn& network, rsn::ElemId from,
+                                const std::vector<rsn::ElemId>& pre_succs,
+                                rsn::ElemId avoid);
+  static int attach_to_scan_out_avoiding(rsn::Rsn& network, rsn::ElemId from,
+                                         rsn::ElemId avoid);
+};
+
+}  // namespace rsnsec::security

@@ -1,0 +1,143 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace rsnsec::security {
+
+/// Index of a trust category (0-based). Categories formalize degrees of
+/// trustworthiness, e.g. 0 = untrusted third-party, 1 = vendor-qualified,
+/// 2 = in-house, 3 = security-critical (Sec. II-B, spec of [17]).
+using TrustCategory = std::uint8_t;
+
+/// Maximum number of trust categories supported by the bitmask encoding.
+constexpr std::size_t max_categories = 16;
+
+/// Security annotation of one module/instrument (and thereby of the scan
+/// segments it owns): its own trust category, and the set of categories
+/// that are accepted to observe or control its data (data sensitivity).
+struct ModulePolicy {
+  TrustCategory trust = 0;
+  /// Bitmask over categories: bit c set means data of this module may
+  /// share a (pure or hybrid) scan path with segments of trust category c.
+  std::uint32_t accepted = 0xffffffffu;
+};
+
+/// The user-given security specification: one policy per module. The
+/// specification is *violated* if data of module x can flow (over a pure
+/// or hybrid scan path) to a flip-flop of module y with
+/// trust(y) not in accepted(x).
+class SecuritySpec {
+ public:
+  SecuritySpec() = default;
+
+  /// Creates a spec over `num_modules` modules with `num_categories`
+  /// categories; all policies default to fully-permissive.
+  SecuritySpec(std::size_t num_modules, std::size_t num_categories);
+
+  /// Sets the policy of module `m`.
+  void set_policy(netlist::ModuleId m, TrustCategory trust,
+                  std::uint32_t accepted_mask);
+
+  /// Policy of module `m`. Modules without an explicit policy (or nodes
+  /// with no module) are fully permissive.
+  const ModulePolicy& policy(netlist::ModuleId m) const;
+
+  std::size_t num_modules() const { return policies_.size(); }
+  std::size_t num_categories() const { return num_categories_; }
+
+  /// Checks internal consistency: every trust category is in range and
+  /// every module accepts its own trust category (a module may always see
+  /// its own data). Fills `error` on failure.
+  bool validate(std::string* error = nullptr) const;
+
+ private:
+  std::vector<ModulePolicy> policies_;
+  std::size_t num_categories_ = 1;
+  ModulePolicy permissive_{};
+};
+
+/// Fixed-capacity bitset over interned token ids, used as the propagated
+/// security-attribute set of a node. 256 distinct sensitivity classes
+/// (distinct accepted-masks) are supported, far beyond what specs with
+/// <= 16 categories produce in practice.
+class TokenSet {
+ public:
+  static constexpr std::size_t capacity = 256;
+
+  bool test(std::size_t i) const {
+    return (w_[i >> 6] >> (i & 63)) & 1u;
+  }
+  void set(std::size_t i) { w_[i >> 6] |= 1ULL << (i & 63); }
+
+  /// Union; returns true if this set changed (fixed-point detection).
+  bool merge(const TokenSet& o) {
+    bool changed = false;
+    for (std::size_t k = 0; k < w_.size(); ++k) {
+      std::uint64_t nw = w_[k] | o.w_[k];
+      changed |= (nw != w_[k]);
+      w_[k] = nw;
+    }
+    return changed;
+  }
+
+  bool any() const {
+    for (auto v : w_)
+      if (v) return true;
+    return false;
+  }
+
+  bool intersects(const TokenSet& o) const {
+    for (std::size_t k = 0; k < w_.size(); ++k)
+      if (w_[k] & o.w_[k]) return true;
+    return false;
+  }
+
+  /// First token id present in both sets, or -1.
+  int first_common(const TokenSet& o) const;
+
+  bool operator==(const TokenSet&) const = default;
+
+ private:
+  std::array<std::uint64_t, capacity / 64> w_{};
+};
+
+/// Interning table mapping module sensitivities to compact token ids.
+///
+/// Two modules whose data has the same accepted-mask are security-
+/// equivalent sources, so they share one token; the set of distinct masks
+/// is small. For each trust category t, `bad(t)` is the set of tokens
+/// whose data must not reach a category-t node — violation detection is a
+/// single bitset intersection per node.
+class TokenTable {
+ public:
+  TokenTable(const SecuritySpec& spec, std::size_t num_modules);
+
+  /// Token id carried by data of module `m`, or -1 if `m` is unannotated
+  /// (fully permissive data generates no token: it can never violate).
+  int token_of(netlist::ModuleId m) const;
+
+  /// Tokens that violate when present at a node of trust category `t`.
+  const TokenSet& bad(TrustCategory t) const {
+    return bad_[static_cast<std::size_t>(t)];
+  }
+
+  /// Number of distinct tokens.
+  std::size_t num_tokens() const { return masks_.size(); }
+
+  /// Accepted-mask of token `id` (for reporting).
+  std::uint32_t mask(int id) const {
+    return masks_[static_cast<std::size_t>(id)];
+  }
+
+ private:
+  std::vector<int> module_token_;
+  std::vector<std::uint32_t> masks_;
+  std::vector<TokenSet> bad_;  // indexed by trust category
+};
+
+}  // namespace rsnsec::security

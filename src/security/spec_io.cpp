@@ -1,0 +1,121 @@
+#include "security/spec_io.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace rsnsec::security {
+
+void write_spec(std::ostream& os, const SecuritySpec& spec,
+                const std::vector<std::string>& module_names) {
+  os << "categories " << spec.num_categories() << "\n";
+  const std::uint32_t all =
+      spec.num_categories() >= 32 ? 0xffffffffu
+                                  : ((1u << spec.num_categories()) - 1u);
+  for (std::size_t m = 0; m < spec.num_modules(); ++m) {
+    const ModulePolicy& p = spec.policy(static_cast<netlist::ModuleId>(m));
+    if ((p.accepted & all) == all && p.trust == spec.num_categories() - 1)
+      continue;  // default policy: omit
+    os << "module ";
+    if (m < module_names.size() && !module_names[m].empty()) {
+      os << module_names[m];
+    } else {
+      os << m;
+    }
+    os << " trust " << static_cast<unsigned>(p.trust) << " accepts ";
+    bool first = true;
+    for (std::size_t c = 0; c < spec.num_categories(); ++c) {
+      if ((p.accepted >> c) & 1u) {
+        os << (first ? "" : ",") << c;
+        first = false;
+      }
+    }
+    os << "\n";
+  }
+}
+
+SecuritySpec read_spec(std::istream& is,
+                       const std::vector<std::string>& module_names) {
+  std::map<std::string, std::size_t, std::less<>> by_name;
+  for (std::size_t i = 0; i < module_names.size(); ++i)
+    by_name[module_names[i]] = i;
+
+  struct Entry {
+    std::size_t module;
+    TrustCategory trust;
+    std::uint32_t accepted;
+  };
+  std::vector<Entry> entries;
+  std::size_t categories = 0;
+  std::size_t max_module = module_names.size();
+
+  std::string line;
+  int line_no = 0;
+  auto fail = [&](const std::string& msg) -> std::runtime_error {
+    return std::runtime_error("spec parse error at line " +
+                              std::to_string(line_no) + ": " + msg);
+  };
+  while (std::getline(is, line)) {
+    ++line_no;
+    std::string_view sv = trim(line);
+    if (sv.empty() || sv.front() == '#') continue;
+    std::vector<std::string> tok = split(sv, ' ');
+    if (tok[0] == "categories") {
+      if (tok.size() != 2) throw fail("expected: categories <n>");
+      categories = std::stoul(tok[1]);
+      if (categories == 0 || categories > max_categories)
+        throw fail("category count out of range");
+    } else if (tok[0] == "module") {
+      if (tok.size() != 6 || tok[2] != "trust" || tok[4] != "accepts")
+        throw fail(
+            "expected: module <name|index> trust <cat> accepts <list>");
+      if (categories == 0)
+        throw fail("'categories' must come before 'module' lines");
+      Entry e{};
+      auto it = by_name.find(tok[1]);
+      if (it != by_name.end()) {
+        e.module = it->second;
+      } else if (!tok[1].empty() &&
+                 std::all_of(tok[1].begin(), tok[1].end(), [](char c) {
+                   return c >= '0' && c <= '9';
+                 })) {
+        e.module = std::stoul(tok[1]);
+      } else {
+        throw fail("unknown module '" + tok[1] + "'");
+      }
+      unsigned long trust = std::stoul(tok[3]);
+      if (trust >= categories) throw fail("trust category out of range");
+      e.trust = static_cast<TrustCategory>(trust);
+      for (const std::string& c : split(tok[5], ',')) {
+        unsigned long cat = std::stoul(c);
+        if (cat >= categories) throw fail("accepted category out of range");
+        e.accepted |= 1u << cat;
+      }
+      if (((e.accepted >> e.trust) & 1u) == 0)
+        throw fail("module must accept its own trust category");
+      max_module = std::max(max_module, e.module + 1);
+      entries.push_back(e);
+    } else {
+      throw fail("unknown keyword '" + tok[0] + "'");
+    }
+  }
+  if (categories == 0) throw fail("missing 'categories' line");
+
+  SecuritySpec spec(max_module, categories);
+  // Defaults: top trust, accept-all (fully permissive).
+  const std::uint32_t all =
+      categories >= 32 ? 0xffffffffu : ((1u << categories) - 1u);
+  for (std::size_t m = 0; m < max_module; ++m)
+    spec.set_policy(static_cast<netlist::ModuleId>(m),
+                    static_cast<TrustCategory>(categories - 1), all);
+  for (const Entry& e : entries)
+    spec.set_policy(static_cast<netlist::ModuleId>(e.module), e.trust,
+                    e.accepted);
+  return spec;
+}
+
+}  // namespace rsnsec::security

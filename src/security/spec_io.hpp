@@ -1,0 +1,31 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "security/spec.hpp"
+
+namespace rsnsec::security {
+
+/// Serializes a security specification to a plain-text format:
+///
+///   categories 4
+///   # module <name-or-index> trust <cat> accepts <cat>[,<cat>...]
+///   module crypto trust 3 accepts 2,3
+///   module 7 trust 0 accepts 0,1,2,3
+///
+/// Modules are written by name where `module_names` provides one;
+/// unlisted modules are fully permissive (accept every category).
+void write_spec(std::ostream& os, const SecuritySpec& spec,
+                const std::vector<std::string>& module_names = {});
+
+/// Parses the format produced by write_spec. Module names are resolved
+/// against `module_names`; numeric indices are always accepted. The
+/// returned spec covers max(module_names.size(), largest index + 1)
+/// modules. Throws std::runtime_error with a line-numbered message on
+/// malformed input, unknown module names or invalid categories.
+SecuritySpec read_spec(std::istream& is,
+                       const std::vector<std::string>& module_names = {});
+
+}  // namespace rsnsec::security

@@ -1,0 +1,52 @@
+#include "util/rng.hpp"
+
+namespace rsnsec {
+
+void Rng::reseed(std::uint64_t seed) {
+  // PCG32 initialization as in the reference implementation, with a fixed
+  // odd stream constant mixed with the seed so different seeds also get
+  // different streams.
+  state_ = 0;
+  inc_ = (seed << 1u) | 1u;
+  (void)next_u32();
+  state_ += 0x853c49e6748fea9bULL + seed;
+  (void)next_u32();
+}
+
+std::uint32_t Rng::next_u32() {
+  std::uint64_t old = state_;
+  state_ = old * 6364136223846793005ULL + inc_;
+  auto xorshifted =
+      static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+  auto rot = static_cast<std::uint32_t>(old >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+}
+
+std::uint64_t Rng::next_u64() {
+  return (static_cast<std::uint64_t>(next_u32()) << 32) | next_u32();
+}
+
+std::uint32_t Rng::below(std::uint32_t bound) {
+  // Lemire-style unbiased bounded generation via rejection.
+  std::uint32_t threshold = (-bound) % bound;
+  for (;;) {
+    std::uint32_t r = next_u32();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::uint32_t Rng::range(std::uint32_t lo, std::uint32_t hi) {
+  return lo + below(hi - lo + 1);
+}
+
+bool Rng::chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+double Rng::uniform() {
+  return static_cast<double>(next_u32()) * (1.0 / 4294967296.0);
+}
+
+}  // namespace rsnsec

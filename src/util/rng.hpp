@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rsnsec {
+
+/// Deterministic PCG32 pseudo-random number generator.
+///
+/// All randomized parts of the library (circuit generation, security-spec
+/// generation, SAT decision phases, simulation patterns) draw from this
+/// generator so that every experiment is reproducible from a single seed.
+class Rng {
+ public:
+  /// Constructs a generator from a 64-bit seed; distinct seeds give
+  /// independent streams.
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) { reseed(seed); }
+
+  /// Re-initializes the state from `seed`.
+  void reseed(std::uint64_t seed);
+
+  /// Returns the next 32 uniform random bits.
+  std::uint32_t next_u32();
+
+  /// Returns the next 64 uniform random bits.
+  std::uint64_t next_u64();
+
+  /// Returns a uniform integer in [0, bound) using rejection sampling;
+  /// `bound` must be > 0.
+  std::uint32_t below(std::uint32_t bound);
+
+  /// Returns a uniform integer in [lo, hi] (inclusive); requires lo <= hi.
+  std::uint32_t range(std::uint32_t lo, std::uint32_t hi);
+
+  /// Returns true with probability `p` (clamped to [0,1]).
+  bool chance(double p);
+
+  /// Returns a uniform double in [0, 1).
+  double uniform();
+
+  /// Fisher-Yates shuffles `v` in place.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = below(static_cast<std::uint32_t>(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Picks a uniformly random element of `v`; `v` must be non-empty.
+  template <typename T>
+  const T& pick(const std::vector<T>& v) {
+    return v[below(static_cast<std::uint32_t>(v.size()))];
+  }
+
+ private:
+  std::uint64_t state_ = 0;
+  std::uint64_t inc_ = 0;
+};
+
+}  // namespace rsnsec

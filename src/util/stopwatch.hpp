@@ -1,0 +1,25 @@
+#pragma once
+
+#include <chrono>
+
+namespace rsnsec {
+
+/// Wall-clock stopwatch used for the per-phase runtime columns of Table I.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the measurement.
+  void restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last restart().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace rsnsec

@@ -1,0 +1,45 @@
+#include "util/strings.hpp"
+
+#include <cctype>
+
+namespace rsnsec {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front())))
+    s.remove_prefix(1);
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back())))
+    s.remove_suffix(1);
+  return s;
+}
+
+std::vector<std::string> split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= s.size()) {
+    std::size_t next = s.find(sep, pos);
+    if (next == std::string_view::npos) next = s.size();
+    std::string_view piece = trim(s.substr(pos, next - pos));
+    if (!piece.empty()) out.emplace_back(piece);
+    pos = next + 1;
+  }
+  return out;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
+std::string with_thousands(long long v) {
+  std::string digits = std::to_string(v < 0 ? -v : v);
+  std::string out;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count && count % 3 == 0) out.push_back(' ');
+    out.push_back(*it);
+    ++count;
+  }
+  if (v < 0) out.push_back('-');
+  return {out.rbegin(), out.rend()};
+}
+
+}  // namespace rsnsec

@@ -1,0 +1,21 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rsnsec {
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+/// Splits `s` on `sep`, trimming each piece; empty pieces are dropped.
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Formats `v` with thousands separators ("28 704" style, as in Table I).
+std::string with_thousands(long long v);
+
+}  // namespace rsnsec

@@ -1,0 +1,107 @@
+#include "benchgen/circuit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "benchgen/families.hpp"
+#include "dep/analyzer.hpp"
+
+namespace rsnsec::benchgen {
+namespace {
+
+rsn::RsnDocument small_doc() {
+  Rng rng(3);
+  return generate_bastion(bastion_profile("BasicSCB"), 0.3, rng);
+}
+
+TEST(CircuitGen, ProducesValidNetlist) {
+  rsn::RsnDocument doc = small_doc();
+  Rng rng(11);
+  netlist::Netlist nl = attach_random_circuit(doc, {}, rng);
+  std::string err;
+  EXPECT_TRUE(nl.validate(&err)) << err;
+  EXPECT_EQ(nl.num_modules(), doc.module_names.size());
+  EXPECT_GT(nl.ffs().size(), 0u);
+}
+
+TEST(CircuitGen, AttachesCaptureAndUpdate) {
+  rsn::RsnDocument doc = small_doc();
+  Rng rng(11);
+  attach_random_circuit(doc, {}, rng);
+  std::size_t captures = 0, updates = 0;
+  for (rsn::ElemId r : doc.network.registers()) {
+    for (const rsn::ScanFF& f : doc.network.elem(r).ffs) {
+      captures += (f.capture_src != netlist::no_node);
+      updates += (f.update_dst != netlist::no_node);
+    }
+  }
+  EXPECT_GT(captures, 0u);
+  EXPECT_GT(updates, 0u);
+}
+
+TEST(CircuitGen, CaptureAndUpdateStayInOwnModule) {
+  // The generator draws capture/update attachments from the register's
+  // own module (prevents unresolvable intra-segment flows; DESIGN.md).
+  rsn::RsnDocument doc = small_doc();
+  Rng rng(13);
+  netlist::Netlist nl = attach_random_circuit(doc, {}, rng);
+  for (rsn::ElemId r : doc.network.registers()) {
+    auto reg_mod = doc.network.elem(r).module;
+    for (const rsn::ScanFF& f : doc.network.elem(r).ffs) {
+      if (f.update_dst != netlist::no_node)
+        EXPECT_EQ(nl.node(f.update_dst).module, reg_mod);
+      if (f.capture_src != netlist::no_node)
+        EXPECT_EQ(nl.node(f.capture_src).module, reg_mod);
+    }
+  }
+}
+
+TEST(CircuitGen, DeterministicForSameSeed) {
+  rsn::RsnDocument d1 = small_doc();
+  rsn::RsnDocument d2 = small_doc();
+  Rng r1(42), r2(42);
+  netlist::Netlist n1 = attach_random_circuit(d1, {}, r1);
+  netlist::Netlist n2 = attach_random_circuit(d2, {}, r2);
+  EXPECT_EQ(n1.num_nodes(), n2.num_nodes());
+  EXPECT_EQ(n1.ffs().size(), n2.ffs().size());
+}
+
+TEST(CircuitGen, CreatesInternalFlipFlops) {
+  rsn::RsnDocument doc = small_doc();
+  Rng rng(17);
+  netlist::Netlist nl = attach_random_circuit(doc, {}, rng);
+  dep::DependencyAnalyzer deps(nl, doc.network, {});
+  deps.run();
+  EXPECT_GT(deps.stats().internal_ffs, 0u);
+  EXPECT_LT(deps.stats().internal_ffs, deps.stats().circuit_ffs);
+}
+
+TEST(CircuitGen, CancellingPatternsYieldStructuralDeps) {
+  rsn::RsnDocument doc = small_doc();
+  CircuitOptions opt;
+  opt.cancelling_prob = 0.5;  // force plenty of reconvergences
+  Rng rng(19);
+  netlist::Netlist nl = attach_random_circuit(doc, opt, rng);
+  dep::DependencyAnalyzer deps(nl, doc.network, {});
+  deps.run();
+  EXPECT_GT(deps.stats().sat_structural, 0u);
+}
+
+TEST(CircuitGen, CrossModulePathsExist) {
+  rsn::RsnDocument doc = small_doc();
+  CircuitOptions opt;
+  opt.target_cross_functional = 20;
+  Rng rng(23);
+  netlist::Netlist nl = attach_random_circuit(doc, opt, rng);
+  bool cross = false;
+  for (netlist::NodeId ff : nl.ffs()) {
+    netlist::Cone cone = nl.extract_next_state_cone(ff);
+    for (netlist::NodeId leaf : cone.leaves) {
+      if (nl.is_ff(leaf) && nl.node(leaf).module != nl.node(ff).module)
+        cross = true;
+    }
+  }
+  EXPECT_TRUE(cross);
+}
+
+}  // namespace
+}  // namespace rsnsec::benchgen

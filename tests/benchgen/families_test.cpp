@@ -1,0 +1,151 @@
+#include "benchgen/families.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rsnsec::benchgen {
+namespace {
+
+TEST(Families, ProfilesMatchPaperTable1) {
+  const auto& profiles = bastion_profiles();
+  ASSERT_EQ(profiles.size(), 13u);
+  EXPECT_EQ(bastion_profile("BasicSCB").scan_ffs, 176u);
+  EXPECT_EQ(bastion_profile("FlexScan").registers, 8485u);
+  EXPECT_EQ(bastion_profile("FlexScan").muxes, 4243u);
+  EXPECT_EQ(bastion_profile("p93791").registers, 1185u);
+  EXPECT_EQ(bastion_profile("p93791").scan_ffs, 98611u);
+  EXPECT_EQ(bastion_profile("TreeUnbalanced").scan_ffs, 41887u);
+  EXPECT_THROW(bastion_profile("nope"), std::invalid_argument);
+}
+
+TEST(Families, FullScaleSmallBenchmarksMatchCounts) {
+  Rng rng(1);
+  for (const char* name : {"BasicSCB", "Mingle", "TreeFlat"}) {
+    const BenchmarkProfile& p = bastion_profile(name);
+    rsn::RsnDocument doc = generate_bastion(p, 1.0, rng);
+    EXPECT_EQ(doc.network.registers().size(), p.registers) << name;
+    EXPECT_EQ(doc.network.num_scan_ffs(), p.scan_ffs) << name;
+    // Mux counts are matched exactly for chains; trees may use slightly
+    // fewer when subnets bottom out early.
+    EXPECT_LE(doc.network.muxes().size(), p.muxes) << name;
+    EXPECT_GE(doc.network.muxes().size(), p.muxes / 2) << name;
+    std::string err;
+    EXPECT_TRUE(doc.network.validate(&err)) << name << ": " << err;
+  }
+}
+
+TEST(Families, FullScaleRegisterAndFfCountsMatchForAll) {
+  // At scale 1 every family reproduces the published register and
+  // scan-FF counts exactly; mux counts are exact for chains/SoC wrappers
+  // and within [half, full] for trees (subnets may bottom out early).
+  Rng rng(2);
+  for (const BenchmarkProfile& p : bastion_profiles()) {
+    rsn::RsnDocument doc = generate_bastion(p, 1.0, rng);
+    EXPECT_EQ(doc.network.registers().size(), p.registers) << p.name;
+    EXPECT_EQ(doc.network.num_scan_ffs(), p.scan_ffs) << p.name;
+    EXPECT_LE(doc.network.muxes().size(), p.muxes) << p.name;
+    EXPECT_GE(doc.network.muxes().size(), p.muxes / 2) << p.name;
+    std::string err;
+    EXPECT_TRUE(doc.network.validate(&err)) << p.name << ": " << err;
+  }
+}
+
+class AllFamilies : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(AllFamilies, ScaledGenerationIsValid) {
+  Rng rng(7);
+  const BenchmarkProfile& p = bastion_profile(GetParam());
+  rsn::RsnDocument doc = generate_bastion(p, 0.02, rng);
+  std::string err;
+  EXPECT_TRUE(doc.network.validate(&err)) << err;
+  EXPECT_GE(doc.network.registers().size(), 3u);
+  EXPECT_GE(doc.network.num_scan_ffs(), doc.network.registers().size());
+  EXPECT_FALSE(doc.module_names.empty());
+  // Every register's module index is valid.
+  for (rsn::ElemId r : doc.network.registers()) {
+    auto m = doc.network.elem(r).module;
+    EXPECT_GE(m, 0);
+    EXPECT_LT(static_cast<std::size_t>(m), doc.module_names.size());
+  }
+}
+
+TEST_P(AllFamilies, GenerationIsDeterministic) {
+  Rng rng1(99), rng2(99);
+  const BenchmarkProfile& p = bastion_profile(GetParam());
+  rsn::RsnDocument a = generate_bastion(p, 0.05, rng1);
+  rsn::RsnDocument b = generate_bastion(p, 0.05, rng2);
+  EXPECT_EQ(a.network.registers().size(), b.network.registers().size());
+  EXPECT_EQ(a.network.num_scan_ffs(), b.network.num_scan_ffs());
+  EXPECT_EQ(a.network.muxes().size(), b.network.muxes().size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Bastion, AllFamilies,
+    ::testing::Values("BasicSCB", "Mingle", "TreeFlat", "TreeFlatEx",
+                      "TreeBalanced", "TreeUnbalanced", "q12710", "t512505",
+                      "p22810", "a586710", "p34392", "p93791", "FlexScan"));
+
+TEST(Mbist, FullScaleCountsMatchPaperFormulas) {
+  // regs = 2 + n*(11 + m*(5 + 3o)); ffs = 5 + n*(3 + m*(43 + 13o)).
+  struct Case {
+    std::size_t n, m, o, regs, ffs;
+  };
+  // Structural counts from Table I.
+  const Case cases[] = {
+      {1, 5, 5, 113, 548},   {1, 5, 20, 338, 1523},
+      {2, 5, 5, 224, 1091},  {5, 5, 5, 557, 2720},
+      {1, 20, 20, 1313, 6068},
+  };
+  for (const Case& c : cases) {
+    rsn::RsnDocument doc = generate_mbist(c.n, c.m, c.o, 1.0);
+    EXPECT_EQ(doc.network.registers().size(), c.regs)
+        << c.n << "_" << c.m << "_" << c.o;
+    EXPECT_EQ(doc.network.num_scan_ffs(), c.ffs)
+        << c.n << "_" << c.m << "_" << c.o;
+    std::string err;
+    EXPECT_TRUE(doc.network.validate(&err)) << err;
+  }
+}
+
+TEST(Mbist, HierarchicalModules) {
+  rsn::RsnDocument doc = generate_mbist(2, 3, 2, 1.0);
+  // chip + 2 cores + 6 controllers.
+  EXPECT_EQ(doc.module_names.size(), 1u + 2u + 6u);
+  EXPECT_EQ(doc.network.name(), "MBIST_2_3_2");
+  // Published mux totals: n*(2m+5) - 2(n-1).
+  EXPECT_EQ(doc.network.muxes().size(), 2u * (2 * 3 + 5) - 2u);
+}
+
+TEST(Mbist, MuxCountsMatchPaperFormula) {
+  struct Case {
+    std::size_t n, m, o, muxes;
+  };
+  const Case cases[] = {
+      {1, 5, 5, 15}, {1, 5, 20, 15}, {1, 20, 20, 45},
+      {2, 5, 5, 28}, {2, 20, 20, 88}, {5, 5, 5, 67},
+      {5, 20, 20, 217}, {20, 20, 20, 862},
+  };
+  for (const Case& c : cases) {
+    rsn::RsnDocument doc = generate_mbist(c.n, c.m, c.o, 1.0);
+    EXPECT_EQ(doc.network.muxes().size(), c.muxes)
+        << c.n << "_" << c.m << "_" << c.o;
+  }
+}
+
+TEST(Mbist, ScalingShrinksDimensions) {
+  rsn::RsnDocument big = generate_mbist(5, 5, 5, 1.0);
+  rsn::RsnDocument small = generate_mbist(5, 5, 5, 0.05);
+  EXPECT_LT(small.network.registers().size(),
+            big.network.registers().size());
+  std::string err;
+  EXPECT_TRUE(small.network.validate(&err)) << err;
+}
+
+TEST(Mbist, ConfigListMatchesTable1) {
+  EXPECT_EQ(mbist_configs().size(), 9u);
+  EXPECT_EQ(mbist_configs().front(), (std::array<std::size_t, 3>{1, 5, 5}));
+  EXPECT_EQ(mbist_configs().back(),
+            (std::array<std::size_t, 3>{20, 20, 20}));
+}
+
+}  // namespace
+}  // namespace rsnsec::benchgen

@@ -1,0 +1,58 @@
+#include "benchgen/specgen.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rsnsec::benchgen {
+namespace {
+
+TEST(SpecGen, AlwaysValidates) {
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    security::SecuritySpec spec = random_spec(12, {}, rng);
+    std::string err;
+    EXPECT_TRUE(spec.validate(&err)) << err;
+  }
+}
+
+TEST(SpecGen, RespectsCategoryCount) {
+  Rng rng(2);
+  SpecOptions opt;
+  opt.categories = 3;
+  security::SecuritySpec spec = random_spec(8, opt, rng);
+  EXPECT_EQ(spec.num_categories(), 3u);
+  for (netlist::ModuleId m = 0; m < 8; ++m)
+    EXPECT_LT(spec.policy(m).trust, 3u);
+}
+
+TEST(SpecGen, RestrictiveKnobProducesRestrictions) {
+  Rng rng(3);
+  SpecOptions restrictive;
+  restrictive.sensitive_module_prob = 1.0;
+  restrictive.expected_sensitive_modules = 100;  // all 20 modules sensitive
+  restrictive.restrict_prob = 0.9;
+  security::SecuritySpec spec = random_spec(20, restrictive, rng);
+  security::TokenTable tokens(spec, 20);
+  EXPECT_GT(tokens.num_tokens(), 0u);
+}
+
+TEST(SpecGen, PermissiveKnobProducesFewTokens) {
+  Rng rng(4);
+  SpecOptions permissive;
+  permissive.restrict_prob = 0.0;
+  security::SecuritySpec spec = random_spec(20, permissive, rng);
+  security::TokenTable tokens(spec, 20);
+  EXPECT_EQ(tokens.num_tokens(), 0u);
+}
+
+TEST(SpecGen, DeterministicForSeed) {
+  Rng r1(5), r2(5);
+  security::SecuritySpec a = random_spec(10, {}, r1);
+  security::SecuritySpec b = random_spec(10, {}, r2);
+  for (netlist::ModuleId m = 0; m < 10; ++m) {
+    EXPECT_EQ(a.policy(m).trust, b.policy(m).trust);
+    EXPECT_EQ(a.policy(m).accepted, b.policy(m).accepted);
+  }
+}
+
+}  // namespace
+}  // namespace rsnsec::benchgen

@@ -1,0 +1,88 @@
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "benchgen/running_example.hpp"
+
+namespace rsnsec {
+namespace {
+
+PipelineResult run_example() {
+  benchgen::RunningExample ex = benchgen::make_running_example();
+  SecureFlowTool tool(ex.circuit, ex.doc.network, ex.spec);
+  return tool.run();
+}
+
+TEST(Report, RowAccumulatorAverages) {
+  RowAccumulator acc("demo");
+  acc.set_structure(10, 100, 5);
+  PipelineResult a;
+  a.initial_violating_registers = 4;
+  a.pure.applied_changes = 2;
+  a.hybrid.applied_changes = 4;
+  a.t_total = 1.0;
+  PipelineResult b;
+  b.initial_violating_registers = 2;
+  b.pure.applied_changes = 0;
+  b.hybrid.applied_changes = 2;
+  b.t_total = 3.0;
+  acc.add(a);
+  acc.add(b);
+  acc.add_skipped_insecure();
+  BenchRow row = acc.finish();
+  EXPECT_EQ(row.runs, 2);
+  EXPECT_DOUBLE_EQ(row.avg_violating_registers, 3.0);
+  EXPECT_DOUBLE_EQ(row.avg_changes_pure, 1.0);
+  EXPECT_DOUBLE_EQ(row.avg_changes_hybrid, 3.0);
+  EXPECT_DOUBLE_EQ(row.avg_changes_total, 4.0);
+  EXPECT_DOUBLE_EQ(row.t_total, 2.0);
+  EXPECT_EQ(row.skipped_insecure, 1);
+}
+
+TEST(Report, TableRendering) {
+  RowAccumulator acc("demo");
+  acc.set_structure(10, 100, 5);
+  BenchRow row = acc.finish();
+  std::ostringstream os;
+  print_table_header(os);
+  print_table_row(os, row);
+  print_table_summary(os, {row});
+  EXPECT_NE(os.str().find("Benchmark"), std::string::npos);
+  EXPECT_NE(os.str().find("demo"), std::string::npos);
+}
+
+TEST(Report, JsonContainsAllSections) {
+  PipelineResult r = run_example();
+  std::ostringstream os;
+  write_json(os, r);
+  const std::string s = os.str();
+  for (const char* key :
+       {"\"secured\": true", "\"initial_violating_registers\"",
+        "\"dependency\"", "\"sat_calls\"", "\"changes\"", "\"log\"",
+        "\"runtime_seconds\""}) {
+    EXPECT_NE(s.find(key), std::string::npos) << key;
+  }
+  // One log entry per applied change.
+  std::size_t notes = 0, pos = 0;
+  while ((pos = s.find("\"note\"", pos)) != std::string::npos) {
+    ++notes;
+    pos += 6;
+  }
+  EXPECT_EQ(notes, r.changes.size());
+}
+
+TEST(Report, CsvHasHeaderAndRows) {
+  RowAccumulator acc("x");
+  acc.set_structure(1, 2, 3);
+  std::vector<BenchRow> rows{acc.finish()};
+  std::ostringstream os;
+  write_csv(os, rows);
+  std::string s = os.str();
+  EXPECT_NE(s.find("benchmark,registers"), std::string::npos);
+  EXPECT_NE(s.find("\nx,1,2,3,"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rsnsec

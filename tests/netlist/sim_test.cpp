@@ -1,0 +1,121 @@
+#include "netlist/sim.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rsnsec::netlist {
+namespace {
+
+TEST(Simulator, CombinationalEvaluation) {
+  Netlist nl;
+  NodeId a = nl.add_input("a");
+  NodeId b = nl.add_input("b");
+  NodeId g = nl.add_gate(GateType::And, {a, b});
+  NodeId h = nl.add_gate(GateType::Xor, {g, a});
+  NodeId ff = nl.add_ff("ff");
+  nl.set_ff_input(ff, h);
+
+  Simulator sim(nl);
+  sim.set_value(a, 0b1100);
+  sim.set_value(b, 0b1010);
+  sim.eval_comb();
+  EXPECT_EQ(sim.value(g) & 0xF, 0b1000u);
+  EXPECT_EQ(sim.value(h) & 0xF, 0b0100u);
+}
+
+TEST(Simulator, StepLoadsFlipFlops) {
+  // Shift register: ff2 <- ff1 <- input.
+  Netlist nl;
+  NodeId in = nl.add_input("in");
+  NodeId ff1 = nl.add_ff("ff1");
+  NodeId ff2 = nl.add_ff("ff2");
+  nl.set_ff_input(ff1, in);
+  nl.set_ff_input(ff2, ff1);
+
+  Simulator sim(nl);
+  sim.set_value(in, 1);
+  sim.set_value(ff1, 0);
+  sim.set_value(ff2, 0);
+  sim.step();
+  EXPECT_EQ(sim.value(ff1), 1u);
+  EXPECT_EQ(sim.value(ff2), 0u);
+  sim.step();
+  EXPECT_EQ(sim.value(ff2), 1u);
+}
+
+TEST(Simulator, StepUsesSimultaneousUpdate) {
+  // Swap circuit: a <- b, b <- a must exchange, not chain.
+  Netlist nl;
+  NodeId a = nl.add_ff("a");
+  NodeId b = nl.add_ff("b");
+  nl.set_ff_input(a, b);
+  nl.set_ff_input(b, a);
+  Simulator sim(nl);
+  sim.set_value(a, 0xF0);
+  sim.set_value(b, 0x0F);
+  sim.step();
+  EXPECT_EQ(sim.value(a), 0x0Fu);
+  EXPECT_EQ(sim.value(b), 0xF0u);
+}
+
+TEST(Simulator, ConstantsAreFixed) {
+  Netlist nl;
+  NodeId c0 = nl.add_const(false);
+  NodeId c1 = nl.add_const(true);
+  NodeId g = nl.add_gate(GateType::Or, {c0, c1});
+  Simulator sim(nl);
+  sim.eval_comb();
+  EXPECT_EQ(sim.value(c0), 0u);
+  EXPECT_EQ(sim.value(c1), ~0ULL);
+  EXPECT_EQ(sim.value(g), ~0ULL);
+}
+
+TEST(Simulator, RandomizeStateCoversInputsAndFFs) {
+  Netlist nl;
+  NodeId in = nl.add_input("in");
+  NodeId ff = nl.add_ff("ff");
+  nl.set_ff_input(ff, in);
+  Simulator sim(nl);
+  Rng rng(5);
+  sim.randomize_state(rng);
+  // 64 random bits are essentially never all-zero for both.
+  EXPECT_TRUE(sim.value(in) != 0 || sim.value(ff) != 0);
+}
+
+TEST(EvalCone, MatchesSimulator) {
+  Netlist nl;
+  NodeId a = nl.add_ff("a");
+  NodeId b = nl.add_ff("b");
+  NodeId in = nl.add_input("in");
+  NodeId g1 = nl.add_gate(GateType::Or, {a, in});
+  NodeId g2 = nl.add_gate(GateType::Mux, {b, g1, a});
+  NodeId target = nl.add_ff("t");
+  nl.set_ff_input(target, g2);
+  nl.set_ff_input(a, in);
+  nl.set_ff_input(b, in);
+
+  Cone cone = nl.extract_next_state_cone(target);
+  Rng rng(17);
+  Simulator sim(nl);
+  std::vector<std::uint64_t> scratch;
+  for (int round = 0; round < 8; ++round) {
+    sim.randomize_state(rng);
+    sim.eval_comb();
+    std::vector<std::uint64_t> leaf_vals;
+    for (NodeId leaf : cone.leaves) leaf_vals.push_back(sim.value(leaf));
+    EXPECT_EQ(eval_cone(nl, cone, leaf_vals, scratch), sim.value(g2));
+  }
+}
+
+TEST(EvalCone, DegenerateConeReturnsLeafValue) {
+  Netlist nl;
+  NodeId a = nl.add_ff("a");
+  NodeId t = nl.add_ff("t");
+  nl.set_ff_input(t, a);
+  nl.set_ff_input(a, a);
+  Cone cone = nl.extract_next_state_cone(t);
+  std::vector<std::uint64_t> scratch;
+  EXPECT_EQ(eval_cone(nl, cone, {0xDEADuLL}, scratch), 0xDEADuLL);
+}
+
+}  // namespace
+}  // namespace rsnsec::netlist

@@ -1,0 +1,138 @@
+#include "rsn/access.hpp"
+
+#include <gtest/gtest.h>
+
+#include "benchgen/circuit.hpp"
+#include "benchgen/families.hpp"
+#include "rsn/csu_sim.hpp"
+
+namespace rsnsec::rsn {
+namespace {
+
+/// scan_in -> a -> {M1: bypass | b} -> c -> scan_out.
+struct Net {
+  Rsn net{"n"};
+  ElemId a, b, c, m;
+  Net() {
+    a = net.add_register("a", 2, 0);
+    b = net.add_register("b", 3, 1);
+    c = net.add_register("c", 1, 2);
+    m = net.add_mux("m", 2);
+    net.connect(net.scan_in(), a, 0);
+    net.connect(a, b, 0);
+    net.connect(a, m, 0);
+    net.connect(b, m, 1);
+    net.connect(m, c, 0);
+    net.connect(c, net.scan_out(), 0);
+  }
+};
+
+TEST(AccessPlanner, PlansThroughMux) {
+  Net f;
+  AccessPlanner planner(f.net);
+  auto plan = planner.plan(f.b);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->target, f.b);
+  EXPECT_EQ(plan->width, 3u);
+  EXPECT_EQ(plan->chain_length, 6u);  // a(2) + b(3) + c(1)
+  EXPECT_EQ(plan->position, 2u);
+  // The mux must select input 1 (through b).
+  ASSERT_EQ(plan->mux_settings.size(), 1u);
+  EXPECT_EQ(plan->mux_settings[0],
+            (std::pair<ElemId, std::size_t>{f.m, 1}));
+}
+
+TEST(AccessPlanner, AppliedPlanActivatesTarget) {
+  Net f;
+  AccessPlanner planner(f.net);
+  for (ElemId target : {f.a, f.b, f.c}) {
+    auto plan = planner.plan(target);
+    ASSERT_TRUE(plan.has_value());
+    AccessPlanner::apply(*plan, f.net);
+    std::vector<ElemId> p = f.net.active_path();
+    EXPECT_NE(std::find(p.begin(), p.end(), target), p.end())
+        << f.net.elem(target).name;
+    EXPECT_EQ(p, plan->path);
+  }
+}
+
+TEST(AccessPlanner, ShiftOffsetsMatchSimulation) {
+  Net f;
+  netlist::Netlist nl;
+  netlist::NodeId src = nl.add_ff("src");
+  nl.set_ff_input(src, src);
+  f.net.set_capture(f.b, 1, src);  // b[1] captures src
+
+  AccessPlanner planner(f.net);
+  auto plan = planner.plan(f.b);
+  ASSERT_TRUE(plan.has_value());
+  AccessPlanner::apply(*plan, f.net);
+
+  // Read: capture, then shift until b[1] reaches scan-out.
+  CsuSimulator sim(f.net, nl);
+  sim.circuit().set_value(src, 0xAB);
+  sim.capture();
+  std::uint64_t out = 0;
+  for (std::size_t i = 0; i < plan->read_shifts(1); ++i) out = sim.shift(0);
+  EXPECT_EQ(out, 0xABu);
+
+  // Write: insert a value at scan-in and shift it into b[0].
+  CsuSimulator sim2(f.net, nl);
+  sim2.shift(0x77);  // insert
+  for (std::size_t i = 1; i < plan->write_shifts(0); ++i) sim2.shift(0);
+  EXPECT_EQ(sim2.scan_value(f.b, 0), 0x77u);
+}
+
+TEST(AccessPlanner, BypassedRegisterStillPlannable) {
+  Net f;
+  // Even with the mux currently bypassing b, planning must find it.
+  f.net.set_mux_select(f.m, 0);
+  AccessPlanner planner(f.net);
+  EXPECT_TRUE(planner.plan(f.b).has_value());
+  EXPECT_TRUE(planner.all_registers_accessible());
+}
+
+TEST(AccessPlanner, RejectsNonRegisters) {
+  Net f;
+  AccessPlanner planner(f.net);
+  EXPECT_FALSE(planner.plan(f.m).has_value());
+  EXPECT_FALSE(planner.plan(f.net.scan_in()).has_value());
+}
+
+TEST(AccessPlanner, DetectsInaccessibleRegister) {
+  Rsn net("n");
+  ElemId a = net.add_register("a", 1, 0);
+  ElemId orphan = net.add_register("orphan", 1, 0);
+  net.connect(net.scan_in(), a, 0);
+  net.connect(a, net.scan_out(), 0);
+  net.connect(orphan, orphan, 0);  // self-loop island (invalid network)
+  AccessPlanner planner(net);
+  EXPECT_TRUE(planner.plan(a).has_value());
+  EXPECT_FALSE(planner.plan(orphan).has_value());
+  EXPECT_FALSE(planner.all_registers_accessible());
+}
+
+class GeneratedAccess : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(GeneratedAccess, EveryRegisterOfGeneratedNetworksIsAccessible) {
+  Rng rng(5);
+  benchgen::BenchmarkProfile p = benchgen::bastion_profile(GetParam());
+  rsn::RsnDocument doc = benchgen::generate_bastion(p, 0.03, rng);
+  AccessPlanner planner(doc.network);
+  EXPECT_TRUE(planner.all_registers_accessible());
+  // And every plan is internally consistent.
+  for (ElemId r : doc.network.registers()) {
+    auto plan = planner.plan(r);
+    ASSERT_TRUE(plan.has_value());
+    EXPECT_EQ(plan->path.front(), doc.network.scan_in());
+    EXPECT_EQ(plan->path.back(), doc.network.scan_out());
+    EXPECT_LE(plan->position + plan->width, plan->chain_length);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bastion, GeneratedAccess,
+                         ::testing::Values("BasicSCB", "TreeFlatEx",
+                                           "p22810", "FlexScan"));
+
+}  // namespace
+}  // namespace rsnsec::rsn

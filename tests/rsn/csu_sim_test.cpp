@@ -1,0 +1,122 @@
+#include "rsn/csu_sim.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rsnsec::rsn {
+namespace {
+
+/// Circuit: two FFs a, b (a holds a secret constant via self-loop). RSN:
+/// one 2-FF register capturing {a, b} and updating b.
+struct Fixture {
+  netlist::Netlist nl;
+  netlist::NodeId a, b;
+  Rsn net{"t"};
+  ElemId reg;
+
+  Fixture() {
+    a = nl.add_ff("a");
+    b = nl.add_ff("b");
+    nl.set_ff_input(a, a);  // hold
+    nl.set_ff_input(b, b);  // hold unless updated
+    reg = net.add_register("reg", 2, 0);
+    net.connect(net.scan_in(), reg, 0);
+    net.connect(reg, net.scan_out(), 0);
+    net.set_capture(reg, 0, a);
+    net.set_capture(reg, 1, b);
+    net.set_update(reg, 1, b);
+  }
+};
+
+TEST(CsuSim, CapturesCircuitValues) {
+  Fixture f;
+  CsuSimulator sim(f.net, f.nl);
+  sim.circuit().set_value(f.a, 0xAA);
+  sim.circuit().set_value(f.b, 0x55);
+  sim.capture();
+  EXPECT_EQ(sim.scan_value(f.reg, 0), 0xAAu);
+  EXPECT_EQ(sim.scan_value(f.reg, 1), 0x55u);
+}
+
+TEST(CsuSim, ShiftMovesTowardScanOut) {
+  Fixture f;
+  CsuSimulator sim(f.net, f.nl);
+  sim.set_scan_value(f.reg, 0, 1);
+  sim.set_scan_value(f.reg, 1, 2);
+  std::uint64_t out = sim.shift(7);
+  EXPECT_EQ(out, 2u);                          // last FF fell out
+  EXPECT_EQ(sim.scan_value(f.reg, 0), 7u);     // scan-in entered
+  EXPECT_EQ(sim.scan_value(f.reg, 1), 1u);     // moved forward
+}
+
+TEST(CsuSim, UpdateWritesIntoCircuit) {
+  Fixture f;
+  CsuSimulator sim(f.net, f.nl);
+  sim.set_scan_value(f.reg, 1, 0xF0F0);
+  sim.update();
+  EXPECT_EQ(sim.circuit().value(f.b), 0xF0F0u);
+  // FF 0 has no update target: circuit value of a untouched.
+}
+
+TEST(CsuSim, FullReadoutSequence) {
+  // Capture then shift everything out: scan-out stream = b then a.
+  Fixture f;
+  CsuSimulator sim(f.net, f.nl);
+  sim.circuit().set_value(f.a, 0x11);
+  sim.circuit().set_value(f.b, 0x22);
+  sim.capture();
+  EXPECT_EQ(sim.shift(0), 0x22u);
+  EXPECT_EQ(sim.shift(0), 0x11u);
+}
+
+TEST(CsuSim, OffPathRegistersHold) {
+  // Two registers behind a mux: the deselected one must not shift.
+  netlist::Netlist nl;
+  Rsn net("t2");
+  ElemId ra = net.add_register("ra", 1, 0);
+  ElemId rb = net.add_register("rb", 1, 0);
+  ElemId m = net.add_mux("m", 2);
+  net.connect(net.scan_in(), ra, 0);
+  net.connect(net.scan_in(), rb, 0);
+  net.connect(ra, m, 0);
+  net.connect(rb, m, 1);
+  net.connect(m, net.scan_out(), 0);
+  net.set_mux_select(m, 0);  // ra active
+
+  CsuSimulator sim(net, nl);
+  sim.set_scan_value(ra, 0, 5);
+  sim.set_scan_value(rb, 0, 9);
+  EXPECT_EQ(sim.shift(1), 5u);
+  EXPECT_EQ(sim.scan_value(ra, 0), 1u);
+  EXPECT_EQ(sim.scan_value(rb, 0), 9u);  // held
+}
+
+TEST(CsuSim, ClockCircuitPropagatesData) {
+  // a -> g(buf) -> c: after one clock, c holds a's old value.
+  netlist::Netlist nl;
+  netlist::NodeId a = nl.add_ff("a");
+  netlist::NodeId c = nl.add_ff("c");
+  nl.set_ff_input(a, a);
+  nl.set_ff_input(c, a);
+  Rsn net("t3");
+  ElemId reg = net.add_register("r", 1, 0);
+  net.connect(net.scan_in(), reg, 0);
+  net.connect(reg, net.scan_out(), 0);
+
+  CsuSimulator sim(net, nl);
+  sim.circuit().set_value(a, 0x3C);
+  sim.circuit().set_value(c, 0);
+  sim.clock_circuit(1);
+  EXPECT_EQ(sim.circuit().value(c), 0x3Cu);
+}
+
+TEST(CsuSim, ActiveChainOrdersFlipFlops) {
+  Fixture f;
+  CsuSimulator sim(f.net, f.nl);
+  auto chain = sim.active_chain();
+  ASSERT_EQ(chain.size(), 2u);
+  EXPECT_EQ(chain[0], (std::pair<ElemId, std::size_t>{f.reg, 0}));
+  EXPECT_EQ(chain[1], (std::pair<ElemId, std::size_t>{f.reg, 1}));
+}
+
+}  // namespace
+}  // namespace rsnsec::rsn

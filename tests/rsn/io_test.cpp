@@ -1,0 +1,107 @@
+#include "rsn/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace rsnsec::rsn {
+namespace {
+
+RsnDocument make_doc() {
+  RsnDocument doc;
+  doc.network = Rsn("demo");
+  doc.module_names = {"crypto", "sensor"};
+  Rsn& net = doc.network;
+  ElemId r1 = net.add_register("r1", 2, 0);
+  ElemId r2 = net.add_register("r2", 3, 1);
+  ElemId m = net.add_mux("m", 2);
+  net.connect(net.scan_in(), r1, 0);
+  net.connect(r1, r2, 0);
+  net.connect(r1, m, 0);
+  net.connect(r2, m, 1);
+  net.connect(m, net.scan_out(), 0);
+  return doc;
+}
+
+TEST(RsnIo, RoundTripPreservesStructure) {
+  RsnDocument doc = make_doc();
+  std::ostringstream os;
+  write_rsn(os, doc.network, doc.module_names);
+  std::istringstream is(os.str());
+  RsnDocument back = read_rsn(is);
+
+  EXPECT_EQ(back.network.name(), "demo");
+  EXPECT_EQ(back.module_names, doc.module_names);
+  ASSERT_EQ(back.network.registers().size(), 2u);
+  ASSERT_EQ(back.network.muxes().size(), 1u);
+  EXPECT_EQ(back.network.num_scan_ffs(), 5u);
+
+  // Same connection structure.
+  std::ostringstream os2;
+  write_rsn(os2, back.network, back.module_names);
+  EXPECT_EQ(os.str(), os2.str());
+}
+
+TEST(RsnIo, RoundTripPreservesValidation) {
+  RsnDocument doc = make_doc();
+  std::ostringstream os;
+  write_rsn(os, doc.network, doc.module_names);
+  std::istringstream is(os.str());
+  RsnDocument back = read_rsn(is);
+  std::string err;
+  EXPECT_TRUE(back.network.validate(&err)) << err;
+}
+
+TEST(RsnIo, ParsesCommentsAndBlankLines) {
+  std::istringstream is(
+      "# a comment\n"
+      "\n"
+      "rsn x\n"
+      "register r ffs 1 module -1\n"
+      "connect scan_in r 0\n"
+      "connect r scan_out 0\n");
+  RsnDocument doc = read_rsn(is);
+  EXPECT_EQ(doc.network.registers().size(), 1u);
+  EXPECT_TRUE(doc.network.validate());
+}
+
+TEST(RsnIo, RejectsUnknownElement) {
+  std::istringstream is(
+      "rsn x\n"
+      "connect scan_in nosuch 0\n");
+  EXPECT_THROW(read_rsn(is), std::runtime_error);
+}
+
+TEST(RsnIo, RejectsUnknownKeyword) {
+  std::istringstream is("rsn x\nfrobnicate y\n");
+  EXPECT_THROW(read_rsn(is), std::runtime_error);
+}
+
+TEST(RsnIo, RejectsDuplicateNames) {
+  std::istringstream is(
+      "rsn x\n"
+      "register r ffs 1 module 0\n"
+      "mux r inputs 2\n");
+  EXPECT_THROW(read_rsn(is), std::runtime_error);
+}
+
+TEST(RsnIo, RejectsMissingHeader) {
+  std::istringstream is("register r ffs 1 module 0\n");
+  EXPECT_THROW(read_rsn(is), std::runtime_error);
+}
+
+TEST(RsnIo, RejectsNonConsecutiveModules) {
+  std::istringstream is("rsn x\nmodule 1 foo\n");
+  EXPECT_THROW(read_rsn(is), std::runtime_error);
+}
+
+TEST(RsnIo, SummarizeMentionsCounts) {
+  RsnDocument doc = make_doc();
+  std::string s = summarize(doc.network);
+  EXPECT_NE(s.find("2 registers"), std::string::npos);
+  EXPECT_NE(s.find("5 scan FFs"), std::string::npos);
+  EXPECT_NE(s.find("1 muxes"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rsnsec::rsn

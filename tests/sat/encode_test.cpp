@@ -1,0 +1,125 @@
+#include "sat/encode.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+namespace rsnsec::sat {
+namespace {
+
+/// Exhaustively checks that `out` equals `fn(inputs)` in every model of
+/// the encoding: for each input assignment, the encoding with that
+/// assignment assumed must be SAT with out == fn, and UNSAT with
+/// out == !fn forced.
+void check_gate(std::size_t arity,
+                const std::function<void(Solver&, Lit, std::vector<Lit>&)>&
+                    encode,
+                const std::function<bool(const std::vector<bool>&)>& fn) {
+  for (std::uint32_t m = 0; m < (1u << arity); ++m) {
+    Solver s;
+    std::vector<Lit> ins;
+    for (std::size_t i = 0; i < arity; ++i) ins.push_back(mk_lit(s.new_var()));
+    Lit out = mk_lit(s.new_var());
+    encode(s, out, ins);
+    std::vector<bool> vals(arity);
+    std::vector<Lit> assume;
+    for (std::size_t i = 0; i < arity; ++i) {
+      vals[i] = ((m >> i) & 1u) != 0;
+      assume.push_back(vals[i] ? ins[i] : ~ins[i]);
+    }
+    bool expect = fn(vals);
+
+    std::vector<Lit> with_out = assume;
+    with_out.push_back(expect ? out : ~out);
+    EXPECT_EQ(s.solve(with_out), Result::Sat) << "input mask " << m;
+
+    with_out.back() = expect ? ~out : out;
+    EXPECT_EQ(s.solve(with_out), Result::Unsat) << "input mask " << m;
+  }
+}
+
+TEST(Encode, And) {
+  for (std::size_t arity : {1u, 2u, 3u, 4u}) {
+    check_gate(
+        arity,
+        [](Solver& s, Lit out, std::vector<Lit>& ins) {
+          encode_and(s, out, ins);
+        },
+        [](const std::vector<bool>& v) {
+          bool r = true;
+          for (bool b : v) r = r && b;
+          return r;
+        });
+  }
+}
+
+TEST(Encode, Or) {
+  for (std::size_t arity : {1u, 2u, 3u, 4u}) {
+    check_gate(
+        arity,
+        [](Solver& s, Lit out, std::vector<Lit>& ins) {
+          encode_or(s, out, ins);
+        },
+        [](const std::vector<bool>& v) {
+          bool r = false;
+          for (bool b : v) r = r || b;
+          return r;
+        });
+  }
+}
+
+TEST(Encode, Xor) {
+  for (std::size_t arity : {1u, 2u, 3u, 4u, 5u}) {
+    check_gate(
+        arity,
+        [](Solver& s, Lit out, std::vector<Lit>& ins) {
+          encode_xor(s, out, ins);
+        },
+        [](const std::vector<bool>& v) {
+          bool r = false;
+          for (bool b : v) r = r != b;
+          return r;
+        });
+  }
+}
+
+TEST(Encode, Mux) {
+  check_gate(
+      3,
+      [](Solver& s, Lit out, std::vector<Lit>& ins) {
+        encode_mux(s, out, ins[0], ins[1], ins[2]);
+      },
+      [](const std::vector<bool>& v) { return v[0] ? v[2] : v[1]; });
+}
+
+TEST(Encode, Eq) {
+  check_gate(
+      1,
+      [](Solver& s, Lit out, std::vector<Lit>& ins) {
+        encode_eq(s, out, ins[0]);
+      },
+      [](const std::vector<bool>& v) { return v[0]; });
+}
+
+TEST(Encode, Eq2) {
+  check_gate(
+      2,
+      [](Solver& s, Lit out, std::vector<Lit>& ins) {
+        encode_eq2(s, out, ins[0], ins[1]);
+      },
+      [](const std::vector<bool>& v) { return v[0] == v[1]; });
+}
+
+TEST(Encode, NegatedOutputEncodesNand) {
+  // encode_and on ~out yields a NAND, the idiom cone_check uses.
+  check_gate(
+      2,
+      [](Solver& s, Lit out, std::vector<Lit>& ins) {
+        encode_and(s, ~out, ins);
+      },
+      [](const std::vector<bool>& v) { return !(v[0] && v[1]); });
+}
+
+}  // namespace
+}  // namespace rsnsec::sat

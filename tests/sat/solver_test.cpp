@@ -1,0 +1,204 @@
+#include "sat/solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace rsnsec::sat {
+namespace {
+
+TEST(Solver, EmptyFormulaIsSat) {
+  Solver s;
+  EXPECT_EQ(s.solve(), Result::Sat);
+}
+
+TEST(Solver, SingleUnitClause) {
+  Solver s;
+  Var v = s.new_var();
+  ASSERT_TRUE(s.add_clause(mk_lit(v)));
+  ASSERT_EQ(s.solve(), Result::Sat);
+  EXPECT_TRUE(s.model_value(v));
+}
+
+TEST(Solver, ConflictingUnitsAreUnsat) {
+  Solver s;
+  Var v = s.new_var();
+  EXPECT_TRUE(s.add_clause(mk_lit(v)));
+  EXPECT_FALSE(s.add_clause(~mk_lit(v)));
+  EXPECT_EQ(s.solve(), Result::Unsat);
+}
+
+TEST(Solver, TautologicalClauseIgnored) {
+  Solver s;
+  Var v = s.new_var();
+  EXPECT_TRUE(s.add_clause(Clause{mk_lit(v), ~mk_lit(v)}));
+  EXPECT_EQ(s.solve(), Result::Sat);
+}
+
+TEST(Solver, DuplicateLiteralsCollapsed) {
+  Solver s;
+  Var v = s.new_var();
+  EXPECT_TRUE(s.add_clause(Clause{mk_lit(v), mk_lit(v), mk_lit(v)}));
+  ASSERT_EQ(s.solve(), Result::Sat);
+  EXPECT_TRUE(s.model_value(v));
+}
+
+TEST(Solver, SimpleImplicationChain) {
+  // a, a->b, b->c  forces c.
+  Solver s;
+  Var a = s.new_var(), b = s.new_var(), c = s.new_var();
+  s.add_clause(mk_lit(a));
+  s.add_clause(~mk_lit(a), mk_lit(b));
+  s.add_clause(~mk_lit(b), mk_lit(c));
+  ASSERT_EQ(s.solve(), Result::Sat);
+  EXPECT_TRUE(s.model_value(c));
+}
+
+TEST(Solver, XorChainUnsat) {
+  // (a xor b)(b xor c)(c xor a) is unsatisfiable.
+  Solver s;
+  Var a = s.new_var(), b = s.new_var(), c = s.new_var();
+  auto add_xor = [&](Var x, Var y) {
+    s.add_clause(mk_lit(x), mk_lit(y));
+    s.add_clause(~mk_lit(x), ~mk_lit(y));
+  };
+  add_xor(a, b);
+  add_xor(b, c);
+  add_xor(c, a);
+  EXPECT_EQ(s.solve(), Result::Unsat);
+}
+
+// Pigeonhole principle PHP(n+1, n): n+1 pigeons into n holes, classic
+// hard-UNSAT family that exercises conflict analysis and learning.
+Result solve_php(int pigeons, int holes) {
+  Solver s;
+  std::vector<std::vector<Var>> x(pigeons, std::vector<Var>(holes));
+  for (auto& row : x)
+    for (Var& v : row) v = s.new_var();
+  for (int p = 0; p < pigeons; ++p) {
+    Clause c;
+    for (int h = 0; h < holes; ++h) c.push_back(mk_lit(x[p][h]));
+    s.add_clause(std::move(c));
+  }
+  for (int h = 0; h < holes; ++h)
+    for (int p1 = 0; p1 < pigeons; ++p1)
+      for (int p2 = p1 + 1; p2 < pigeons; ++p2)
+        s.add_clause(~mk_lit(x[p1][h]), ~mk_lit(x[p2][h]));
+  return s.solve();
+}
+
+TEST(Solver, PigeonholeUnsat) {
+  EXPECT_EQ(solve_php(4, 3), Result::Unsat);
+  EXPECT_EQ(solve_php(6, 5), Result::Unsat);
+}
+
+TEST(Solver, PigeonholeSatWhenEnoughHoles) {
+  EXPECT_EQ(solve_php(4, 4), Result::Sat);
+}
+
+TEST(Solver, AssumptionsRestrictModels) {
+  Solver s;
+  Var a = s.new_var(), b = s.new_var();
+  s.add_clause(mk_lit(a), mk_lit(b));
+  ASSERT_EQ(s.solve({~mk_lit(a)}), Result::Sat);
+  EXPECT_TRUE(s.model_value(b));
+  ASSERT_EQ(s.solve({~mk_lit(b)}), Result::Sat);
+  EXPECT_TRUE(s.model_value(a));
+  EXPECT_EQ(s.solve({~mk_lit(a), ~mk_lit(b)}), Result::Unsat);
+  // The solver is reusable after an UNSAT-under-assumptions call.
+  EXPECT_EQ(s.solve(), Result::Sat);
+}
+
+TEST(Solver, AssumptionConflictingWithUnit) {
+  Solver s;
+  Var a = s.new_var();
+  s.add_clause(mk_lit(a));
+  EXPECT_EQ(s.solve({~mk_lit(a)}), Result::Unsat);
+  EXPECT_EQ(s.solve({mk_lit(a)}), Result::Sat);
+}
+
+TEST(Solver, ConflictLimitReturnsUnknown) {
+  Solver s;
+  s.set_conflict_limit(1);
+  // A formula needing more than one conflict: PHP(5,4) inline.
+  std::vector<std::vector<Var>> x(5, std::vector<Var>(4));
+  for (auto& row : x)
+    for (Var& v : row) v = s.new_var();
+  for (int p = 0; p < 5; ++p) {
+    Clause c;
+    for (int h = 0; h < 4; ++h) c.push_back(mk_lit(x[p][h]));
+    s.add_clause(std::move(c));
+  }
+  for (int h = 0; h < 4; ++h)
+    for (int p1 = 0; p1 < 5; ++p1)
+      for (int p2 = p1 + 1; p2 < 5; ++p2)
+        s.add_clause(~mk_lit(x[p1][h]), ~mk_lit(x[p2][h]));
+  EXPECT_EQ(s.solve(), Result::Unknown);
+}
+
+TEST(Solver, LubySequence) {
+  const std::uint64_t expect[] = {1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8};
+  for (std::size_t i = 0; i < std::size(expect); ++i)
+    EXPECT_EQ(luby(i), expect[i]) << "index " << i;
+}
+
+// Random 3-SAT fuzz against a brute-force oracle.
+class RandomCnf : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomCnf, AgreesWithBruteForce) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+  const int num_vars = 8;
+  const int num_clauses = 3 + static_cast<int>(rng.below(30));
+  std::vector<Clause> clauses;
+  for (int c = 0; c < num_clauses; ++c) {
+    Clause cl;
+    for (int l = 0; l < 3; ++l) {
+      auto v = static_cast<Var>(rng.below(num_vars));
+      cl.push_back(mk_lit(v, rng.chance(0.5)));
+    }
+    clauses.push_back(std::move(cl));
+  }
+
+  // Brute force over all 2^8 assignments.
+  bool brute_sat = false;
+  for (std::uint32_t m = 0; m < (1u << num_vars) && !brute_sat; ++m) {
+    bool all = true;
+    for (const Clause& cl : clauses) {
+      bool any = false;
+      for (Lit l : cl) {
+        bool val = ((m >> var(l)) & 1u) != 0;
+        if (val != sign(l)) {
+          any = true;
+          break;
+        }
+      }
+      if (!any) {
+        all = false;
+        break;
+      }
+    }
+    brute_sat = all;
+  }
+
+  Solver s;
+  for (int v = 0; v < num_vars; ++v) s.new_var();
+  bool ok = true;
+  for (const Clause& cl : clauses) ok = s.add_clause(cl) && ok;
+  Result r = ok ? s.solve() : Result::Unsat;
+  EXPECT_EQ(r == Result::Sat, brute_sat);
+  if (r == Result::Sat) {
+    // The returned model must satisfy every clause.
+    for (const Clause& cl : clauses) {
+      bool any = false;
+      for (Lit l : cl) any = any || s.model_value(l);
+      EXPECT_TRUE(any);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fuzz, RandomCnf, ::testing::Range(0, 60));
+
+}  // namespace
+}  // namespace rsnsec::sat

@@ -1,0 +1,130 @@
+#include "security/filter.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rsnsec::security {
+namespace {
+
+using rsn::ElemId;
+using rsn::Rsn;
+
+/// Modules: 0 = confidential (accepts only category 1), 1 = neutral,
+/// 2 = untrusted (trust 0).
+SecuritySpec make_spec() {
+  SecuritySpec spec(3, 2);
+  spec.set_policy(0, 1, 0b10);
+  spec.set_policy(1, 1, 0b11);
+  spec.set_policy(2, 0, 0b11);
+  return spec;
+}
+
+TEST(FilterBaseline, SeparablePairStaysAccessible) {
+  // conf and bad sit on parallel branches of a mux: a filter can access
+  // each by bypassing the other.
+  SecuritySpec spec = make_spec();
+  TokenTable tokens(spec, 3);
+  Rsn net("n");
+  ElemId conf = net.add_register("conf", 1, 0);
+  ElemId bad = net.add_register("bad", 1, 2);
+  ElemId m = net.add_mux("m", 2);
+  net.connect(net.scan_in(), conf, 0);
+  net.connect(net.scan_in(), bad, 0);
+  net.connect(conf, m, 0);
+  net.connect(bad, m, 1);
+  net.connect(m, net.scan_out(), 0);
+
+  AccessFilterBaseline filter(net, spec, tokens);
+  FilterReport report = filter.analyze();
+  EXPECT_EQ(report.inaccessible.size(), 0u);
+  EXPECT_EQ(report.accessible.size(), 2u);
+}
+
+TEST(FilterBaseline, InseparablePairLosesAccess) {
+  // conf -> bad in series with no alternative route: every path through
+  // bad also passes conf, so a filter must lock bad out entirely.
+  SecuritySpec spec = make_spec();
+  TokenTable tokens(spec, 3);
+  Rsn net("n");
+  ElemId conf = net.add_register("conf", 1, 0);
+  ElemId bad = net.add_register("bad", 1, 2);
+  net.connect(net.scan_in(), conf, 0);
+  net.connect(conf, bad, 0);
+  net.connect(bad, net.scan_out(), 0);
+
+  AccessFilterBaseline filter(net, spec, tokens);
+  // Every path is scan_in -> conf -> bad -> scan_out: accessing either
+  // register crosses the violating pair, so the filter locks out BOTH —
+  // "forcing a filter to make every such pair inaccessible".
+  EXPECT_FALSE(filter.has_clean_path(conf));
+  EXPECT_FALSE(filter.has_clean_path(bad));
+  FilterReport report = filter.analyze();
+  EXPECT_EQ(report.inaccessible.size(), 2u);
+}
+
+TEST(FilterBaseline, BypassMuxRestoresAccess) {
+  // Same series pair, but with a bypass mux around conf: the filter can
+  // reach bad over the bypass.
+  SecuritySpec spec = make_spec();
+  TokenTable tokens(spec, 3);
+  Rsn net("n");
+  ElemId conf = net.add_register("conf", 1, 0);
+  ElemId bad = net.add_register("bad", 1, 2);
+  ElemId byp = net.add_mux("byp", 2);
+  net.connect(net.scan_in(), conf, 0);
+  net.connect(net.scan_in(), byp, 0);
+  net.connect(conf, byp, 1);
+  net.connect(byp, bad, 0);
+  net.connect(bad, net.scan_out(), 0);
+
+  AccessFilterBaseline filter(net, spec, tokens);
+  // bad is reachable over the bypass without crossing conf...
+  EXPECT_TRUE(filter.has_clean_path(bad));
+  // ...but every path through conf still continues into bad, so conf
+  // itself stays locked out.
+  EXPECT_FALSE(filter.has_clean_path(conf));
+}
+
+TEST(FilterBaseline, OrderMattersForAccess) {
+  // bad BEFORE conf: data of conf never reaches bad, both accessible on
+  // the single path.
+  SecuritySpec spec = make_spec();
+  TokenTable tokens(spec, 3);
+  Rsn net("n");
+  ElemId bad = net.add_register("bad", 1, 2);
+  ElemId conf = net.add_register("conf", 1, 0);
+  net.connect(net.scan_in(), bad, 0);
+  net.connect(bad, conf, 0);
+  net.connect(conf, net.scan_out(), 0);
+
+  AccessFilterBaseline filter(net, spec, tokens);
+  FilterReport report = filter.analyze();
+  EXPECT_TRUE(report.inaccessible.empty());
+}
+
+TEST(FilterBaseline, PermissiveSpecAllowsEverything) {
+  SecuritySpec spec(3, 2);
+  TokenTable tokens(spec, 3);
+  Rsn net("n");
+  ElemId a = net.add_register("a", 1, 0);
+  ElemId b = net.add_register("b", 1, 2);
+  net.connect(net.scan_in(), a, 0);
+  net.connect(a, b, 0);
+  net.connect(b, net.scan_out(), 0);
+  AccessFilterBaseline filter(net, spec, tokens);
+  EXPECT_TRUE(filter.analyze().inaccessible.empty());
+}
+
+TEST(FilterBaseline, NonRegistersHaveNoCleanPath) {
+  SecuritySpec spec = make_spec();
+  TokenTable tokens(spec, 3);
+  Rsn net("n");
+  ElemId a = net.add_register("a", 1, 1);
+  net.connect(net.scan_in(), a, 0);
+  net.connect(a, net.scan_out(), 0);
+  AccessFilterBaseline filter(net, spec, tokens);
+  EXPECT_FALSE(filter.has_clean_path(net.scan_in()));
+  EXPECT_FALSE(filter.has_clean_path(net.scan_out()));
+}
+
+}  // namespace
+}  // namespace rsnsec::security

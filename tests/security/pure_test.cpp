@@ -1,0 +1,181 @@
+#include "security/pure.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rsnsec::security {
+namespace {
+
+using rsn::ElemId;
+using rsn::Rsn;
+
+/// Three modules: 0 = confidential source, 1 = neutral, 2 = untrusted.
+/// Confidential data accepts categories {1} only; untrusted has trust 0.
+SecuritySpec make_spec() {
+  SecuritySpec spec(3, 2);
+  spec.set_policy(0, 1, 0b10);  // confidential
+  spec.set_policy(1, 1, 0b11);  // neutral
+  spec.set_policy(2, 0, 0b11);  // untrusted
+  return spec;
+}
+
+struct Fixture {
+  SecuritySpec spec = make_spec();
+  TokenTable tokens{spec, 3};
+  PureScanAnalyzer analyzer{spec, tokens};
+};
+
+TEST(PureScan, DetectsDownstreamViolation) {
+  // conf -> neutral -> untrusted: violation at the untrusted register.
+  Fixture f;
+  Rsn net("n");
+  ElemId conf = net.add_register("conf", 2, 0);
+  ElemId mid = net.add_register("mid", 2, 1);
+  ElemId bad = net.add_register("bad", 2, 2);
+  net.connect(net.scan_in(), conf, 0);
+  net.connect(conf, mid, 0);
+  net.connect(mid, bad, 0);
+  net.connect(bad, net.scan_out(), 0);
+
+  EXPECT_EQ(f.analyzer.count_violating_registers(net), 1u);
+  auto v = f.analyzer.find_violation(net);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->origin, conf);
+  EXPECT_EQ(v->victim, bad);
+  EXPECT_EQ(v->path.front(), conf);
+  EXPECT_EQ(v->path.back(), bad);
+}
+
+TEST(PureScan, DirectionMatters) {
+  // untrusted BEFORE confidential: data of conf never flows backward, so
+  // no violation (data-flow semantics).
+  Fixture f;
+  Rsn net("n");
+  ElemId bad = net.add_register("bad", 1, 2);
+  ElemId conf = net.add_register("conf", 1, 0);
+  net.connect(net.scan_in(), bad, 0);
+  net.connect(bad, conf, 0);
+  net.connect(conf, net.scan_out(), 0);
+  EXPECT_EQ(f.analyzer.count_violating_registers(net), 0u);
+  EXPECT_FALSE(f.analyzer.find_violation(net).has_value());
+}
+
+TEST(PureScan, PropagatesThroughMuxes) {
+  // conf -> mux -> untrusted: violation over any-configuration paths.
+  Fixture f;
+  Rsn net("n");
+  ElemId conf = net.add_register("conf", 1, 0);
+  ElemId other = net.add_register("other", 1, 1);
+  ElemId bad = net.add_register("bad", 1, 2);
+  ElemId m = net.add_mux("m", 2);
+  net.connect(net.scan_in(), conf, 0);
+  net.connect(net.scan_in(), other, 0);
+  net.connect(conf, m, 0);
+  net.connect(other, m, 1);
+  net.connect(m, bad, 0);
+  net.connect(bad, net.scan_out(), 0);
+  EXPECT_EQ(f.analyzer.count_violating_registers(net), 1u);
+}
+
+TEST(PureScan, NoViolationWhenAccepted) {
+  // conf -> neutral only: neutral's trust (1) is accepted by conf's data.
+  Fixture f;
+  Rsn net("n");
+  ElemId conf = net.add_register("conf", 1, 0);
+  ElemId mid = net.add_register("mid", 1, 1);
+  net.connect(net.scan_in(), conf, 0);
+  net.connect(conf, mid, 0);
+  net.connect(mid, net.scan_out(), 0);
+  EXPECT_FALSE(f.analyzer.find_violation(net).has_value());
+}
+
+TEST(PureScan, ResolveSimpleChain) {
+  Fixture f;
+  Rsn net("n");
+  ElemId conf = net.add_register("conf", 1, 0);
+  ElemId bad = net.add_register("bad", 1, 2);
+  net.connect(net.scan_in(), conf, 0);
+  net.connect(conf, bad, 0);
+  net.connect(bad, net.scan_out(), 0);
+
+  std::vector<AppliedChange> log;
+  PureStats stats = f.analyzer.detect_and_resolve(net, &log);
+  EXPECT_EQ(stats.initial_violating_registers, 1u);
+  EXPECT_GE(stats.applied_changes, 1);
+  EXPECT_EQ(log.size(), static_cast<std::size_t>(stats.applied_changes));
+  EXPECT_FALSE(f.analyzer.find_violation(net).has_value());
+  std::string err;
+  EXPECT_TRUE(net.validate(&err)) << err;
+  // All registers preserved (the paper's guarantee).
+  EXPECT_EQ(net.registers().size(), 2u);
+}
+
+TEST(PureScan, ResolveKeepsUnrelatedConnectivity) {
+  Fixture f;
+  Rsn net("n");
+  ElemId conf = net.add_register("conf", 1, 0);
+  ElemId mid = net.add_register("mid", 1, 1);
+  ElemId bad = net.add_register("bad", 1, 2);
+  ElemId tail = net.add_register("tail", 1, 1);
+  net.connect(net.scan_in(), conf, 0);
+  net.connect(conf, mid, 0);
+  net.connect(mid, bad, 0);
+  net.connect(bad, tail, 0);
+  net.connect(tail, net.scan_out(), 0);
+
+  f.analyzer.detect_and_resolve(net);
+  EXPECT_FALSE(f.analyzer.find_violation(net).has_value());
+  std::string err;
+  EXPECT_TRUE(net.validate(&err)) << err;
+}
+
+TEST(PureScan, ResolveMultipleIndependentViolations) {
+  Fixture f;
+  Rsn net("n");
+  // Two parallel branches, each with its own violation.
+  ElemId c1 = net.add_register("c1", 1, 0);
+  ElemId b1 = net.add_register("b1", 1, 2);
+  ElemId c2 = net.add_register("c2", 1, 0);
+  ElemId b2 = net.add_register("b2", 1, 2);
+  ElemId m = net.add_mux("m", 2);
+  net.connect(net.scan_in(), c1, 0);
+  net.connect(c1, b1, 0);
+  net.connect(net.scan_in(), c2, 0);
+  net.connect(c2, b2, 0);
+  net.connect(b1, m, 0);
+  net.connect(b2, m, 1);
+  net.connect(m, net.scan_out(), 0);
+
+  PureStats stats = f.analyzer.detect_and_resolve(net);
+  EXPECT_EQ(stats.initial_violating_registers, 2u);
+  EXPECT_GE(stats.applied_changes, 2);
+  EXPECT_FALSE(f.analyzer.find_violation(net).has_value());
+  std::string err;
+  EXPECT_TRUE(net.validate(&err)) << err;
+}
+
+TEST(PureScan, SecureNetworkNeedsNoChanges) {
+  Fixture f;
+  Rsn net("n");
+  ElemId a = net.add_register("a", 1, 1);
+  ElemId b = net.add_register("b", 1, 2);
+  net.connect(net.scan_in(), a, 0);
+  net.connect(a, b, 0);
+  net.connect(b, net.scan_out(), 0);
+  PureStats stats = f.analyzer.detect_and_resolve(net);
+  EXPECT_EQ(stats.applied_changes, 0);
+  EXPECT_EQ(stats.initial_violating_registers, 0u);
+}
+
+TEST(PureScan, SameModulePairNeverViolates) {
+  Fixture f;
+  Rsn net("n");
+  ElemId a = net.add_register("a", 1, 0);
+  ElemId b = net.add_register("b", 1, 0);  // same confidential module
+  net.connect(net.scan_in(), a, 0);
+  net.connect(a, b, 0);
+  net.connect(b, net.scan_out(), 0);
+  EXPECT_FALSE(f.analyzer.find_violation(net).has_value());
+}
+
+}  // namespace
+}  // namespace rsnsec::security

@@ -1,0 +1,147 @@
+#include "security/rewire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace rsnsec::security {
+namespace {
+
+using rsn::ElemId;
+using rsn::Rsn;
+
+/// scan_in -> a -> b -> c -> scan_out.
+struct Chain {
+  Rsn net{"chain"};
+  ElemId a, b, c;
+  Chain() {
+    a = net.add_register("a", 1, 0);
+    b = net.add_register("b", 1, 1);
+    c = net.add_register("c", 1, 2);
+    net.connect(net.scan_in(), a, 0);
+    net.connect(a, b, 0);
+    net.connect(b, c, 0);
+    net.connect(c, net.scan_out(), 0);
+  }
+};
+
+TEST(Rewirer, AllConnectionsEnumerates) {
+  Chain ch;
+  auto conns = Rewirer::all_connections(ch.net);
+  EXPECT_EQ(conns.size(), 4u);
+}
+
+TEST(Rewirer, CutMidChainKeepsNetworkValid) {
+  Chain ch;
+  int ops = Rewirer::cut_connection(ch.net, {ch.a, ch.b, 0});
+  EXPECT_GE(ops, 1);
+  std::string err;
+  EXPECT_TRUE(ch.net.validate(&err)) << err;
+  // a must no longer reach b.
+  EXPECT_FALSE(ch.net.reaches(ch.a, ch.b));
+  // Every register still present and on some path.
+  EXPECT_EQ(ch.net.registers().size(), 3u);
+}
+
+TEST(Rewirer, CutReconnectsToMultiCyclePredecessor) {
+  Chain ch;
+  Rewirer::cut_connection(ch.net, {ch.b, ch.c, 0});
+  std::string err;
+  ASSERT_TRUE(ch.net.validate(&err)) << err;
+  // c's new driver is a pre-cut multi-cycle predecessor (scan_in or a),
+  // never b again.
+  ElemId drv = ch.net.elem(ch.c).inputs[0];
+  EXPECT_NE(drv, ch.b);
+  EXPECT_TRUE(drv == ch.a || drv == ch.net.scan_in());
+}
+
+TEST(Rewirer, CutMuxInputShrinksMux) {
+  Rsn net("m");
+  ElemId a = net.add_register("a", 1, 0);
+  ElemId b = net.add_register("b", 1, 1);
+  ElemId m = net.add_mux("m", 2);
+  net.connect(net.scan_in(), a, 0);
+  net.connect(net.scan_in(), b, 0);
+  net.connect(a, m, 0);
+  net.connect(b, m, 1);
+  net.connect(m, net.scan_out(), 0);
+  Rewirer::cut_connection(net, {a, m, 0});
+  EXPECT_EQ(net.elem(m).inputs.size(), 1u);
+  std::string err;
+  EXPECT_TRUE(net.validate(&err)) << err;
+  // a lost its only fanout and must have been re-routed somewhere.
+  EXPECT_FALSE(net.fanouts(a).empty());
+}
+
+TEST(Rewirer, CutLastConnectionBeforeScanOut) {
+  Chain ch;
+  Rewirer::cut_connection(ch.net, {ch.c, ch.net.scan_out(), 0});
+  std::string err;
+  EXPECT_TRUE(ch.net.validate(&err)) << err;
+}
+
+TEST(Rewirer, CutFirstConnectionAfterScanIn) {
+  Chain ch;
+  Rewirer::cut_connection(ch.net, {ch.net.scan_in(), ch.a, 0});
+  std::string err;
+  EXPECT_TRUE(ch.net.validate(&err)) << err;
+  // a gets scan_in back only if no other predecessor exists; either way
+  // the net validates and a is still reachable.
+}
+
+TEST(Rewirer, IsolateRegisterOutput) {
+  Chain ch;
+  int ops = Rewirer::isolate_register_output(ch.net, ch.a);
+  EXPECT_GE(ops, 2);
+  std::string err;
+  ASSERT_TRUE(ch.net.validate(&err)) << err;
+  // a's only fanout is toward scan-out; it reaches no register anymore.
+  EXPECT_FALSE(ch.net.reaches(ch.a, ch.b));
+  EXPECT_FALSE(ch.net.reaches(ch.a, ch.c));
+  EXPECT_TRUE(ch.net.reaches(ch.a, ch.net.scan_out()));
+}
+
+TEST(Rewirer, IsolationIsIdempotentish) {
+  Chain ch;
+  Rewirer::isolate_register_output(ch.net, ch.a);
+  Rewirer::isolate_register_output(ch.net, ch.a);
+  std::string err;
+  EXPECT_TRUE(ch.net.validate(&err)) << err;
+  EXPECT_FALSE(ch.net.reaches(ch.a, ch.b));
+}
+
+TEST(Rewirer, CutsNeverCreateCycles) {
+  Chain ch;
+  for (const Connection& c : Rewirer::all_connections(ch.net)) {
+    Rsn trial = ch.net;
+    Rewirer::cut_connection(trial, c);
+    EXPECT_TRUE(trial.is_acyclic());
+    std::string err;
+    EXPECT_TRUE(trial.validate(&err))
+        << err << " (cut " << trial.elem(c.from).name << " -> "
+        << trial.elem(c.to).name << ")";
+  }
+}
+
+TEST(Rewirer, DiamondCutKeepsBothBranches) {
+  // scan_in -> a -> {b, c} -> mux -> scan_out; cut a->b.
+  Rsn net("d");
+  ElemId a = net.add_register("a", 1, 0);
+  ElemId b = net.add_register("b", 1, 1);
+  ElemId c = net.add_register("c", 1, 2);
+  ElemId m = net.add_mux("m", 2);
+  net.connect(net.scan_in(), a, 0);
+  net.connect(a, b, 0);
+  net.connect(a, c, 0);
+  net.connect(b, m, 0);
+  net.connect(c, m, 1);
+  net.connect(m, net.scan_out(), 0);
+  Rewirer::cut_connection(net, {a, b, 0});
+  std::string err;
+  ASSERT_TRUE(net.validate(&err)) << err;
+  EXPECT_FALSE(net.reaches(a, b));
+  EXPECT_TRUE(net.reaches(a, c));  // other branch untouched
+}
+
+}  // namespace
+}  // namespace rsnsec::security

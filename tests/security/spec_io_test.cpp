@@ -1,0 +1,98 @@
+#include "security/spec_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace rsnsec::security {
+namespace {
+
+TEST(SpecIo, RoundTrip) {
+  SecuritySpec spec(4, 3);
+  spec.set_policy(0, 2, 0b100);  // crypto: top-only
+  spec.set_policy(1, 0, 0b111);  // sensor: low trust, permissive data
+  spec.set_policy(2, 2, 0b110);
+  // module 3 keeps the all-permissive default.
+  std::vector<std::string> names{"crypto", "sensor", "debug", "dma"};
+
+  std::ostringstream os;
+  write_spec(os, spec, names);
+  std::istringstream is(os.str());
+  SecuritySpec back = read_spec(is, names);
+
+  ASSERT_EQ(back.num_categories(), 3u);
+  ASSERT_GE(back.num_modules(), 4u);
+  for (netlist::ModuleId m = 0; m < 4; ++m) {
+    EXPECT_EQ(back.policy(m).trust, spec.policy(m).trust) << m;
+    EXPECT_EQ(back.policy(m).accepted & 0b111,
+              spec.policy(m).accepted & 0b111)
+        << m;
+  }
+}
+
+TEST(SpecIo, WritesNamesWhenAvailable) {
+  SecuritySpec spec(2, 2);
+  spec.set_policy(0, 0, 0b11);
+  std::ostringstream os;
+  write_spec(os, spec, {"aes", "rng"});
+  EXPECT_NE(os.str().find("module aes trust 0"), std::string::npos);
+}
+
+TEST(SpecIo, NumericIndicesAccepted) {
+  std::istringstream is(
+      "categories 2\n"
+      "module 5 trust 0 accepts 0,1\n");
+  SecuritySpec spec = read_spec(is);
+  EXPECT_GE(spec.num_modules(), 6u);
+  EXPECT_EQ(spec.policy(5).trust, 0u);
+  EXPECT_EQ(spec.policy(5).accepted, 0b11u);
+  // Unlisted modules default to fully permissive top trust.
+  EXPECT_EQ(spec.policy(0).trust, 1u);
+}
+
+TEST(SpecIo, CommentsAndBlankLines) {
+  std::istringstream is(
+      "# policy file\n"
+      "\n"
+      "categories 2\n"
+      "# crypto is protected\n"
+      "module 0 trust 1 accepts 1\n");
+  SecuritySpec spec = read_spec(is);
+  EXPECT_EQ(spec.policy(0).accepted, 0b10u);
+}
+
+TEST(SpecIo, RejectsMalformedInput) {
+  {
+    std::istringstream is("module 0 trust 0 accepts 0\n");
+    EXPECT_THROW(read_spec(is), std::runtime_error);  // categories first
+  }
+  {
+    std::istringstream is("categories 2\nmodule 0 trust 5 accepts 0\n");
+    EXPECT_THROW(read_spec(is), std::runtime_error);  // trust range
+  }
+  {
+    std::istringstream is("categories 2\nmodule 0 trust 0 accepts 1\n");
+    EXPECT_THROW(read_spec(is), std::runtime_error);  // self-acceptance
+  }
+  {
+    std::istringstream is("categories 2\nmodule nosuch trust 0 accepts 0\n");
+    EXPECT_THROW(read_spec(is), std::runtime_error);  // unknown name
+  }
+  {
+    std::istringstream is("categories 0\n");
+    EXPECT_THROW(read_spec(is), std::runtime_error);
+  }
+}
+
+TEST(SpecIo, ParsedSpecValidates) {
+  std::istringstream is(
+      "categories 4\n"
+      "module 0 trust 3 accepts 2,3\n"
+      "module 1 trust 0 accepts 0,1,2,3\n");
+  SecuritySpec spec = read_spec(is);
+  std::string err;
+  EXPECT_TRUE(spec.validate(&err)) << err;
+}
+
+}  // namespace
+}  // namespace rsnsec::security

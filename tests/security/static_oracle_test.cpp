@@ -1,0 +1,148 @@
+// Cross-validation of the hybrid analyzer's scan-infrastructure-free
+// propagation against a naive "big matrix" oracle built exactly as the
+// paper describes Sec. III-A: one relation over circuit flip-flops AND
+// scan flip-flops, with
+//   - the 1-cycle circuit dependencies (unbridged),
+//   - preset path-dependencies between consecutive flip-flops of each
+//     scan register (the presetting subroutine),
+//   - capture-cone dependencies (circuit FF -> scan FF) and update
+//     connections (scan FF -> circuit FF),
+// closed transitively. Token reachability in that closure must agree
+// with the worklist propagation the analyzer actually uses (which runs
+// on the bridged relation).
+
+#include <gtest/gtest.h>
+
+#include "benchgen/circuit.hpp"
+#include "benchgen/families.hpp"
+#include "benchgen/running_example.hpp"
+#include "benchgen/specgen.hpp"
+#include "dep/analyzer.hpp"
+#include "security/hybrid.hpp"
+
+namespace rsnsec::security {
+namespace {
+
+void check_against_oracle(const netlist::Netlist& nl, const rsn::Rsn& net,
+                          const SecuritySpec& spec) {
+  TokenTable tokens(spec, spec.num_modules());
+
+  // Analyzer under test: bridged relation + worklist propagation.
+  dep::DependencyAnalyzer bridged(nl, net, {});
+  bridged.run();
+  HybridAnalyzer hybrid(nl, net, bridged, spec, tokens);
+  std::vector<TokenSet> state = hybrid.propagate(nullptr);
+
+  // Oracle: unbridged big matrix with presetting.
+  dep::DepOptions plain;
+  plain.bridge_internal = false;
+  dep::DependencyAnalyzer unbridged(nl, net, plain);
+  unbridged.run();
+
+  std::size_t n_circuit = unbridged.num_circuit_ffs();
+  std::size_t n_scan = net.num_scan_ffs();
+  DepMatrix naive(n_circuit + n_scan);
+  // Circuit 1-cycle relation.
+  for (std::size_t i = 0; i < n_circuit; ++i)
+    for (std::size_t j : unbridged.one_cycle().successors(i))
+      naive.upgrade(i, j, unbridged.one_cycle().get(i, j));
+  // Scan flip-flop indexing: registers in declaration order.
+  std::vector<std::size_t> scan_base(net.num_elements(), 0);
+  std::size_t next = n_circuit;
+  for (rsn::ElemId r : net.registers()) {
+    scan_base[r] = next;
+    next += net.elem(r).ffs.size();
+  }
+  for (rsn::ElemId r : net.registers()) {
+    const rsn::Element& e = net.elem(r);
+    for (std::size_t f = 0; f < e.ffs.size(); ++f) {
+      // Presetting: the latter flip-flop is path-dependent on the former
+      // for each pair inside a register (quadratic, Sec. III-A.1).
+      for (std::size_t g = f + 1; g < e.ffs.size(); ++g)
+        naive.upgrade(scan_base[r] + f, scan_base[r] + g, DepKind::Path);
+      for (const dep::CaptureDep& d : unbridged.capture_deps(r, f))
+        naive.upgrade(unbridged.circuit_index(d.circuit_ff),
+                      scan_base[r] + f, d.kind);
+      if (e.ffs[f].update_dst != netlist::no_node)
+        naive.upgrade(scan_base[r] + f,
+                      unbridged.circuit_index(e.ffs[f].update_dst),
+                      DepKind::Path);
+    }
+  }
+  naive.transitive_closure();
+
+  // Seeds as the analyzer defines them.
+  struct Seed {
+    std::size_t naive_idx;
+    int token;
+  };
+  std::vector<Seed> seeds;
+  for (rsn::ElemId r : net.registers()) {
+    int tok = tokens.token_of(net.elem(r).module);
+    if (tok < 0) continue;
+    for (std::size_t f = 0; f < net.elem(r).ffs.size(); ++f)
+      seeds.push_back({scan_base[r] + f, tok});
+  }
+  for (std::size_t i = 0; i < n_circuit; ++i) {
+    if (bridged.is_internal(i)) continue;  // transit-only, no seed
+    int tok = tokens.token_of(nl.node(bridged.circuit_ff(i)).module);
+    if (tok >= 0) seeds.push_back({i, tok});
+  }
+
+  auto oracle_has = [&](std::size_t naive_idx, int tok) {
+    for (const Seed& s : seeds) {
+      if (s.token != tok) continue;
+      if (s.naive_idx == naive_idx) return true;
+      if (naive.get(s.naive_idx, naive_idx) == DepKind::Path) return true;
+    }
+    return false;
+  };
+
+  // Compare on every node the analyzer tracks (internal circuit FFs are
+  // transit-only by design and excluded).
+  for (rsn::ElemId r : net.registers()) {
+    for (std::size_t f = 0; f < net.elem(r).ffs.size(); ++f) {
+      std::size_t hn = hybrid.scan_node(r, f);
+      for (std::size_t k = 0; k < tokens.num_tokens(); ++k) {
+        EXPECT_EQ(state[hn].test(k),
+                  oracle_has(scan_base[r] + f, static_cast<int>(k)))
+            << "scan node " << hybrid.node_name(hn) << " token " << k;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < n_circuit; ++i) {
+    if (bridged.is_internal(i)) continue;
+    std::size_t hn = hybrid.circuit_node(bridged.circuit_ff(i));
+    for (std::size_t k = 0; k < tokens.num_tokens(); ++k) {
+      EXPECT_EQ(state[hn].test(k), oracle_has(i, static_cast<int>(k)))
+          << "circuit node " << hybrid.node_name(hn) << " token " << k;
+    }
+  }
+}
+
+TEST(StaticOracle, RunningExampleAgrees) {
+  benchgen::RunningExample ex = benchgen::make_running_example();
+  check_against_oracle(ex.circuit, ex.doc.network, ex.spec);
+}
+
+class OracleFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(OracleFuzz, GeneratedWorkloadsAgree) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 65537 + 19);
+  benchgen::BenchmarkProfile p = benchgen::bastion_profile("Mingle");
+  rsn::RsnDocument doc = benchgen::generate_bastion(p, 0.3, rng);
+  benchgen::CircuitOptions copt;
+  copt.target_cross_functional = 8;
+  copt.target_cross_structural = 8;
+  netlist::Netlist nl = benchgen::attach_random_circuit(doc, copt, rng);
+  benchgen::SpecOptions sopt;
+  sopt.expected_sensitive_modules = 4;
+  SecuritySpec spec =
+      benchgen::random_spec(doc.module_names.size(), sopt, rng);
+  check_against_oracle(nl, doc.network, spec);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fuzz, OracleFuzz, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace rsnsec::security

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "util/dep_matrix.hpp"
+#include "util/rng.hpp"
+
+namespace rsnsec {
+namespace {
+
+TEST(BoundedClosure, OneCycleIsIdentity) {
+  DepMatrix m(4);
+  m.upgrade(0, 1, DepKind::Path);
+  m.upgrade(1, 2, DepKind::Path);
+  DepMatrix copy = m;
+  copy.bounded_closure(1);
+  EXPECT_EQ(copy, m);
+}
+
+TEST(BoundedClosure, ChainGrowsByOneHopPerCycle) {
+  // 0 -> 1 -> 2 -> 3 -> 4 (all path).
+  DepMatrix m(5);
+  for (std::size_t i = 0; i + 1 < 5; ++i)
+    m.upgrade(i, i + 1, DepKind::Path);
+
+  DepMatrix k2 = m;
+  k2.bounded_closure(2);
+  EXPECT_EQ(k2.get(0, 2), DepKind::Path);
+  EXPECT_EQ(k2.get(0, 3), DepKind::None);  // needs 3 cycles
+
+  DepMatrix k3 = m;
+  k3.bounded_closure(3);
+  EXPECT_EQ(k3.get(0, 3), DepKind::Path);
+  EXPECT_EQ(k3.get(0, 4), DepKind::None);
+
+  DepMatrix k4 = m;
+  k4.bounded_closure(4);
+  EXPECT_EQ(k4.get(0, 4), DepKind::Path);
+}
+
+TEST(BoundedClosure, StructuralHopDowngradesBoundedChains) {
+  DepMatrix m(3);
+  m.upgrade(0, 1, DepKind::Path);
+  m.upgrade(1, 2, DepKind::Structural);
+  m.bounded_closure(2);
+  EXPECT_EQ(m.get(0, 2), DepKind::Structural);
+}
+
+TEST(BoundedClosure, ReportsConvergence) {
+  DepMatrix m(3);
+  m.upgrade(0, 1, DepKind::Path);
+  m.upgrade(1, 2, DepKind::Path);
+  // Needs exactly 2 rounds; the final round adds nothing at cycles=8.
+  DepMatrix a = m;
+  EXPECT_FALSE(a.bounded_closure(8));
+  // With cycles=2 the last executed round still added entries.
+  DepMatrix b = m;
+  EXPECT_TRUE(b.bounded_closure(2));
+}
+
+// Property: bounded_closure(n) equals transitive_closure() (n nodes means
+// no simple chain is longer than n hops; cycles saturate too).
+class BoundedFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(BoundedFuzz, SaturatesToFullClosure) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7727 + 5);
+  std::size_t n = 3 + rng.below(10);
+  DepMatrix m(n);
+  for (std::size_t e = 0; e < 2 * n; ++e) {
+    std::size_t a = rng.below(static_cast<std::uint32_t>(n));
+    std::size_t b = rng.below(static_cast<std::uint32_t>(n));
+    m.upgrade(a, b, rng.chance(0.6) ? DepKind::Path : DepKind::Structural);
+  }
+  DepMatrix bounded = m;
+  bounded.bounded_closure(n + 1);
+  DepMatrix full = m;
+  full.transitive_closure();
+  EXPECT_EQ(bounded, full);
+}
+
+TEST_P(BoundedFuzz, MonotoneInCycleCount) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 104717 + 11);
+  std::size_t n = 3 + rng.below(8);
+  DepMatrix m(n);
+  for (std::size_t e = 0; e < 2 * n; ++e) {
+    m.upgrade(rng.below(static_cast<std::uint32_t>(n)),
+              rng.below(static_cast<std::uint32_t>(n)),
+              rng.chance(0.6) ? DepKind::Path : DepKind::Structural);
+  }
+  DepMatrix prev = m;
+  for (std::size_t k = 1; k <= n; ++k) {
+    DepMatrix cur = m;
+    cur.bounded_closure(k);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j)
+        EXPECT_EQ(max_dep(cur.get(i, j), prev.get(i, j)), cur.get(i, j))
+            << "k=" << k;
+    prev = cur;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fuzz, BoundedFuzz, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace rsnsec

@@ -1,0 +1,40 @@
+#include "util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rsnsec {
+namespace {
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  abc  "), "abc");
+  EXPECT_EQ(trim("abc"), "abc");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("\t a b \n"), "a b");
+}
+
+TEST(Strings, Split) {
+  EXPECT_EQ(split("a b c", ' '), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("a,,b", ','), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(split("  a   b ", ' '), (std::vector<std::string>{"a", "b"}));
+  EXPECT_TRUE(split("", ' ').empty());
+  EXPECT_TRUE(split("   ", ' ').empty());
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(starts_with("register foo", "register"));
+  EXPECT_FALSE(starts_with("reg", "register"));
+  EXPECT_TRUE(starts_with("abc", ""));
+}
+
+TEST(Strings, WithThousands) {
+  EXPECT_EQ(with_thousands(0), "0");
+  EXPECT_EQ(with_thousands(999), "999");
+  EXPECT_EQ(with_thousands(1000), "1 000");
+  EXPECT_EQ(with_thousands(28704), "28 704");
+  EXPECT_EQ(with_thousands(121265), "121 265");
+  EXPECT_EQ(with_thousands(-1234), "-1 234");
+}
+
+}  // namespace
+}  // namespace rsnsec

@@ -1,0 +1,266 @@
+#include "tools/cli.hpp"
+
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+#include "benchgen/circuit.hpp"
+#include "benchgen/families.hpp"
+#include "benchgen/specgen.hpp"
+#include "core/report.hpp"
+#include "core/tool.hpp"
+#include "netlist/verilog.hpp"
+#include "rsn/access.hpp"
+#include "rsn/icl.hpp"
+#include "rsn/io.hpp"
+#include "security/filter.hpp"
+#include "security/spec_io.hpp"
+
+namespace rsnsec::cli {
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+  std::vector<std::string> flags;
+
+  bool has_flag(const std::string& f) const {
+    for (const std::string& x : flags)
+      if (x == f) return true;
+    return false;
+  }
+  std::optional<std::string> get(const std::string& key) const {
+    auto it = options.find(key);
+    if (it == options.end()) return std::nullopt;
+    return it->second;
+  }
+  std::string require(const std::string& key) const {
+    auto v = get(key);
+    if (!v) throw std::runtime_error("missing required option --" + key);
+    return *v;
+  }
+};
+
+Args parse_args(const std::vector<std::string>& argv) {
+  Args args;
+  if (argv.empty()) throw std::runtime_error("missing command");
+  args.command = argv[0];
+  for (std::size_t i = 1; i < argv.size(); ++i) {
+    const std::string& a = argv[i];
+    if (a.rfind("--", 0) != 0)
+      throw std::runtime_error("unexpected argument '" + a + "'");
+    std::string key = a.substr(2);
+    // Boolean flags.
+    if (key == "structural" || key == "json" || key == "no-pure" ||
+        key == "no-hybrid" || key == "filter-baseline") {
+      args.flags.push_back(key);
+      continue;
+    }
+    if (i + 1 >= argv.size())
+      throw std::runtime_error("option --" + key + " needs a value");
+    args.options[key] = argv[++i];
+  }
+  return args;
+}
+
+std::ifstream open_input(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open '" + path + "'");
+  return f;
+}
+
+std::ofstream open_output(const std::string& path) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("cannot write '" + path + "'");
+  return f;
+}
+
+rsn::RsnDocument load_network(const Args& args) {
+  if (auto p = args.get("rsn")) {
+    std::ifstream f = open_input(*p);
+    return rsn::read_rsn(f);
+  }
+  if (auto p = args.get("icl")) {
+    std::ifstream f = open_input(*p);
+    return rsn::icl::load_icl(f, args.get("top").value_or(""));
+  }
+  throw std::runtime_error("need --rsn FILE or --icl FILE");
+}
+
+struct LoadedWorkload {
+  rsn::RsnDocument doc;
+  netlist::Netlist circuit;
+  security::SecuritySpec spec{1, 1};
+};
+
+LoadedWorkload load_workload(const Args& args) {
+  LoadedWorkload w;
+  w.doc = load_network(args);
+  {
+    std::ifstream f = open_input(args.require("verilog"));
+    netlist::verilog::ParsedCircuit parsed = netlist::verilog::parse(f);
+    rsn::apply_attachments(w.doc, parsed.nets);
+    w.circuit = std::move(parsed.netlist);
+  }
+  {
+    std::ifstream f = open_input(args.require("spec"));
+    w.spec = security::read_spec(f, w.doc.module_names);
+  }
+  return w;
+}
+
+PipelineOptions pipeline_options(const Args& args) {
+  PipelineOptions opt;
+  if (args.has_flag("structural"))
+    opt.dep.mode = dep::DepMode::StructuralOnly;
+  if (args.has_flag("no-pure")) opt.run_pure = false;
+  if (args.has_flag("no-hybrid")) opt.run_hybrid = false;
+  return opt;
+}
+
+int cmd_generate(const Args& args, std::ostream& out) {
+  std::string name = args.require("benchmark");
+  double scale = std::stod(args.get("scale").value_or("1.0"));
+  std::uint64_t seed = std::stoull(args.get("seed").value_or("1"));
+  Rng rng(seed);
+
+  rsn::RsnDocument doc;
+  if (name.rfind("MBIST_", 0) == 0) {
+    std::vector<std::string> dims = split(name.substr(6), '_');
+    if (dims.size() != 3)
+      throw std::runtime_error("MBIST benchmark must be MBIST_n_m_o");
+    doc = benchgen::generate_mbist(std::stoul(dims[0]), std::stoul(dims[1]),
+                                   std::stoul(dims[2]), scale);
+  } else {
+    doc = benchgen::generate_bastion(benchgen::bastion_profile(name), scale,
+                                     rng);
+  }
+
+  netlist::Netlist circuit;
+  bool with_circuit = args.get("out-verilog").has_value();
+  if (with_circuit) {
+    circuit = benchgen::attach_random_circuit(doc, {}, rng);
+    std::ofstream f = open_output(args.require("out-verilog"));
+    netlist::verilog::write(f, circuit, doc.network.name());
+  }
+  {
+    std::ofstream f = open_output(args.require("out-rsn"));
+    rsn::write_rsn(f, doc.network, doc.module_names,
+                   with_circuit ? &circuit : nullptr);
+  }
+  if (args.get("out-spec")) {
+    benchgen::SpecOptions sopt;
+    security::SecuritySpec spec =
+        benchgen::random_spec(doc.module_names.size(), sopt, rng);
+    std::ofstream f = open_output(args.require("out-spec"));
+    security::write_spec(f, spec, doc.module_names);
+  }
+  out << "generated " << rsn::summarize(doc.network) << "\n";
+  return 0;
+}
+
+int cmd_info(const Args& args, std::ostream& out) {
+  rsn::RsnDocument doc = load_network(args);
+  out << rsn::summarize(doc.network) << "\n";
+  out << "modules: " << doc.module_names.size() << "\n";
+  std::string err;
+  out << "valid: " << (doc.network.validate(&err) ? "yes" : "no (" + err + ")")
+      << "\n";
+  rsn::AccessPlanner planner(doc.network);
+  std::size_t accessible = 0;
+  for (rsn::ElemId r : doc.network.registers())
+    accessible += planner.plan(r).has_value();
+  out << "accessible registers: " << accessible << " / "
+      << doc.network.registers().size() << "\n";
+  return 0;
+}
+
+int cmd_analyze(const Args& args, std::ostream& out) {
+  LoadedWorkload w = load_workload(args);
+  security::TokenTable tokens(w.spec, w.spec.num_modules());
+
+  dep::DependencyAnalyzer deps(w.circuit, w.doc.network,
+                               pipeline_options(args).dep);
+  deps.run();
+  security::HybridAnalyzer hybrid(w.circuit, w.doc.network, deps, w.spec,
+                                  tokens);
+  security::PureScanAnalyzer pure(w.spec, tokens);
+
+  security::StaticReport st = hybrid.check_static();
+  std::size_t pure_pairs = pure.count_violating_pairs(w.doc.network);
+  std::size_t hybrid_pairs = hybrid.count_violating_pairs(w.doc.network);
+  std::size_t viol_regs = hybrid.count_violating_registers(w.doc.network);
+
+  if (args.has_flag("json")) {
+    out << "{\"insecure_logic\": " << (st.insecure_logic ? "true" : "false")
+        << ", \"intra_segment\": " << (st.intra_segment ? "true" : "false")
+        << ", \"pure_violating_pairs\": " << pure_pairs
+        << ", \"hybrid_violating_pairs\": " << hybrid_pairs
+        << ", \"violating_registers\": " << viol_regs << "}\n";
+  } else {
+    out << "insecure circuit logic: " << (st.insecure_logic ? "YES" : "no")
+        << "\n";
+    out << "intra-segment flows:    " << (st.intra_segment ? "YES" : "no")
+        << "\n";
+    out << "violating registers:    " << viol_regs << "\n";
+    out << "violating pairs:        " << pure_pairs << " pure, "
+        << hybrid_pairs << " incl. hybrid\n";
+    for (const std::string& d : st.details) out << "  " << d << "\n";
+  }
+  if (args.has_flag("filter-baseline")) {
+    security::AccessFilterBaseline filter(w.doc.network, w.spec, tokens);
+    security::FilterReport fr = filter.analyze();
+    out << "filter baseline would lock out " << fr.inaccessible.size()
+        << " / " << w.doc.network.registers().size() << " registers\n";
+  }
+  bool any = st.insecure_logic || st.intra_segment || hybrid_pairs > 0;
+  return any ? 2 : 0;
+}
+
+int cmd_secure(const Args& args, std::ostream& out) {
+  LoadedWorkload w = load_workload(args);
+  SecureFlowTool tool(w.circuit, w.doc.network, w.spec,
+                      pipeline_options(args));
+  PipelineResult result = tool.run();
+
+  if (args.has_flag("json")) {
+    write_json(out, result);
+  } else {
+    out << "secured: " << (result.secured ? "yes" : "no") << "\n";
+    out << "violating registers before: "
+        << result.initial_violating_registers << "\n";
+    out << "applied changes: " << result.pure.applied_changes << " pure + "
+        << result.hybrid.applied_changes << " hybrid\n";
+    for (const security::AppliedChange& c : result.changes)
+      out << "  - " << c.note << "\n";
+  }
+  if (!result.secured) return 3;
+  std::ofstream f = open_output(args.require("out"));
+  rsn::write_rsn(f, w.doc.network, w.doc.module_names, &w.circuit);
+  return 0;
+}
+
+}  // namespace
+
+int run(const std::vector<std::string>& args_in, std::ostream& out,
+        std::ostream& err) {
+  try {
+    Args args = parse_args(args_in);
+    if (args.command == "generate") return cmd_generate(args, out);
+    if (args.command == "info") return cmd_info(args, out);
+    if (args.command == "analyze") return cmd_analyze(args, out);
+    if (args.command == "secure") return cmd_secure(args, out);
+    throw std::runtime_error("unknown command '" + args.command +
+                             "' (try: generate, info, analyze, secure)");
+  } catch (const std::exception& e) {
+    err << "rsnsec: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace rsnsec::cli

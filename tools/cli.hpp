@@ -1,0 +1,24 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rsnsec::cli {
+
+/// Entry point of the `rsnsec` command-line tool (separated from main()
+/// so tests can drive it in-process).
+///
+/// Commands:
+///   rsnsec generate --benchmark NAME [--scale S] [--seed N]
+///                   --out-rsn F [--out-verilog F] [--out-spec F]
+///   rsnsec info     (--rsn F | --icl F [--top NAME])
+///   rsnsec analyze  --rsn F --verilog F --spec F [--structural] [--json]
+///   rsnsec secure   --rsn F --verilog F --spec F --out F [--json]
+///
+/// Returns the process exit code (0 = success; for `analyze`, 0 also
+/// means "no violations found" and 2 means "violations found").
+int run(const std::vector<std::string>& args, std::ostream& out,
+        std::ostream& err);
+
+}  // namespace rsnsec::cli

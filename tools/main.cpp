@@ -1,0 +1,23 @@
+// rsnsec — command-line front end for the secure-data-flow library.
+//
+//   rsnsec generate --benchmark MBIST_2_5_5 --scale 0.5 --seed 7 \
+//          --out-rsn net.rsn --out-verilog ckt.v --out-spec policy.spec
+//   rsnsec info --rsn net.rsn
+//   rsnsec analyze --rsn net.rsn --verilog ckt.v --spec policy.spec
+//   rsnsec secure  --rsn net.rsn --verilog ckt.v --spec policy.spec \
+//          --out net_secure.rsn
+
+#include <iostream>
+#include <vector>
+
+#include "tools/cli.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) {
+    std::cerr << "usage: rsnsec <generate|info|analyze|secure> [options]\n"
+                 "see tools/cli.hpp for the full option list\n";
+    return 1;
+  }
+  return rsnsec::cli::run(args, std::cout, std::cerr);
+}
