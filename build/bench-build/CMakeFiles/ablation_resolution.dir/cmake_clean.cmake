@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_resolution"
+  "../bench/ablation_resolution.pdb"
+  "CMakeFiles/ablation_resolution.dir/ablation_resolution.cpp.o"
+  "CMakeFiles/ablation_resolution.dir/ablation_resolution.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_resolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

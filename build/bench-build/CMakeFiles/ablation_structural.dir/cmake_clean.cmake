@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_structural"
+  "../bench/ablation_structural.pdb"
+  "CMakeFiles/ablation_structural.dir/ablation_structural.cpp.o"
+  "CMakeFiles/ablation_structural.dir/ablation_structural.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_structural.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

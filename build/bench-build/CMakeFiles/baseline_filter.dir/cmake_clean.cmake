@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/baseline_filter"
+  "../bench/baseline_filter.pdb"
+  "CMakeFiles/baseline_filter.dir/baseline_filter.cpp.o"
+  "CMakeFiles/baseline_filter.dir/baseline_filter.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

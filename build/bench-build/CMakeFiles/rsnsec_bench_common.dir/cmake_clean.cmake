@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsnsec_bench_common.dir/common.cpp.o"
+  "CMakeFiles/rsnsec_bench_common.dir/common.cpp.o.d"
+  "librsnsec_bench_common.a"
+  "librsnsec_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsnsec_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_bastion"
+  "../bench/table1_bastion.pdb"
+  "CMakeFiles/table1_bastion.dir/table1_bastion.cpp.o"
+  "CMakeFiles/table1_bastion.dir/table1_bastion.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_bastion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

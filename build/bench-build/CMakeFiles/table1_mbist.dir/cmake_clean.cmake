@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_mbist"
+  "../bench/table1_mbist.pdb"
+  "CMakeFiles/table1_mbist.dir/table1_mbist.cpp.o"
+  "CMakeFiles/table1_mbist.dir/table1_mbist.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_mbist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

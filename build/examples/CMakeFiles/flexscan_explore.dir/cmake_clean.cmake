@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexscan_explore.dir/flexscan_explore.cpp.o"
+  "CMakeFiles/flexscan_explore.dir/flexscan_explore.cpp.o.d"
+  "flexscan_explore"
+  "flexscan_explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexscan_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

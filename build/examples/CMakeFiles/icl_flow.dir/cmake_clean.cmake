@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icl_flow.dir/icl_flow.cpp.o"
+  "CMakeFiles/icl_flow.dir/icl_flow.cpp.o.d"
+  "icl_flow"
+  "icl_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icl_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbist_audit.dir/mbist_audit.cpp.o"
+  "CMakeFiles/mbist_audit.dir/mbist_audit.cpp.o.d"
+  "mbist_audit"
+  "mbist_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbist_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

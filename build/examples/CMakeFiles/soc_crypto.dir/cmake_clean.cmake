@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soc_crypto.dir/soc_crypto.cpp.o"
+  "CMakeFiles/soc_crypto.dir/soc_crypto.cpp.o.d"
+  "soc_crypto"
+  "soc_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soc_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsnsec_benchgen.dir/circuit.cpp.o"
+  "CMakeFiles/rsnsec_benchgen.dir/circuit.cpp.o.d"
+  "CMakeFiles/rsnsec_benchgen.dir/families.cpp.o"
+  "CMakeFiles/rsnsec_benchgen.dir/families.cpp.o.d"
+  "CMakeFiles/rsnsec_benchgen.dir/running_example.cpp.o"
+  "CMakeFiles/rsnsec_benchgen.dir/running_example.cpp.o.d"
+  "CMakeFiles/rsnsec_benchgen.dir/specgen.cpp.o"
+  "CMakeFiles/rsnsec_benchgen.dir/specgen.cpp.o.d"
+  "librsnsec_benchgen.a"
+  "librsnsec_benchgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsnsec_benchgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

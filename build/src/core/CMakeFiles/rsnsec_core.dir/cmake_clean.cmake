@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsnsec_core.dir/report.cpp.o"
+  "CMakeFiles/rsnsec_core.dir/report.cpp.o.d"
+  "CMakeFiles/rsnsec_core.dir/tool.cpp.o"
+  "CMakeFiles/rsnsec_core.dir/tool.cpp.o.d"
+  "librsnsec_core.a"
+  "librsnsec_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsnsec_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

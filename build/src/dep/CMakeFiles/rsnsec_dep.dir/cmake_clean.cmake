@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsnsec_dep.dir/analyzer.cpp.o"
+  "CMakeFiles/rsnsec_dep.dir/analyzer.cpp.o.d"
+  "librsnsec_dep.a"
+  "librsnsec_dep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsnsec_dep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsnsec_netlist.dir/cone_check.cpp.o"
+  "CMakeFiles/rsnsec_netlist.dir/cone_check.cpp.o.d"
+  "CMakeFiles/rsnsec_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/rsnsec_netlist.dir/netlist.cpp.o.d"
+  "CMakeFiles/rsnsec_netlist.dir/sim.cpp.o"
+  "CMakeFiles/rsnsec_netlist.dir/sim.cpp.o.d"
+  "CMakeFiles/rsnsec_netlist.dir/verilog.cpp.o"
+  "CMakeFiles/rsnsec_netlist.dir/verilog.cpp.o.d"
+  "librsnsec_netlist.a"
+  "librsnsec_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsnsec_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

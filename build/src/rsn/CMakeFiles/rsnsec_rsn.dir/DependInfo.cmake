@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rsn/access.cpp" "src/rsn/CMakeFiles/rsnsec_rsn.dir/access.cpp.o" "gcc" "src/rsn/CMakeFiles/rsnsec_rsn.dir/access.cpp.o.d"
+  "/root/repo/src/rsn/csu_sim.cpp" "src/rsn/CMakeFiles/rsnsec_rsn.dir/csu_sim.cpp.o" "gcc" "src/rsn/CMakeFiles/rsnsec_rsn.dir/csu_sim.cpp.o.d"
+  "/root/repo/src/rsn/icl.cpp" "src/rsn/CMakeFiles/rsnsec_rsn.dir/icl.cpp.o" "gcc" "src/rsn/CMakeFiles/rsnsec_rsn.dir/icl.cpp.o.d"
+  "/root/repo/src/rsn/io.cpp" "src/rsn/CMakeFiles/rsnsec_rsn.dir/io.cpp.o" "gcc" "src/rsn/CMakeFiles/rsnsec_rsn.dir/io.cpp.o.d"
+  "/root/repo/src/rsn/rsn.cpp" "src/rsn/CMakeFiles/rsnsec_rsn.dir/rsn.cpp.o" "gcc" "src/rsn/CMakeFiles/rsnsec_rsn.dir/rsn.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rsnsec_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/rsnsec_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/rsnsec_sat.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsnsec_rsn.dir/access.cpp.o"
+  "CMakeFiles/rsnsec_rsn.dir/access.cpp.o.d"
+  "CMakeFiles/rsnsec_rsn.dir/csu_sim.cpp.o"
+  "CMakeFiles/rsnsec_rsn.dir/csu_sim.cpp.o.d"
+  "CMakeFiles/rsnsec_rsn.dir/icl.cpp.o"
+  "CMakeFiles/rsnsec_rsn.dir/icl.cpp.o.d"
+  "CMakeFiles/rsnsec_rsn.dir/io.cpp.o"
+  "CMakeFiles/rsnsec_rsn.dir/io.cpp.o.d"
+  "CMakeFiles/rsnsec_rsn.dir/rsn.cpp.o"
+  "CMakeFiles/rsnsec_rsn.dir/rsn.cpp.o.d"
+  "librsnsec_rsn.a"
+  "librsnsec_rsn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsnsec_rsn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsnsec_sat.dir/encode.cpp.o"
+  "CMakeFiles/rsnsec_sat.dir/encode.cpp.o.d"
+  "CMakeFiles/rsnsec_sat.dir/solver.cpp.o"
+  "CMakeFiles/rsnsec_sat.dir/solver.cpp.o.d"
+  "librsnsec_sat.a"
+  "librsnsec_sat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsnsec_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/security/filter.cpp" "src/security/CMakeFiles/rsnsec_security.dir/filter.cpp.o" "gcc" "src/security/CMakeFiles/rsnsec_security.dir/filter.cpp.o.d"
+  "/root/repo/src/security/hybrid.cpp" "src/security/CMakeFiles/rsnsec_security.dir/hybrid.cpp.o" "gcc" "src/security/CMakeFiles/rsnsec_security.dir/hybrid.cpp.o.d"
+  "/root/repo/src/security/pure.cpp" "src/security/CMakeFiles/rsnsec_security.dir/pure.cpp.o" "gcc" "src/security/CMakeFiles/rsnsec_security.dir/pure.cpp.o.d"
+  "/root/repo/src/security/rewire.cpp" "src/security/CMakeFiles/rsnsec_security.dir/rewire.cpp.o" "gcc" "src/security/CMakeFiles/rsnsec_security.dir/rewire.cpp.o.d"
+  "/root/repo/src/security/spec.cpp" "src/security/CMakeFiles/rsnsec_security.dir/spec.cpp.o" "gcc" "src/security/CMakeFiles/rsnsec_security.dir/spec.cpp.o.d"
+  "/root/repo/src/security/spec_io.cpp" "src/security/CMakeFiles/rsnsec_security.dir/spec_io.cpp.o" "gcc" "src/security/CMakeFiles/rsnsec_security.dir/spec_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rsn/CMakeFiles/rsnsec_rsn.dir/DependInfo.cmake"
+  "/root/repo/build/src/dep/CMakeFiles/rsnsec_dep.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/rsnsec_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/rsnsec_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rsnsec_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsnsec_security.dir/filter.cpp.o"
+  "CMakeFiles/rsnsec_security.dir/filter.cpp.o.d"
+  "CMakeFiles/rsnsec_security.dir/hybrid.cpp.o"
+  "CMakeFiles/rsnsec_security.dir/hybrid.cpp.o.d"
+  "CMakeFiles/rsnsec_security.dir/pure.cpp.o"
+  "CMakeFiles/rsnsec_security.dir/pure.cpp.o.d"
+  "CMakeFiles/rsnsec_security.dir/rewire.cpp.o"
+  "CMakeFiles/rsnsec_security.dir/rewire.cpp.o.d"
+  "CMakeFiles/rsnsec_security.dir/spec.cpp.o"
+  "CMakeFiles/rsnsec_security.dir/spec.cpp.o.d"
+  "CMakeFiles/rsnsec_security.dir/spec_io.cpp.o"
+  "CMakeFiles/rsnsec_security.dir/spec_io.cpp.o.d"
+  "librsnsec_security.a"
+  "librsnsec_security.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsnsec_security.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

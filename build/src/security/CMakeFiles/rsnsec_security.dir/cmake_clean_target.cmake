@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librsnsec_security.a"
+)

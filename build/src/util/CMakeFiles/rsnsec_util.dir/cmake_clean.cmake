@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsnsec_util.dir/dep_matrix.cpp.o"
+  "CMakeFiles/rsnsec_util.dir/dep_matrix.cpp.o.d"
+  "CMakeFiles/rsnsec_util.dir/rng.cpp.o"
+  "CMakeFiles/rsnsec_util.dir/rng.cpp.o.d"
+  "CMakeFiles/rsnsec_util.dir/strings.cpp.o"
+  "CMakeFiles/rsnsec_util.dir/strings.cpp.o.d"
+  "librsnsec_util.a"
+  "librsnsec_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsnsec_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

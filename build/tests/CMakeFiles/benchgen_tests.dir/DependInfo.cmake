@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/benchgen/circuit_test.cpp" "tests/CMakeFiles/benchgen_tests.dir/benchgen/circuit_test.cpp.o" "gcc" "tests/CMakeFiles/benchgen_tests.dir/benchgen/circuit_test.cpp.o.d"
+  "/root/repo/tests/benchgen/families_test.cpp" "tests/CMakeFiles/benchgen_tests.dir/benchgen/families_test.cpp.o" "gcc" "tests/CMakeFiles/benchgen_tests.dir/benchgen/families_test.cpp.o.d"
+  "/root/repo/tests/benchgen/specgen_test.cpp" "tests/CMakeFiles/benchgen_tests.dir/benchgen/specgen_test.cpp.o" "gcc" "tests/CMakeFiles/benchgen_tests.dir/benchgen/specgen_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rsnsec_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/security/CMakeFiles/rsnsec_security.dir/DependInfo.cmake"
+  "/root/repo/build/src/dep/CMakeFiles/rsnsec_dep.dir/DependInfo.cmake"
+  "/root/repo/build/src/benchgen/CMakeFiles/rsnsec_benchgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/rsn/CMakeFiles/rsnsec_rsn.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/rsnsec_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/rsnsec_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rsnsec_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/benchgen_tests.dir/benchgen/circuit_test.cpp.o"
+  "CMakeFiles/benchgen_tests.dir/benchgen/circuit_test.cpp.o.d"
+  "CMakeFiles/benchgen_tests.dir/benchgen/families_test.cpp.o"
+  "CMakeFiles/benchgen_tests.dir/benchgen/families_test.cpp.o.d"
+  "CMakeFiles/benchgen_tests.dir/benchgen/specgen_test.cpp.o"
+  "CMakeFiles/benchgen_tests.dir/benchgen/specgen_test.cpp.o.d"
+  "benchgen_tests"
+  "benchgen_tests.pdb"
+  "benchgen_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/benchgen_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

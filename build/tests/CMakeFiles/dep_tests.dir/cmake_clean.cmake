@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dep_tests.dir/dep/analyzer_test.cpp.o"
+  "CMakeFiles/dep_tests.dir/dep/analyzer_test.cpp.o.d"
+  "CMakeFiles/dep_tests.dir/dep/bridging_test.cpp.o"
+  "CMakeFiles/dep_tests.dir/dep/bridging_test.cpp.o.d"
+  "dep_tests"
+  "dep_tests.pdb"
+  "dep_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dep_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsn_tests.dir/rsn/access_test.cpp.o"
+  "CMakeFiles/rsn_tests.dir/rsn/access_test.cpp.o.d"
+  "CMakeFiles/rsn_tests.dir/rsn/csu_sim_test.cpp.o"
+  "CMakeFiles/rsn_tests.dir/rsn/csu_sim_test.cpp.o.d"
+  "CMakeFiles/rsn_tests.dir/rsn/icl_test.cpp.o"
+  "CMakeFiles/rsn_tests.dir/rsn/icl_test.cpp.o.d"
+  "CMakeFiles/rsn_tests.dir/rsn/io_fuzz_test.cpp.o"
+  "CMakeFiles/rsn_tests.dir/rsn/io_fuzz_test.cpp.o.d"
+  "CMakeFiles/rsn_tests.dir/rsn/io_test.cpp.o"
+  "CMakeFiles/rsn_tests.dir/rsn/io_test.cpp.o.d"
+  "CMakeFiles/rsn_tests.dir/rsn/rsn_test.cpp.o"
+  "CMakeFiles/rsn_tests.dir/rsn/rsn_test.cpp.o.d"
+  "rsn_tests"
+  "rsn_tests.pdb"
+  "rsn_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsn_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/security/adversarial_test.cpp" "tests/CMakeFiles/security_tests.dir/security/adversarial_test.cpp.o" "gcc" "tests/CMakeFiles/security_tests.dir/security/adversarial_test.cpp.o.d"
+  "/root/repo/tests/security/endtoend_diff_test.cpp" "tests/CMakeFiles/security_tests.dir/security/endtoend_diff_test.cpp.o" "gcc" "tests/CMakeFiles/security_tests.dir/security/endtoend_diff_test.cpp.o.d"
+  "/root/repo/tests/security/filter_test.cpp" "tests/CMakeFiles/security_tests.dir/security/filter_test.cpp.o" "gcc" "tests/CMakeFiles/security_tests.dir/security/filter_test.cpp.o.d"
+  "/root/repo/tests/security/hybrid_test.cpp" "tests/CMakeFiles/security_tests.dir/security/hybrid_test.cpp.o" "gcc" "tests/CMakeFiles/security_tests.dir/security/hybrid_test.cpp.o.d"
+  "/root/repo/tests/security/pure_test.cpp" "tests/CMakeFiles/security_tests.dir/security/pure_test.cpp.o" "gcc" "tests/CMakeFiles/security_tests.dir/security/pure_test.cpp.o.d"
+  "/root/repo/tests/security/rewire_fuzz_test.cpp" "tests/CMakeFiles/security_tests.dir/security/rewire_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/security_tests.dir/security/rewire_fuzz_test.cpp.o.d"
+  "/root/repo/tests/security/rewire_test.cpp" "tests/CMakeFiles/security_tests.dir/security/rewire_test.cpp.o" "gcc" "tests/CMakeFiles/security_tests.dir/security/rewire_test.cpp.o.d"
+  "/root/repo/tests/security/running_example_test.cpp" "tests/CMakeFiles/security_tests.dir/security/running_example_test.cpp.o" "gcc" "tests/CMakeFiles/security_tests.dir/security/running_example_test.cpp.o.d"
+  "/root/repo/tests/security/spec_io_test.cpp" "tests/CMakeFiles/security_tests.dir/security/spec_io_test.cpp.o" "gcc" "tests/CMakeFiles/security_tests.dir/security/spec_io_test.cpp.o.d"
+  "/root/repo/tests/security/spec_test.cpp" "tests/CMakeFiles/security_tests.dir/security/spec_test.cpp.o" "gcc" "tests/CMakeFiles/security_tests.dir/security/spec_test.cpp.o.d"
+  "/root/repo/tests/security/static_oracle_test.cpp" "tests/CMakeFiles/security_tests.dir/security/static_oracle_test.cpp.o" "gcc" "tests/CMakeFiles/security_tests.dir/security/static_oracle_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rsnsec_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/security/CMakeFiles/rsnsec_security.dir/DependInfo.cmake"
+  "/root/repo/build/src/dep/CMakeFiles/rsnsec_dep.dir/DependInfo.cmake"
+  "/root/repo/build/src/benchgen/CMakeFiles/rsnsec_benchgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/rsn/CMakeFiles/rsnsec_rsn.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/rsnsec_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/rsnsec_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rsnsec_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

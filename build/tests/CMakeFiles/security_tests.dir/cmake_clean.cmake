@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/security_tests.dir/security/adversarial_test.cpp.o"
+  "CMakeFiles/security_tests.dir/security/adversarial_test.cpp.o.d"
+  "CMakeFiles/security_tests.dir/security/endtoend_diff_test.cpp.o"
+  "CMakeFiles/security_tests.dir/security/endtoend_diff_test.cpp.o.d"
+  "CMakeFiles/security_tests.dir/security/filter_test.cpp.o"
+  "CMakeFiles/security_tests.dir/security/filter_test.cpp.o.d"
+  "CMakeFiles/security_tests.dir/security/hybrid_test.cpp.o"
+  "CMakeFiles/security_tests.dir/security/hybrid_test.cpp.o.d"
+  "CMakeFiles/security_tests.dir/security/pure_test.cpp.o"
+  "CMakeFiles/security_tests.dir/security/pure_test.cpp.o.d"
+  "CMakeFiles/security_tests.dir/security/rewire_fuzz_test.cpp.o"
+  "CMakeFiles/security_tests.dir/security/rewire_fuzz_test.cpp.o.d"
+  "CMakeFiles/security_tests.dir/security/rewire_test.cpp.o"
+  "CMakeFiles/security_tests.dir/security/rewire_test.cpp.o.d"
+  "CMakeFiles/security_tests.dir/security/running_example_test.cpp.o"
+  "CMakeFiles/security_tests.dir/security/running_example_test.cpp.o.d"
+  "CMakeFiles/security_tests.dir/security/spec_io_test.cpp.o"
+  "CMakeFiles/security_tests.dir/security/spec_io_test.cpp.o.d"
+  "CMakeFiles/security_tests.dir/security/spec_test.cpp.o"
+  "CMakeFiles/security_tests.dir/security/spec_test.cpp.o.d"
+  "CMakeFiles/security_tests.dir/security/static_oracle_test.cpp.o"
+  "CMakeFiles/security_tests.dir/security/static_oracle_test.cpp.o.d"
+  "security_tests"
+  "security_tests.pdb"
+  "security_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/security_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_tests[1]_include.cmake")
+include("/root/repo/build/tests/sat_tests[1]_include.cmake")
+include("/root/repo/build/tests/netlist_tests[1]_include.cmake")
+include("/root/repo/build/tests/rsn_tests[1]_include.cmake")
+include("/root/repo/build/tests/dep_tests[1]_include.cmake")
+include("/root/repo/build/tests/security_tests[1]_include.cmake")
+include("/root/repo/build/tests/benchgen_tests[1]_include.cmake")
+include("/root/repo/build/tests/cli_tests[1]_include.cmake")
+include("/root/repo/build/tests/core_tests[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsnsec.dir/main.cpp.o"
+  "CMakeFiles/rsnsec.dir/main.cpp.o.d"
+  "rsnsec"
+  "rsnsec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsnsec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

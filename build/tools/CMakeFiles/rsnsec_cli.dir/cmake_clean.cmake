@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsnsec_cli.dir/cli.cpp.o"
+  "CMakeFiles/rsnsec_cli.dir/cli.cpp.o.d"
+  "librsnsec_cli.a"
+  "librsnsec_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsnsec_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
