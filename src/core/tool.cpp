@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "lint/invariant.hpp"
 #include "util/stopwatch.hpp"
 
 namespace rsnsec {
@@ -51,12 +52,25 @@ PipelineResult SecureFlowTool::run() {
   result.initial_violating_registers =
       hybrid.count_violating_registers(network_);
 
+  // Debug/verify mode: check the Sec. III-D invariants (cycle-free,
+  // every register kept and accessible) after every applied change, not
+  // just at the end — a corrupted intermediate state is caught at the
+  // rewire that introduced it.
+  lint::InvariantChecker invariants(network_);
+  security::ChangeCallback on_change;
+  if (options_.verify_invariants) {
+    on_change = [&invariants](const rsn::Rsn& net,
+                              const security::AppliedChange& change) {
+      invariants.require(net, "'" + change.note + "'");
+    };
+  }
+
   // Phase 3: pure scan paths (method of [17]).
   if (options_.run_pure) {
     sw.restart();
     security::PureScanAnalyzer pure(spec_, tokens);
     result.pure = pure.detect_and_resolve(network_, &result.changes,
-                                          options_.resolution);
+                                          options_.resolution, on_change);
     result.t_pure = sw.seconds();
   }
 
@@ -64,10 +78,12 @@ PipelineResult SecureFlowTool::run() {
   if (options_.run_hybrid) {
     sw.restart();
     result.hybrid = hybrid.detect_and_resolve(network_, &result.changes,
-                                              options_.resolution);
+                                              options_.resolution, on_change);
     result.t_hybrid = sw.seconds();
   }
 
+  if (options_.verify_invariants)
+    invariants.require(network_, "the full pipeline");
   if (!network_.validate(&err))
     throw std::logic_error("transformed network failed validation: " + err);
   result.secured = true;

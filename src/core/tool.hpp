@@ -22,6 +22,13 @@ struct PipelineOptions {
   /// Repair-candidate selection strategy (see bench/ablation_resolution).
   security::ResolutionPolicy resolution =
       security::ResolutionPolicy::BestGlobal;
+  /// Debug/verify mode: run the lint post-transformation invariant pass
+  /// (src/lint/invariant.hpp) after every applied RSN change and once on
+  /// the final network. A violated invariant (cycle introduced, register
+  /// lost or inaccessible) throws std::logic_error with the rendered
+  /// diagnostics instead of silently corrupting the model. Costs one
+  /// access-planning sweep per change.
+  bool verify_invariants = false;
 };
 
 /// Result of one pipeline run (one row of Table I).

@@ -1,0 +1,99 @@
+#include "lint/diagnostic.hpp"
+
+#include <ostream>
+
+namespace rsnsec::lint {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+struct Counts {
+  std::size_t errors = 0, warnings = 0, notes = 0;
+};
+
+Counts count(const std::vector<Diagnostic>& diags) {
+  Counts c;
+  for (const Diagnostic& d : diags) {
+    switch (d.severity) {
+      case Severity::Error: ++c.errors; break;
+      case Severity::Warning: ++c.warnings; break;
+      case Severity::Note: ++c.notes; break;
+    }
+  }
+  return c;
+}
+
+}  // namespace
+
+const char* severity_name(Severity s) {
+  switch (s) {
+    case Severity::Note: return "note";
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+  }
+  return "unknown";
+}
+
+std::size_t count_at_least(const std::vector<Diagnostic>& diags,
+                           Severity floor) {
+  std::size_t n = 0;
+  for (const Diagnostic& d : diags) n += d.severity >= floor;
+  return n;
+}
+
+void render_text(std::ostream& os, const std::vector<Diagnostic>& diags) {
+  for (const Diagnostic& d : diags) {
+    os << severity_name(d.severity) << " " << d.code;
+    if (!d.location.empty()) os << " at " << d.location;
+    os << ": " << d.message;
+    if (!d.fix_hint.empty()) os << " (hint: " << d.fix_hint << ")";
+    os << "\n";
+  }
+  Counts c = count(diags);
+  if (diags.empty()) {
+    os << "no issues found\n";
+  } else {
+    os << c.errors << " error(s), " << c.warnings << " warning(s), "
+       << c.notes << " note(s)\n";
+  }
+}
+
+void render_json(std::ostream& os, const std::vector<Diagnostic>& diags) {
+  os << "{\"diagnostics\": [";
+  for (std::size_t i = 0; i < diags.size(); ++i) {
+    const Diagnostic& d = diags[i];
+    os << (i ? ",\n  " : "\n  ");
+    os << "{\"code\": \"" << json_escape(d.code) << "\", \"severity\": \""
+       << severity_name(d.severity) << "\", \"location\": \""
+       << json_escape(d.location) << "\", \"message\": \""
+       << json_escape(d.message) << "\", \"fix_hint\": \""
+       << json_escape(d.fix_hint) << "\"}";
+  }
+  Counts c = count(diags);
+  os << (diags.empty() ? "]" : "\n]") << ", \"errors\": " << c.errors
+     << ", \"warnings\": " << c.warnings << ", \"notes\": " << c.notes
+     << "}\n";
+}
+
+}  // namespace rsnsec::lint

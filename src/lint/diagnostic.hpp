@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rsnsec::lint {
+
+/// Severity of a lint diagnostic.
+///
+/// `Error` marks a model that is structurally broken or violates an
+/// invariant the pipeline relies on (cycles, dangling register inputs,
+/// inaccessible registers); `Warning` marks suspicious-but-representable
+/// structure (dead logic, undriven mux inputs); `Note` is informational
+/// (degenerate single-input muxes the rewirer may legitimately create).
+enum class Severity : std::uint8_t { Note, Warning, Error };
+
+/// Lower-case severity mnemonic ("note", "warning", "error").
+const char* severity_name(Severity s);
+
+/// One finding of a lint pass.
+///
+/// `code` is a *stable* identifier (NET001, RSN003, SPEC002, INV001, ...)
+/// that tests and downstream tooling match on; message wording may change,
+/// codes may not. The full catalog lives in passes.hpp.
+struct Diagnostic {
+  std::string code;
+  Severity severity = Severity::Error;
+  /// Where the finding is anchored: "<source>: <object>", e.g.
+  /// "net.rsn: mux bypass3 input 1". Sources are file paths when linting
+  /// files and model names when linting in-memory objects.
+  std::string location;
+  std::string message;
+  /// Optional actionable suggestion ("connect the port or remove it").
+  std::string fix_hint;
+
+  bool operator==(const Diagnostic&) const = default;
+};
+
+/// Number of diagnostics at `floor` severity or worse.
+std::size_t count_at_least(const std::vector<Diagnostic>& diags,
+                           Severity floor);
+
+/// Renders diagnostics as human-readable text, one per line
+/// ("error RSN001 at net.rsn: ...: <message> (hint: ...)"), followed by a
+/// one-line summary. Prints "no issues found" for an empty list.
+void render_text(std::ostream& os, const std::vector<Diagnostic>& diags);
+
+/// Renders diagnostics as a JSON document:
+/// {"diagnostics": [{"code": ..., "severity": ..., "location": ...,
+///  "message": ..., "fix_hint": ...}], "errors": N, "warnings": N,
+///  "notes": N}.
+void render_json(std::ostream& os, const std::vector<Diagnostic>& diags);
+
+}  // namespace rsnsec::lint

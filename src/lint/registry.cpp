@@ -1,0 +1,35 @@
+#include "lint/registry.hpp"
+
+#include "lint/passes.hpp"
+
+namespace rsnsec::lint {
+
+Registry Registry::with_default_passes() {
+  Registry r;
+  r.add(make_netlist_multi_driver_pass());
+  r.add(make_netlist_comb_loop_pass());
+  r.add(make_netlist_dangling_input_pass());
+  r.add(make_netlist_dead_logic_pass());
+  r.add(make_rsn_acyclicity_pass());
+  r.add(make_rsn_connectivity_pass());
+  r.add(make_rsn_reachability_pass());
+  r.add(make_rsn_dead_mux_pass());
+  r.add(make_spec_consistency_pass());
+  r.add(make_spec_cross_reference_pass());
+  return r;
+}
+
+void Registry::add(std::unique_ptr<Pass> pass) {
+  passes_.push_back(std::move(pass));
+}
+
+std::vector<Diagnostic> Registry::run(const LintInput& input) const {
+  std::vector<Diagnostic> diags;
+  Sink sink(diags);
+  for (const auto& pass : passes_) {
+    if (pass->applicable(input)) pass->run(input, sink);
+  }
+  return diags;
+}
+
+}  // namespace rsnsec::lint

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "lint/pass.hpp"
+
+namespace rsnsec::lint {
+
+/// Ordered collection of lint passes. run() executes every applicable
+/// pass over the input and returns the combined findings, ordered by
+/// registration order (netlist checks first, then RSN, then spec for the
+/// default registry) — diagnostics of one pass stay contiguous so reports
+/// group naturally.
+class Registry {
+ public:
+  /// An empty registry (for custom pass sets in tests/tools).
+  Registry() = default;
+
+  /// All built-in passes of passes.hpp, in catalog order.
+  static Registry with_default_passes();
+
+  void add(std::unique_ptr<Pass> pass);
+
+  const std::vector<std::unique_ptr<Pass>>& passes() const {
+    return passes_;
+  }
+
+  std::vector<Diagnostic> run(const LintInput& input) const;
+
+ private:
+  std::vector<std::unique_ptr<Pass>> passes_;
+};
+
+}  // namespace rsnsec::lint

@@ -1,0 +1,212 @@
+// RSN structural passes (RSN001-RSN005). The reachability/accessibility
+// passes skip cyclic networks: the acyclicity pass reports the cycle as
+// the root cause, and path planning over a cyclic graph would only add
+// derived noise.
+
+#include <string>
+#include <vector>
+
+#include "lint/passes.hpp"
+#include "rsn/access.hpp"
+
+namespace rsnsec::lint {
+
+namespace {
+
+using rsn::ElemId;
+using rsn::ElemKind;
+using rsn::Rsn;
+
+std::string elem_label(const Rsn& net, ElemId id) {
+  const rsn::Element& e = net.elem(id);
+  switch (e.kind) {
+    case ElemKind::ScanIn: return "scan-in port";
+    case ElemKind::ScanOut: return "scan-out port";
+    case ElemKind::Register: return "register '" + e.name + "'";
+    case ElemKind::Mux: return "mux '" + e.name + "'";
+  }
+  return "element " + std::to_string(id);
+}
+
+bool valid_elem(const Rsn& net, ElemId id) {
+  return id != rsn::no_elem && id < net.num_elements();
+}
+
+class RsnPass : public Pass {
+ public:
+  bool applicable(const LintInput& in) const override {
+    return in.network != nullptr;
+  }
+};
+
+/// RSN001: cycles in the scan connection graph. The paper's resolution
+/// step must keep the network cycle-free (Sec. III-D); a cycle makes
+/// active-path and reachability semantics meaningless.
+class AcyclicityPass final : public RsnPass {
+ public:
+  const char* name() const override { return "rsn-acyclicity"; }
+  const char* description() const override {
+    return "scan connection graph is cycle-free";
+  }
+  void run(const LintInput& in, Sink& sink) const override {
+    const Rsn& net = *in.network;
+    enum class Mark : std::uint8_t { Unseen, OnStack, Done };
+    std::vector<Mark> marks(net.num_elements(), Mark::Unseen);
+    std::vector<std::pair<ElemId, std::size_t>> stack;
+    for (ElemId root = 0; root < net.num_elements(); ++root) {
+      if (marks[root] != Mark::Unseen) continue;
+      marks[root] = Mark::OnStack;
+      stack.emplace_back(root, 0);
+      while (!stack.empty()) {
+        auto& [id, next] = stack.back();
+        const rsn::Element& e = net.elem(id);
+        if (next < e.inputs.size()) {
+          ElemId f = e.inputs[next++];
+          if (!valid_elem(net, f)) continue;
+          if (marks[f] == Mark::OnStack) {
+            // Walk the DFS stack back to f to render the cycle.
+            std::string cycle = elem_label(net, f);
+            for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+              cycle += " <- " + elem_label(net, it->first);
+              if (it->first == f) break;
+            }
+            sink.add("RSN001", Severity::Error, in.network_source,
+                     elem_label(net, f), "scan-path cycle: " + cycle,
+                     "cut one connection of the cycle");
+            continue;
+          }
+          if (marks[f] == Mark::Unseen) {
+            marks[f] = Mark::OnStack;
+            stack.emplace_back(f, 0);
+          }
+        } else {
+          marks[id] = Mark::Done;
+          stack.pop_back();
+        }
+      }
+    }
+  }
+};
+
+/// RSN002: dangling connections. A register or the scan-out port with an
+/// undriven input can never carry data (error); an undriven mux input is
+/// representable but selects a broken path (warning). Out-of-range
+/// driver ids are always errors.
+class ConnectivityPass final : public RsnPass {
+ public:
+  const char* name() const override { return "rsn-connectivity"; }
+  const char* description() const override {
+    return "undriven inputs and invalid driver ids";
+  }
+  void run(const LintInput& in, Sink& sink) const override {
+    const Rsn& net = *in.network;
+    for (ElemId id = 0; id < net.num_elements(); ++id) {
+      const rsn::Element& e = net.elem(id);
+      for (std::size_t p = 0; p < e.inputs.size(); ++p) {
+        ElemId drv = e.inputs[p];
+        if (drv == rsn::no_elem) {
+          if (e.kind == ElemKind::Register || e.kind == ElemKind::ScanOut) {
+            sink.add("RSN002", Severity::Error, in.network_source,
+                     elem_label(net, id), "input is undriven",
+                     "connect a driver (scan-in reaches every segment)");
+          } else if (e.kind == ElemKind::Mux) {
+            sink.add("RSN002", Severity::Warning, in.network_source,
+                     elem_label(net, id),
+                     "mux input " + std::to_string(p) +
+                         " is undriven (selecting it breaks the path)",
+                     "connect the input or remove the mux port");
+          }
+        } else if (drv >= net.num_elements()) {
+          sink.add("RSN002", Severity::Error, in.network_source,
+                   elem_label(net, id),
+                   "input " + std::to_string(p) + " references invalid "
+                   "element id " + std::to_string(drv));
+        }
+      }
+    }
+  }
+};
+
+/// RSN003 + RSN004: every scan register must lie on some scan-in ->
+/// scan-out trajectory (RSN003), and the access planner must find a mux
+/// configuration that puts it on a complete active path (RSN004). The
+/// paper's transformation guarantees both for every register it keeps.
+class ReachabilityPass final : public RsnPass {
+ public:
+  const char* name() const override { return "rsn-reachability"; }
+  const char* description() const override {
+    return "registers reachable from scan-in and accessible via planning";
+  }
+  void run(const LintInput& in, Sink& sink) const override {
+    const Rsn& net = *in.network;
+    for (ElemId id = 0; id < net.num_elements(); ++id) {
+      for (ElemId drv : net.elem(id).inputs) {
+        // Out-of-range driver ids (reported by RSN002) would corrupt the
+        // traversals below, including is_acyclic() itself.
+        if (drv != rsn::no_elem && drv >= net.num_elements()) return;
+      }
+    }
+    if (!net.is_acyclic()) return;  // RSN001 reports the root cause
+    std::vector<bool> fwd(net.num_elements(), false);
+    for (ElemId id : net.reachable_from(net.scan_in())) fwd[id] = true;
+    rsn::AccessPlanner planner(net);
+    for (ElemId r : net.registers()) {
+      if (!fwd[r]) {
+        sink.add("RSN003", Severity::Error, in.network_source,
+                 elem_label(net, r), "register is unreachable from scan-in",
+                 "connect its segment into the network");
+        continue;  // planning needs the scan-in side; RSN004 would repeat
+      }
+      if (!planner.plan(r)) {
+        sink.add("RSN004", Severity::Error, in.network_source,
+                 elem_label(net, r),
+                 "no mux configuration puts the register on a complete "
+                 "scan path (inaccessible)",
+                 "route the register's fanout toward the scan-out port");
+      }
+    }
+  }
+};
+
+/// RSN005: suspicious multiplexers — a mux that drives nothing is dead
+/// configuration logic (warning); a mux reduced to a single input is a
+/// buffer the rewirer may legitimately leave behind (note).
+class DeadMuxPass final : public RsnPass {
+ public:
+  const char* name() const override { return "rsn-dead-mux"; }
+  const char* description() const override {
+    return "muxes that drive nothing or degenerated to buffers";
+  }
+  void run(const LintInput& in, Sink& sink) const override {
+    const Rsn& net = *in.network;
+    for (ElemId m : net.muxes()) {
+      if (net.fanouts(m).empty()) {
+        sink.add("RSN005", Severity::Warning, in.network_source,
+                 elem_label(net, m), "mux output drives nothing (dead mux)",
+                 "remove the mux or route it toward scan-out");
+      }
+      if (net.elem(m).inputs.size() == 1) {
+        sink.add("RSN005", Severity::Note, in.network_source,
+                 elem_label(net, m),
+                 "mux has a single input (behaves as a buffer)");
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> make_rsn_acyclicity_pass() {
+  return std::make_unique<AcyclicityPass>();
+}
+std::unique_ptr<Pass> make_rsn_connectivity_pass() {
+  return std::make_unique<ConnectivityPass>();
+}
+std::unique_ptr<Pass> make_rsn_reachability_pass() {
+  return std::make_unique<ReachabilityPass>();
+}
+std::unique_ptr<Pass> make_rsn_dead_mux_pass() {
+  return std::make_unique<DeadMuxPass>();
+}
+
+}  // namespace rsnsec::lint

@@ -335,7 +335,7 @@ std::optional<HybridAnalyzer::Violation> HybridAnalyzer::find_violation(
 
 HybridStats HybridAnalyzer::detect_and_resolve(
     Rsn& network, std::vector<AppliedChange>* log,
-    ResolutionPolicy policy) {
+    ResolutionPolicy policy, const ChangeCallback& on_change) {
   HybridStats stats;
   stats.initial_violating_registers = count_violating_registers(network);
   stats.initial_violating_pairs = count_violating_pairs(network);
@@ -393,6 +393,7 @@ HybridStats HybridAnalyzer::detect_and_resolve(
     }
     ++stats.applied_changes;
     stats.rewire_operations += change.rewire_operations;
+    if (on_change) on_change(network, change);
     if (log) log->push_back(std::move(change));
   }
   return stats;

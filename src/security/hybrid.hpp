@@ -105,10 +105,12 @@ class HybridAnalyzer {
 
   /// Repeatedly detects and resolves violations by cutting RSN
   /// connections until the network is secure. Requires check_static() to
-  /// be clean. Modifies `network`; appends changes to `log`.
+  /// be clean. Modifies `network`; appends changes to `log`; invokes
+  /// `on_change` after every applied change (see ChangeCallback).
   HybridStats detect_and_resolve(
       rsn::Rsn& network, std::vector<AppliedChange>* log = nullptr,
-      ResolutionPolicy policy = ResolutionPolicy::BestGlobal);
+      ResolutionPolicy policy = ResolutionPolicy::BestGlobal,
+      const ChangeCallback& on_change = {});
 
  private:
   const netlist::Netlist& nl_;

@@ -146,7 +146,7 @@ std::optional<PureViolation> PureScanAnalyzer::find_violation(
 
 PureStats PureScanAnalyzer::detect_and_resolve(
     Rsn& network, std::vector<AppliedChange>* log,
-    ResolutionPolicy policy) {
+    ResolutionPolicy policy, const ChangeCallback& on_change) {
   PureStats stats;
   stats.initial_violating_registers = count_violating_registers(network);
   stats.initial_violating_pairs = count_violating_pairs(network);
@@ -201,6 +201,7 @@ PureStats PureScanAnalyzer::detect_and_resolve(
     }
     ++stats.applied_changes;
     stats.rewire_operations += change.rewire_operations;
+    if (on_change) on_change(network, change);
     if (log) log->push_back(std::move(change));
   }
   return stats;

@@ -57,10 +57,12 @@ class PureScanAnalyzer {
 
   /// Repeatedly detects and resolves violations until the network is
   /// secure w.r.t. pure scan paths. Modifies `network` in place; appends
-  /// applied changes to `log`. Returns run statistics.
+  /// applied changes to `log`; invokes `on_change` after every applied
+  /// change (see ChangeCallback). Returns run statistics.
   PureStats detect_and_resolve(
       rsn::Rsn& network, std::vector<AppliedChange>* log = nullptr,
-      ResolutionPolicy policy = ResolutionPolicy::BestGlobal);
+      ResolutionPolicy policy = ResolutionPolicy::BestGlobal,
+      const ChangeCallback& on_change = {});
 
  private:
   const SecuritySpec& spec_;

@@ -37,6 +37,15 @@ struct Connection {
 
 /// Record of one applied repair (for reporting and the #Applied-Changes
 /// columns of Table I).
+struct AppliedChange;
+
+/// Observer the resolution loops invoke after each applied change, with
+/// the already-modified network. SecureFlowTool uses it to run the lint
+/// invariant pass after every rewire (PipelineOptions::verify_invariants);
+/// exceptions thrown from the callback abort the resolution.
+using ChangeCallback =
+    std::function<void(const rsn::Rsn&, const AppliedChange&)>;
+
 struct AppliedChange {
   enum class Kind : std::uint8_t { CutConnection, IsolateRegister };
   Kind kind = Kind::CutConnection;

@@ -13,6 +13,7 @@
 #include "benchgen/specgen.hpp"
 #include "core/report.hpp"
 #include "core/tool.hpp"
+#include "lint/driver.hpp"
 #include "netlist/verilog.hpp"
 #include "rsn/access.hpp"
 #include "rsn/icl.hpp"
@@ -28,6 +29,7 @@ struct Args {
   std::string command;
   std::map<std::string, std::string> options;
   std::vector<std::string> flags;
+  std::vector<std::string> positionals;
 
   bool has_flag(const std::string& f) const {
     for (const std::string& x : flags)
@@ -52,12 +54,17 @@ Args parse_args(const std::vector<std::string>& argv) {
   args.command = argv[0];
   for (std::size_t i = 1; i < argv.size(); ++i) {
     const std::string& a = argv[i];
-    if (a.rfind("--", 0) != 0)
-      throw std::runtime_error("unexpected argument '" + a + "'");
+    if (a.rfind("--", 0) != 0) {
+      // Only `lint` takes positional arguments (its input files).
+      if (args.command != "lint")
+        throw std::runtime_error("unexpected argument '" + a + "'");
+      args.positionals.push_back(a);
+      continue;
+    }
     std::string key = a.substr(2);
     // Boolean flags.
     if (key == "structural" || key == "json" || key == "no-pure" ||
-        key == "no-hybrid" || key == "filter-baseline") {
+        key == "no-hybrid" || key == "filter-baseline" || key == "verify") {
       args.flags.push_back(key);
       continue;
     }
@@ -120,7 +127,23 @@ PipelineOptions pipeline_options(const Args& args) {
     opt.dep.mode = dep::DepMode::StructuralOnly;
   if (args.has_flag("no-pure")) opt.run_pure = false;
   if (args.has_flag("no-hybrid")) opt.run_hybrid = false;
+  if (args.has_flag("verify")) opt.verify_invariants = true;
   return opt;
+}
+
+int cmd_lint(const Args& args, std::ostream& out) {
+  if (args.positionals.empty())
+    throw std::runtime_error(
+        "lint needs input files (.rsn/.icl/.v/.spec), e.g. "
+        "rsnsec lint net.rsn ckt.v policy.spec");
+  lint::Registry registry = lint::Registry::with_default_passes();
+  std::vector<lint::Diagnostic> diags = lint::lint_files(
+      registry, args.positionals, args.get("top").value_or(""));
+  if (args.has_flag("json"))
+    lint::render_json(out, diags);
+  else
+    lint::render_text(out, diags);
+  return lint::count_at_least(diags, lint::Severity::Error) > 0 ? 2 : 0;
 }
 
 int cmd_generate(const Args& args, std::ostream& out) {
@@ -255,8 +278,10 @@ int run(const std::vector<std::string>& args_in, std::ostream& out,
     if (args.command == "info") return cmd_info(args, out);
     if (args.command == "analyze") return cmd_analyze(args, out);
     if (args.command == "secure") return cmd_secure(args, out);
+    if (args.command == "lint") return cmd_lint(args, out);
     throw std::runtime_error("unknown command '" + args.command +
-                             "' (try: generate, info, analyze, secure)");
+                             "' (try: generate, info, analyze, secure, "
+                             "lint)");
   } catch (const std::exception& e) {
     err << "rsnsec: " << e.what() << "\n";
     return 1;

@@ -15,9 +15,19 @@ namespace rsnsec::cli {
 ///   rsnsec info     (--rsn F | --icl F [--top NAME])
 ///   rsnsec analyze  --rsn F --verilog F --spec F [--structural] [--json]
 ///   rsnsec secure   --rsn F --verilog F --spec F --out F [--json]
+///                   [--verify]
+///   rsnsec lint     FILE... [--json] [--top NAME]
+///
+/// `lint` statically checks the given files (.rsn/.icl network,
+/// .v circuit, .spec specification — any subset, cross-checked when
+/// combined) with the src/lint diagnostics passes. `secure --verify`
+/// additionally runs the lint invariant pass after every applied RSN
+/// change (PipelineOptions::verify_invariants).
 ///
 /// Returns the process exit code (0 = success; for `analyze`, 0 also
-/// means "no violations found" and 2 means "violations found").
+/// means "no violations found" and 2 means "violations found"; for
+/// `lint`, 0 means "no error-severity diagnostics" and 2 means at least
+/// one error was reported).
 int run(const std::vector<std::string>& args, std::ostream& out,
         std::ostream& err);
 

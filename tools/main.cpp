@@ -6,6 +6,7 @@
 //   rsnsec analyze --rsn net.rsn --verilog ckt.v --spec policy.spec
 //   rsnsec secure  --rsn net.rsn --verilog ckt.v --spec policy.spec \
 //          --out net_secure.rsn
+//   rsnsec lint net.rsn ckt.v policy.spec
 
 #include <iostream>
 #include <vector>
@@ -15,7 +16,8 @@
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
   if (args.empty()) {
-    std::cerr << "usage: rsnsec <generate|info|analyze|secure> [options]\n"
+    std::cerr << "usage: rsnsec <generate|info|analyze|secure|lint> "
+                 "[options]\n"
                  "see tools/cli.hpp for the full option list\n";
     return 1;
   }
