@@ -5,6 +5,8 @@
 #include <iomanip>
 #include <iostream>
 
+#include "util/thread_pool.hpp"
+
 namespace rsnsec::bench {
 
 namespace {
@@ -41,6 +43,7 @@ SweepOptions sweep_options_from_env() {
   opt.target_ffs = env_or("RSNSEC_TARGET_FFS", 400);
   opt.target_regs = env_or("RSNSEC_TARGET_REGS", 48);
   opt.base_seed = env_or("RSNSEC_SEED", 1);
+  opt.jobs = env_or("RSNSEC_JOBS", 0);
   // Sparse specifications: a couple of protected instruments and few
   // low-trust ones, matching the violating-register densities of Table I.
   opt.spec.expected_sensitive_modules = 2.5;
@@ -98,34 +101,77 @@ Instance make_instance(const std::string& name, const SweepOptions& opt,
 
 BenchRow run_benchmark(const std::string& name, const SweepOptions& opt) {
   RowAccumulator acc(name);
-  bool structure_recorded = false;
-  for (int ci = 0; ci < opt.circuits_per_benchmark; ++ci) {
-    Instance inst = make_instance(name, opt, ci);
-    if (!structure_recorded) {
-      acc.set_structure(inst.doc.network.registers().size(),
-                        inst.doc.network.num_scan_ffs(),
-                        inst.doc.network.muxes().size());
-      structure_recorded = true;
-    }
-    for (int si = 0; si < opt.specs_per_circuit; ++si) {
-      Rng spec_rng(opt.base_seed * 104729 +
-                   static_cast<std::uint64_t>(ci) * 1000 +
-                   static_cast<std::uint64_t>(si));
-      security::SecuritySpec spec = benchgen::random_spec(
-          inst.doc.module_names.size(), opt.spec, spec_rng);
-      // Each spec run transforms a fresh copy of the network.
-      rsn::Rsn network = inst.doc.network;
-      SecureFlowTool tool(inst.circuit, network, spec, opt.pipeline);
-      PipelineResult result = tool.run();
-      if (!result.static_report.clean()) {
+  ThreadPool pool(ThreadPool::resolve_num_threads(opt.jobs));
+
+  // The sweep parallelizes at the (circuit, spec) granularity: the
+  // outermost independent unit, mirroring how the paper's 10 x 16 grid
+  // is embarrassingly parallel. When the sweep itself is concurrent, the
+  // per-run dependency analysis defaults to 1 thread so the machine is
+  // not oversubscribed quadratically (an explicit pipeline.dep
+  // num_threads is honored).
+  PipelineOptions popt = opt.pipeline;
+  if (pool.num_threads() > 1 && popt.dep.num_threads == 0)
+    popt.dep.num_threads = 1;
+
+  const std::size_t circuits =
+      static_cast<std::size_t>(opt.circuits_per_benchmark);
+  const std::size_t specs = static_cast<std::size_t>(opt.specs_per_circuit);
+
+  // Instances are deterministic functions of (name, opt, ci) and shared
+  // read-only by that circuit's spec runs.
+  std::vector<Instance> instances(circuits);
+  pool.parallel_for(
+      0, circuits,
+      [&](std::size_t ci) {
+        instances[ci] = make_instance(name, opt, static_cast<int>(ci));
+      },
+      /*grain=*/1);
+  if (!instances.empty()) {
+    acc.set_structure(instances[0].doc.network.registers().size(),
+                      instances[0].doc.network.num_scan_ffs(),
+                      instances[0].doc.network.muxes().size());
+  }
+
+  enum class Outcome : std::uint8_t { Ok, Insecure, NoViolation };
+  std::vector<Outcome> outcomes(circuits * specs, Outcome::Ok);
+  std::vector<PipelineResult> results(circuits * specs);
+  pool.parallel_for(
+      0, circuits * specs,
+      [&](std::size_t t) {
+        const std::size_t ci = t / specs;
+        const std::size_t si = t % specs;
+        const Instance& inst = instances[ci];
+        Rng spec_rng(opt.base_seed * 104729 +
+                     static_cast<std::uint64_t>(ci) * 1000 +
+                     static_cast<std::uint64_t>(si));
+        security::SecuritySpec spec = benchgen::random_spec(
+            inst.doc.module_names.size(), opt.spec, spec_rng);
+        // Each spec run transforms a fresh copy of the network.
+        rsn::Rsn network = inst.doc.network;
+        SecureFlowTool tool(inst.circuit, network, spec, popt);
+        PipelineResult result = tool.run();
+        if (!result.static_report.clean())
+          outcomes[t] = Outcome::Insecure;
+        else if (result.initial_violating_registers == 0)
+          outcomes[t] = Outcome::NoViolation;
+        else
+          results[t] = std::move(result);
+      },
+      /*grain=*/1);
+
+  // Deterministic reduction: accumulate in (circuit, spec) order
+  // regardless of which thread finished first.
+  for (std::size_t t = 0; t < outcomes.size(); ++t) {
+    switch (outcomes[t]) {
+      case Outcome::Insecure:
         acc.add_skipped_insecure();
-        continue;
-      }
-      if (result.initial_violating_registers == 0) {
+        break;
+      case Outcome::NoViolation:
         acc.add_skipped_no_violation();
-        continue;
-      }
-      acc.add(result);
+        break;
+      case Outcome::Ok:
+        acc.add(results[t]);
+        break;
     }
   }
   return acc.finish();

@@ -28,6 +28,12 @@ struct SweepOptions {
   /// keep their register structure while register widths shrink.
   std::size_t target_regs = 48;
   std::uint64_t base_seed = 1;
+  /// Concurrent (circuit, spec) runs per benchmark (0 = auto from
+  /// RSNSEC_JOBS / hardware concurrency). Runs are independent — each
+  /// works on its own network copy — and the averages are accumulated in
+  /// (circuit, spec) order, so the reported row is identical for any
+  /// value.
+  std::size_t jobs = 0;
   benchgen::SpecOptions spec;
   PipelineOptions pipeline;
 };

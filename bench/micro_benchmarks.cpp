@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include <sstream>
+#include <thread>
 
 #include "benchgen/circuit.hpp"
 #include "benchgen/families.hpp"
@@ -21,6 +22,7 @@
 #include "security/hybrid.hpp"
 #include "security/pure.hpp"
 #include "util/dep_matrix.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -117,13 +119,60 @@ struct Workload {
 
 void BM_OneCycleDependencyAnalysis(benchmark::State& state) {
   Workload w(static_cast<double>(state.range(0)));
+  dep::DepOptions opt;
+  opt.num_threads = 1;
   for (auto _ : state) {
-    dep::DependencyAnalyzer a(w.circuit, w.doc.network, {});
+    dep::DependencyAnalyzer a(w.circuit, w.doc.network, opt);
     a.run();
     benchmark::DoNotOptimize(a.stats().closure_deps);
   }
 }
 BENCHMARK(BM_OneCycleDependencyAnalysis)->Arg(100)->Arg(300);
+
+// jobs=1 vs jobs=hardware for BENCH_dep.json: the full Sec. III-A
+// dependency analysis (cone fan-out + bridging + closure) at a Table I
+// network size. Results are bit-identical across the arg values; only
+// the wall clock may differ.
+void JobsArgs(benchmark::internal::Benchmark* b) {
+  b->ArgName("jobs")->Arg(1);
+  unsigned hw = std::thread::hardware_concurrency();
+  // Always register a >1 case so the pool machinery stays measured even
+  // on single-core CI runners.
+  b->Arg(hw > 1 ? static_cast<int>(hw) : 2);
+}
+
+void BM_DependencyAnalysisJobs(benchmark::State& state) {
+  Workload w(400);
+  dep::DepOptions opt;
+  opt.num_threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    dep::DependencyAnalyzer a(w.circuit, w.doc.network, opt);
+    a.run();
+    benchmark::DoNotOptimize(a.stats().closure_deps);
+  }
+  state.counters["jobs"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_DependencyAnalysisJobs)->Apply(JobsArgs);
+
+void BM_DepMatrixClosureJobs(benchmark::State& state) {
+  const std::size_t n = 1024;
+  Rng rng(7);
+  DepMatrix base(n);
+  for (std::size_t i = 0; i < 4 * n; ++i) {
+    std::size_t a = rng.below(static_cast<std::uint32_t>(n));
+    std::size_t b = rng.below(static_cast<std::uint32_t>(n));
+    base.upgrade(a, b,
+                 rng.chance(0.7) ? DepKind::Path : DepKind::Structural);
+  }
+  ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    DepMatrix m = base;
+    m.transitive_closure(nullptr, &pool);
+    benchmark::DoNotOptimize(m.count_nonzero());
+  }
+  state.counters["jobs"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_DepMatrixClosureJobs)->Apply(JobsArgs);
 
 void BM_PurePropagation(benchmark::State& state) {
   Workload w;

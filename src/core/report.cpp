@@ -117,7 +117,12 @@ void write_json(std::ostream& os, const PipelineResult& r) {
      << "    \"deps_after_bridging\": " << r.dep_stats.deps_after_bridging
      << ",\n"
      << "    \"sat_calls\": " << r.dep_stats.sat_calls << ",\n"
-     << "    \"sim_resolved\": " << r.dep_stats.sim_resolved << "\n"
+     << "    \"sat_unknown\": " << r.dep_stats.sat_unknown << ",\n"
+     << "    \"sim_resolved\": " << r.dep_stats.sim_resolved << ",\n"
+     << "    \"threads\": " << r.dep_stats.threads_used << ",\n"
+     << "    \"phase_seconds\": {\"one_cycle\": " << r.dep_stats.t_one_cycle
+     << ", \"bridge\": " << r.dep_stats.t_bridge
+     << ", \"closure\": " << r.dep_stats.t_closure << "}\n"
      << "  },\n";
   os << "  \"changes\": {\n"
      << "    \"pure\": " << r.pure.applied_changes << ",\n"

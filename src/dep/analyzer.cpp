@@ -4,6 +4,8 @@
 
 #include "netlist/cone_check.hpp"
 #include "netlist/sim.hpp"
+#include "util/stopwatch.hpp"
+#include "util/thread_pool.hpp"
 
 namespace rsnsec::dep {
 
@@ -11,10 +13,25 @@ using netlist::Cone;
 using netlist::GateType;
 using netlist::NodeId;
 
+namespace {
+
+/// Seed of the private RNG stream of cone `idx` (splitmix64 finalizer).
+/// Hashing (seed, cone index) instead of sharing one sequential stream
+/// makes every cone's patterns independent of scheduling, which is what
+/// guarantees bit-identical results for any thread count.
+std::uint64_t cone_seed(std::uint64_t seed, std::uint64_t idx) {
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (idx + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
 DependencyAnalyzer::DependencyAnalyzer(const netlist::Netlist& nl,
                                        const rsn::Rsn& network,
                                        DepOptions options)
-    : nl_(nl), rsn_(network), options_(options), rng_(options.seed) {}
+    : nl_(nl), rsn_(network), options_(options) {}
 
 void DependencyAnalyzer::build_index() {
   ff_nodes_ = nl_.ffs();
@@ -32,6 +49,35 @@ void DependencyAnalyzer::build_index() {
   }
 }
 
+void DependencyAnalyzer::extract_capture_cones() {
+  // One extraction per scan FF, reused by classify_internal (which needs
+  // only the leaves) and compute_one_cycle (which classifies the full
+  // cone) — previously the same cone was extracted twice.
+  capture_cones_.clear();
+  capture_cones_.resize(capture_deps_.size());
+  struct Task {
+    std::size_t slot, ff;
+    NodeId src;
+  };
+  std::vector<Task> tasks;
+  for (rsn::ElemId r : rsn_.registers()) {
+    std::size_t slot = reg_slot_[r];
+    const rsn::Element& e = rsn_.elem(r);
+    capture_cones_[slot].resize(e.ffs.size());
+    for (std::size_t f = 0; f < e.ffs.size(); ++f) {
+      if (e.ffs[f].capture_src != netlist::no_node)
+        tasks.push_back({slot, f, e.ffs[f].capture_src});
+    }
+  }
+  pool_->parallel_for(
+      0, tasks.size(),
+      [&](std::size_t t) {
+        capture_cones_[tasks[t].slot][tasks[t].ff] =
+            nl_.extract_signal_cone(tasks[t].src);
+      },
+      /*grain=*/1);
+}
+
 void DependencyAnalyzer::classify_internal() {
   // A circuit flip-flop is "directly connected to the RSN" if it is an
   // update target of some scan FF or a leaf of some scan FF's capture
@@ -39,10 +85,12 @@ void DependencyAnalyzer::classify_internal() {
   // bridged out of the relation.
   std::vector<bool> connected(nl_.num_nodes(), false);
   for (rsn::ElemId r : rsn_.registers()) {
-    for (const rsn::ScanFF& sf : rsn_.elem(r).ffs) {
+    const rsn::Element& e = rsn_.elem(r);
+    for (std::size_t f = 0; f < e.ffs.size(); ++f) {
+      const rsn::ScanFF& sf = e.ffs[f];
       if (sf.update_dst != netlist::no_node) connected[sf.update_dst] = true;
       if (sf.capture_src != netlist::no_node) {
-        Cone cone = nl_.extract_signal_cone(sf.capture_src);
+        const Cone& cone = capture_cones_[reg_slot_[r]][f];
         for (NodeId leaf : cone.leaves) {
           if (nl_.is_ff(leaf)) connected[leaf] = true;
         }
@@ -56,7 +104,9 @@ void DependencyAnalyzer::classify_internal() {
   }
 }
 
-std::vector<CaptureDep> DependencyAnalyzer::cone_deps(const Cone& cone) {
+std::vector<CaptureDep> DependencyAnalyzer::cone_deps(const Cone& cone,
+                                                      Rng& rng,
+                                                      DepStats& stats) const {
   std::vector<CaptureDep> out;
 
   // Special case: the cone start is itself a leaf (direct FF-to-FF wire);
@@ -76,7 +126,8 @@ std::vector<CaptureDep> DependencyAnalyzer::cone_deps(const Cone& cone) {
   }
 
   // Random-simulation prefilter: a propagation witness under 64 parallel
-  // patterns proves functional dependence without any SAT call.
+  // patterns proves functional dependence without any SAT call. All
+  // buffers are local, so concurrent cone classifications share nothing.
   std::vector<bool> decided(cone.leaves.size(), false);
   std::vector<std::uint64_t> base(cone.leaves.size());
   std::vector<std::uint64_t> scratch;
@@ -89,7 +140,7 @@ std::vector<CaptureDep> DependencyAnalyzer::cone_deps(const Cone& cone) {
       else if (t == GateType::Const1)
         base[i] = ~0ULL;
       else
-        base[i] = rng_.next_u64();
+        base[i] = rng.next_u64();
     }
     std::uint64_t f0 = netlist::eval_cone(nl_, cone, base, scratch);
     for (std::size_t i : ff_leaves) {
@@ -101,24 +152,37 @@ std::vector<CaptureDep> DependencyAnalyzer::cone_deps(const Cone& cone) {
       if (f0 != f1) {
         decided[i] = true;
         --undecided;
-        ++stats_.sim_resolved;
+        ++stats.sim_resolved;
         out.push_back({cone.leaves[i], DepKind::Path});
       }
     }
   }
 
   if (undecided > 0) {
-    // Exact SAT check for the leaves simulation could not witness.
-    netlist::ConeDependenceChecker checker(nl_, cone);
+    // Exact SAT check for the leaves simulation could not witness. The
+    // checker (and its solver) is task-local: SAT state is never shared
+    // between threads.
+    netlist::ConeDependenceChecker checker(nl_, cone,
+                                           options_.sat_conflict_limit);
     for (std::size_t i : ff_leaves) {
       if (decided[i]) continue;
-      ++stats_.sat_calls;
-      if (checker.depends_on(i)) {
-        ++stats_.sat_functional;
-        out.push_back({cone.leaves[i], DepKind::Path});
-      } else {
-        ++stats_.sat_structural;
-        out.push_back({cone.leaves[i], DepKind::Structural});
+      ++stats.sat_calls;
+      switch (checker.query(i)) {
+        case sat::Result::Sat:
+          ++stats.sat_functional;
+          out.push_back({cone.leaves[i], DepKind::Path});
+          break;
+        case sat::Result::Unsat:
+          ++stats.sat_structural;
+          out.push_back({cone.leaves[i], DepKind::Structural});
+          break;
+        case sat::Result::Unknown:
+          // Conflict budget exhausted: sound over-approximation — treat
+          // the dependency as functional (a missed real flow would be
+          // unsound for security; a false Path only costs precision).
+          ++stats.sat_unknown;
+          out.push_back({cone.leaves[i], DepKind::Path});
+          break;
       }
     }
   }
@@ -127,21 +191,57 @@ std::vector<CaptureDep> DependencyAnalyzer::cone_deps(const Cone& cone) {
 
 void DependencyAnalyzer::compute_one_cycle() {
   one_cycle_ = DepMatrix(ff_nodes_.size());
-  for (std::size_t j = 0; j < ff_nodes_.size(); ++j) {
-    Cone cone = nl_.extract_next_state_cone(ff_nodes_[j]);
-    for (const CaptureDep& d : cone_deps(cone)) {
-      one_cycle_.upgrade(circuit_index(d.circuit_ff), j, d.kind);
-    }
-  }
-  // Capture-cone dependencies of every scan flip-flop.
+
+  // Fan out one task per cone: first every circuit flip-flop's next-state
+  // cone, then every scan FF's capture cone (cached by
+  // extract_capture_cones). Task index doubles as the cone's RNG-stream
+  // index, so the patterns a cone sees are scheduling-independent.
+  struct CaptureTask {
+    std::size_t slot, ff;
+  };
+  std::vector<CaptureTask> capture_tasks;
   for (rsn::ElemId r : rsn_.registers()) {
     const rsn::Element& e = rsn_.elem(r);
     for (std::size_t f = 0; f < e.ffs.size(); ++f) {
-      if (e.ffs[f].capture_src != netlist::no_node) {
-        Cone cone = nl_.extract_signal_cone(e.ffs[f].capture_src);
-        capture_deps_[reg_slot_[r]][f] = cone_deps(cone);
-      }
+      if (e.ffs[f].capture_src != netlist::no_node)
+        capture_tasks.push_back({reg_slot_[r], f});
     }
+  }
+  const std::size_t nff = ff_nodes_.size();
+  const std::size_t ntasks = nff + capture_tasks.size();
+  std::vector<std::vector<CaptureDep>> results(ntasks);
+  std::vector<DepStats> local(ntasks);
+
+  pool_->parallel_for(
+      0, ntasks,
+      [&](std::size_t t) {
+        Rng rng(cone_seed(options_.seed, t));
+        if (t < nff) {
+          Cone cone = nl_.extract_next_state_cone(ff_nodes_[t]);
+          results[t] = cone_deps(cone, rng, local[t]);
+        } else {
+          const CaptureTask& ct = capture_tasks[t - nff];
+          results[t] = cone_deps(capture_cones_[ct.slot][ct.ff], rng,
+                                 local[t]);
+        }
+      },
+      /*grain=*/1);
+
+  // Deterministic reduction: apply results and counters in task order.
+  for (std::size_t j = 0; j < nff; ++j) {
+    for (const CaptureDep& d : results[j])
+      one_cycle_.upgrade(circuit_index(d.circuit_ff), j, d.kind);
+  }
+  for (std::size_t t = 0; t < capture_tasks.size(); ++t) {
+    const CaptureTask& ct = capture_tasks[t];
+    capture_deps_[ct.slot][ct.ff] = std::move(results[nff + t]);
+  }
+  for (const DepStats& s : local) {
+    stats_.sim_resolved += s.sim_resolved;
+    stats_.sat_calls += s.sat_calls;
+    stats_.sat_functional += s.sat_functional;
+    stats_.sat_structural += s.sat_structural;
+    stats_.sat_unknown += s.sat_unknown;
   }
 
   stats_.deps_before_bridging = one_cycle_.count_nonzero();
@@ -166,7 +266,8 @@ void DependencyAnalyzer::bridge_internal() {
   // dependency (v on p) with each outgoing one (s on v) into (s on p),
   // then remove v from the relation (Fig. 3). Only-structural hops make
   // the composed dependency only-structural unless a path-dependent pair
-  // is already known.
+  // is already known. Inherently sequential: each elimination rewrites
+  // the relation the next one reads.
   for (std::size_t v = 0; v < ff_nodes_.size(); ++v) {
     if (!internal_[v]) continue;
     std::vector<std::size_t> preds = closure_.predecessors(v);
@@ -196,23 +297,36 @@ void DependencyAnalyzer::compute_closure() {
   if (options_.max_cycles > 0) {
     // Iterative k-cycle computation ([18]); after bridging the relation
     // contains no internal nodes, so no active mask is needed.
-    closure_.bounded_closure(options_.max_cycles);
+    closure_.bounded_closure(options_.max_cycles, pool_);
   } else {
     std::vector<bool> active(ff_nodes_.size());
     for (std::size_t i = 0; i < ff_nodes_.size(); ++i)
       active[i] = !options_.bridge_internal || !internal_[i];
-    closure_.transitive_closure(&active);
+    closure_.transitive_closure(&active, pool_);
   }
   stats_.closure_deps = closure_.count_nonzero();
   stats_.closure_path_deps = closure_.count_path();
 }
 
 void DependencyAnalyzer::run() {
+  ThreadPool pool(ThreadPool::resolve_num_threads(options_.num_threads));
+  pool_ = &pool;
+  stats_.threads_used = pool.num_threads();
+
+  Stopwatch sw;
   build_index();
+  extract_capture_cones();
   classify_internal();
+  sw.restart();
   compute_one_cycle();
+  stats_.t_one_cycle = sw.seconds();
+  sw.restart();
   bridge_internal();
+  stats_.t_bridge = sw.seconds();
+  sw.restart();
   compute_closure();
+  stats_.t_closure = sw.seconds();
+  pool_ = nullptr;
 }
 
 const std::vector<CaptureDep>& DependencyAnalyzer::capture_deps(

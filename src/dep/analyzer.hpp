@@ -8,6 +8,10 @@
 #include "util/dep_matrix.hpp"
 #include "util/rng.hpp"
 
+namespace rsnsec {
+class ThreadPool;
+}
+
 namespace rsnsec::dep {
 
 /// How 1-cycle dependencies are classified (Sec. III-A / Sec. IV-C).
@@ -41,8 +45,15 @@ struct DepOptions {
   /// enabled a bridged hop may itself span several cycles, so the bound
   /// is in bridged hops.
   std::size_t max_cycles = 0;
-  /// Seed for the simulation prefilter patterns.
+  /// Seed for the simulation prefilter patterns. Every cone draws its
+  /// patterns from a private stream seeded as hash(seed, cone index), so
+  /// the analysis result is bit-identical for any num_threads.
   std::uint64_t seed = 1;
+  /// Worker threads for the cone fan-out and the closure's row blocks.
+  /// 0 = auto: the RSNSEC_JOBS environment variable if set, else
+  /// std::thread::hardware_concurrency(). Any value yields bit-identical
+  /// results (see ThreadPool and the per-cone RNG streams).
+  std::size_t num_threads = 0;
 };
 
 /// Instrumentation counters of one analysis run.
@@ -59,7 +70,16 @@ struct DepStats {
   std::uint64_t sat_calls = 0;
   std::uint64_t sat_functional = 0;
   std::uint64_t sat_structural = 0;
+  /// Queries that exhausted DepOptions::sat_conflict_limit; each is
+  /// conservatively classified as a functional (Path) dependency.
   std::uint64_t sat_unknown = 0;
+  std::size_t threads_used = 0;  ///< resolved parallelism of the run
+  /// Per-phase wall-clock seconds (cone classification incl. the
+  /// simulation prefilter and SAT, internal-FF bridging, multi-cycle
+  /// closure); t_one_cycle also covers the capture-cone classification.
+  double t_one_cycle = 0.0;
+  double t_bridge = 0.0;
+  double t_closure = 0.0;
 };
 
 /// A 1-cycle dependency of a scan flip-flop on a circuit flip-flop,
@@ -130,7 +150,6 @@ class DependencyAnalyzer {
   const netlist::Netlist& nl_;
   const rsn::Rsn& rsn_;
   DepOptions options_;
-  Rng rng_;
 
   std::vector<netlist::NodeId> ff_nodes_;
   std::vector<std::size_t> ff_index_;  // NodeId -> dense index
@@ -139,14 +158,23 @@ class DependencyAnalyzer {
   DepMatrix closure_;
   // capture_deps_[register slot][ff index]
   std::vector<std::vector<std::vector<CaptureDep>>> capture_deps_;
+  // Capture cones, extracted once per scan FF (classify_internal needs
+  // the leaves, compute_one_cycle the full cone); same indexing.
+  std::vector<std::vector<netlist::Cone>> capture_cones_;
   std::vector<std::size_t> reg_slot_;
   DepStats stats_;
+  /// Live only during run(); loops run inline when it is null.
+  ThreadPool* pool_ = nullptr;
 
   void build_index();
+  void extract_capture_cones();
   void classify_internal();
   /// Classifies the dependencies of the cone root on the cone's flip-flop
-  /// leaves (functional vs. only-structural).
-  std::vector<CaptureDep> cone_deps(const netlist::Cone& cone);
+  /// leaves (functional vs. only-structural). Thread-safe: draws patterns
+  /// from the caller-provided RNG stream and accumulates the sim/SAT
+  /// counters into `stats` (a per-task instance when run in parallel).
+  std::vector<CaptureDep> cone_deps(const netlist::Cone& cone, Rng& rng,
+                                    DepStats& stats) const;
   void compute_one_cycle();
   void bridge_internal();
   void compute_closure();

@@ -6,6 +6,7 @@
 #include "netlist/verilog.hpp"
 #include "rsn/icl.hpp"
 #include "security/spec_io.hpp"
+#include "util/thread_pool.hpp"
 
 namespace rsnsec::lint {
 
@@ -160,7 +161,8 @@ LoadedFiles load_files(const std::vector<std::string>& paths,
 
 std::vector<Diagnostic> lint_files(const Registry& registry,
                                    const std::vector<std::string>& paths,
-                                   const std::string& icl_top) {
+                                   const std::string& icl_top,
+                                   std::size_t jobs) {
   LoadedFiles loaded = load_files(paths, icl_top);
   LintInput input;
   if (loaded.circuit) {
@@ -179,7 +181,8 @@ std::vector<Diagnostic> lint_files(const Registry& registry,
     input.spec_source = loaded.spec_source;
   }
   std::vector<Diagnostic> diags = std::move(loaded.diagnostics);
-  std::vector<Diagnostic> found = registry.run(input);
+  ThreadPool pool(ThreadPool::resolve_num_threads(jobs));
+  std::vector<Diagnostic> found = registry.run(input, &pool);
   diags.insert(diags.end(), std::make_move_iterator(found.begin()),
                std::make_move_iterator(found.end()));
   return diags;

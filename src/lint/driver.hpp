@@ -50,9 +50,12 @@ LoadedFiles load_files(const std::vector<std::string>& paths,
                        const std::string& icl_top = "");
 
 /// load_files + Registry::run over the loaded models; returns load
-/// diagnostics followed by pass findings.
+/// diagnostics followed by pass findings. `jobs` is the pass-level
+/// parallelism (0 = auto via RSNSEC_JOBS / hardware concurrency, 1 =
+/// sequential); the diagnostic order is identical for any value.
 std::vector<Diagnostic> lint_files(const Registry& registry,
                                    const std::vector<std::string>& paths,
-                                   const std::string& icl_top = "");
+                                   const std::string& icl_top = "",
+                                   std::size_t jobs = 1);
 
 }  // namespace rsnsec::lint

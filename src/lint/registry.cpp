@@ -1,6 +1,7 @@
 #include "lint/registry.hpp"
 
 #include "lint/passes.hpp"
+#include "util/thread_pool.hpp"
 
 namespace rsnsec::lint {
 
@@ -23,12 +24,27 @@ void Registry::add(std::unique_ptr<Pass> pass) {
   passes_.push_back(std::move(pass));
 }
 
-std::vector<Diagnostic> Registry::run(const LintInput& input) const {
-  std::vector<Diagnostic> diags;
-  Sink sink(diags);
-  for (const auto& pass : passes_) {
-    if (pass->applicable(input)) pass->run(input, sink);
+std::vector<Diagnostic> Registry::run(const LintInput& input,
+                                      ThreadPool* pool) const {
+  // Per-pass buffers keep each pass's findings contiguous and make the
+  // concatenation order (= registration order) independent of how the
+  // passes were scheduled across threads.
+  std::vector<std::vector<Diagnostic>> per_pass(passes_.size());
+  auto run_pass = [&](std::size_t p) {
+    if (passes_[p]->applicable(input)) {
+      Sink sink(per_pass[p]);
+      passes_[p]->run(input, sink);
+    }
+  };
+  if (pool != nullptr && pool->num_threads() > 1) {
+    pool->parallel_for(0, passes_.size(), run_pass, /*grain=*/1);
+  } else {
+    for (std::size_t p = 0; p < passes_.size(); ++p) run_pass(p);
   }
+  std::vector<Diagnostic> diags;
+  for (std::vector<Diagnostic>& d : per_pass)
+    diags.insert(diags.end(), std::make_move_iterator(d.begin()),
+                 std::make_move_iterator(d.end()));
   return diags;
 }
 

@@ -5,6 +5,10 @@
 
 #include "lint/pass.hpp"
 
+namespace rsnsec {
+class ThreadPool;
+}
+
 namespace rsnsec::lint {
 
 /// Ordered collection of lint passes. run() executes every applicable
@@ -26,7 +30,12 @@ class Registry {
     return passes_;
   }
 
-  std::vector<Diagnostic> run(const LintInput& input) const;
+  /// Runs every applicable pass. With a multi-thread `pool`, passes run
+  /// concurrently (they only read the shared models) into per-pass
+  /// buffers that are concatenated in registration order, so the output
+  /// is identical for any thread count.
+  std::vector<Diagnostic> run(const LintInput& input,
+                              ThreadPool* pool = nullptr) const;
 
  private:
   std::vector<std::unique_ptr<Pass>> passes_;

@@ -11,8 +11,10 @@ using sat::Lit;
 using sat::mk_lit;
 
 ConeDependenceChecker::ConeDependenceChecker(const Netlist& nl,
-                                             const Cone& cone)
+                                             const Cone& cone,
+                                             std::uint64_t conflict_limit)
     : nl_(nl), cone_(cone) {
+  solver_.set_conflict_limit(conflict_limit);
   // Literals for the leaves of both copies.
   a_leaf_.reserve(cone_.leaves.size());
   b_leaf_.reserve(cone_.leaves.size());
@@ -103,9 +105,9 @@ Lit ConeDependenceChecker::encode_copy(
   return node_lit[cone_.root];
 }
 
-bool ConeDependenceChecker::depends_on(std::size_t leaf_idx) {
+sat::Result ConeDependenceChecker::query(std::size_t leaf_idx) {
   assert(leaf_idx < cone_.leaves.size());
-  if (leaf_is_const_[leaf_idx]) return false;
+  if (leaf_is_const_[leaf_idx]) return sat::Result::Unsat;
   std::vector<Lit> assumptions;
   assumptions.reserve(cone_.leaves.size() + 3);
   for (std::size_t i = 0; i < cone_.leaves.size(); ++i) {
@@ -116,7 +118,7 @@ bool ConeDependenceChecker::depends_on(std::size_t leaf_idx) {
   assumptions.push_back(~b_leaf_[leaf_idx]);
   assumptions.push_back(diff_);
   ++sat_calls_;
-  return solver_.solve(assumptions) == sat::Result::Sat;
+  return solver_.solve(assumptions);
 }
 
 }  // namespace rsnsec::netlist

@@ -23,12 +23,25 @@ class ConeDependenceChecker {
  public:
   /// Builds the two-copy CNF for `cone` of netlist `nl`. The cone must
   /// have been produced by Netlist::extract_signal_cone or
-  /// Netlist::extract_next_state_cone.
-  ConeDependenceChecker(const Netlist& nl, const Cone& cone);
+  /// Netlist::extract_next_state_cone. `conflict_limit` bounds every
+  /// query's SAT conflicts (0 = unlimited); an exceeded budget makes
+  /// query() return sat::Result::Unknown.
+  ConeDependenceChecker(const Netlist& nl, const Cone& cone,
+                        std::uint64_t conflict_limit = 0);
 
-  /// True if the cone root functionally depends on cone.leaves[leaf_idx].
-  /// Constant leaves never support dependence.
-  bool depends_on(std::size_t leaf_idx);
+  /// Exact query for cone.leaves[leaf_idx]: Sat means the root
+  /// functionally depends on the leaf, Unsat means the connection is
+  /// only structural, Unknown means the conflict budget ran out before a
+  /// proof (callers must treat this conservatively — for security that
+  /// means assuming a functional dependency). Constant leaves never
+  /// support dependence (Unsat without a solver call).
+  sat::Result query(std::size_t leaf_idx);
+
+  /// True if the cone root provably functionally depends on
+  /// cone.leaves[leaf_idx] (query() == Sat).
+  bool depends_on(std::size_t leaf_idx) {
+    return query(leaf_idx) == sat::Result::Sat;
+  }
 
   /// Number of SAT calls issued so far.
   std::uint64_t sat_calls() const { return sat_calls_; }

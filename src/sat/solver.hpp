@@ -28,6 +28,13 @@ struct SolverStats {
 /// assumptions, which the dependency engine (src/dep) uses to reuse one CNF
 /// encoding of a flip-flop's input cone across all candidate source
 /// flip-flops (Sec. III-A; method of [18]).
+///
+/// Thread compatibility: a Solver is share-nothing — all state (arena,
+/// trail, heap, statistics) lives in instance members and nothing is
+/// global or static-mutable, so distinct instances may run concurrently
+/// on distinct threads. The parallel dependency engine relies on this by
+/// giving every in-flight cone classification its own solver. A single
+/// instance is not internally synchronized.
 class Solver {
  public:
   Solver();

@@ -3,7 +3,21 @@
 #include <bit>
 #include <cassert>
 
+#include "util/thread_pool.hpp"
+
 namespace rsnsec {
+
+namespace {
+
+/// Rows below this dimension are not worth a parallel dispatch per
+/// elimination step / round: the synchronization would dominate.
+constexpr std::size_t kMinParallelRows = 192;
+
+bool use_pool(const ThreadPool* pool, std::size_t n) {
+  return pool != nullptr && pool->num_threads() > 1 && n >= kMinParallelRows;
+}
+
+}  // namespace
 
 DepMatrix::DepMatrix(std::size_t n)
     : n_(n),
@@ -57,34 +71,48 @@ std::size_t DepMatrix::count_path() const {
 }
 
 void DepMatrix::closure_plane(std::vector<std::uint64_t>& plane,
-                              const std::vector<bool>* active) {
+                              const std::vector<bool>* active,
+                              ThreadPool* pool) {
   // Warshall's algorithm with bit-parallel row unions: for each allowed
-  // intermediate node k, every row that reaches k absorbs k's row.
+  // intermediate node k, every row that reaches k absorbs k's row. The
+  // rows of one elimination step are independent (row i only reads the
+  // via row k — which i == k skipping keeps stable — and writes itself),
+  // so they can be processed as parallel blocks without changing any bit
+  // of the result.
+  const bool parallel = use_pool(pool, n_);
   for (std::size_t k = 0; k < n_; ++k) {
     if (active && !(*active)[k]) continue;
     const std::uint64_t* krow = &plane[k * words_per_row_];
-    for (std::size_t i = 0; i < n_; ++i) {
-      if (i == k) continue;
+    auto absorb = [&](std::size_t i) {
+      if (i == k) return;
       std::uint64_t* irow = &plane[i * words_per_row_];
-      if (!(irow[k >> 6] & bit(k))) continue;
+      if (!(irow[k >> 6] & bit(k))) return;
       for (std::size_t w = 0; w < words_per_row_; ++w) irow[w] |= krow[w];
+    };
+    if (parallel) {
+      pool->parallel_for(0, n_, absorb, /*grain=*/64);
+    } else {
+      for (std::size_t i = 0; i < n_; ++i) absorb(i);
     }
   }
 }
 
-bool DepMatrix::bounded_closure(std::size_t cycles) {
+bool DepMatrix::bounded_closure(std::size_t cycles, ThreadPool* pool) {
   // Round k extends chains by one hop of the original 1-cycle relation:
   // new(i,j) |= max over v of compose(cur(i,v), one(v,j)). Keeping the
   // original relation fixed per round gives exactly the "dependencies
   // within <= k cycles" semantics of [18]'s iterative computation.
   const std::vector<std::uint64_t> one_s = s_, one_p = p_;
+  const bool parallel = use_pool(pool, n_);
   bool changed_last = false;
   for (std::size_t round = 1; round < cycles; ++round) {
     // Snapshot: new entries of this round must not serve as vias, so the
-    // round extends chains by exactly one cycle.
+    // round extends chains by exactly one cycle. Rows read only the
+    // snapshots and write themselves, so they are independent within a
+    // round and parallelize without changing any bit.
     const std::vector<std::uint64_t> cur_s = s_, cur_p = p_;
-    bool changed = false;
-    for (std::size_t i = 0; i < n_; ++i) {
+    auto extend_row = [&](std::size_t i) -> bool {
+      bool changed = false;
       std::uint64_t* row_s = &s_[i * words_per_row_];
       std::uint64_t* row_p = &p_[i * words_per_row_];
       const std::uint64_t* ci_s = &cur_s[i * words_per_row_];
@@ -106,6 +134,15 @@ bool DepMatrix::bounded_closure(std::size_t cycles) {
           row_s[w] |= add_s;
         }
       }
+      return changed;
+    };
+    bool changed = false;
+    if (parallel) {
+      changed = pool->parallel_reduce(
+          0, n_, false, extend_row, [](bool a, bool b) { return a || b; },
+          /*grain=*/32);
+    } else {
+      for (std::size_t i = 0; i < n_; ++i) changed |= extend_row(i);
     }
     changed_last = changed;
     if (!changed) break;
@@ -113,12 +150,13 @@ bool DepMatrix::bounded_closure(std::size_t cycles) {
   return changed_last;
 }
 
-void DepMatrix::transitive_closure(const std::vector<bool>* active) {
+void DepMatrix::transitive_closure(const std::vector<bool>* active,
+                                   ThreadPool* pool) {
   // Path-dependence closes over functional (path) edges only; structural
   // dependence closes over all edges. Closing the planes independently
   // implements exactly the compose_dep semantics.
-  closure_plane(p_, active);
-  closure_plane(s_, active);
+  closure_plane(p_, active, pool);
+  closure_plane(s_, active, pool);
   // Re-establish the P-implies-S invariant (closure of P may add pairs the
   // S plane already had anyway, but be defensive).
   for (std::size_t w = 0; w < s_.size(); ++w) s_[w] |= p_[w];

@@ -6,6 +6,8 @@
 
 namespace rsnsec {
 
+class ThreadPool;
+
 /// Kind of data-flow dependency between two flip-flops (Sec. III-A of the
 /// paper, notation of [18]).
 ///
@@ -71,16 +73,22 @@ class DepMatrix {
   /// the closure of functional edges; structural dependence is the closure
   /// of all edges. `active` (optional) restricts the intermediate ("via")
   /// nodes to those marked true — used to exclude bridged-out internal
-  /// flip-flops from the cubic computation.
-  void transitive_closure(const std::vector<bool>* active = nullptr);
+  /// flip-flops from the cubic computation. `pool` (optional) processes
+  /// the row block of each elimination step in parallel: within one step
+  /// every row only reads the (stable) via row and ORs into itself, so
+  /// the result is bit-identical for any thread count.
+  void transitive_closure(const std::vector<bool>* active = nullptr,
+                          ThreadPool* pool = nullptr);
 
   /// Dependencies over at most `cycles` clock cycles: the union of chain
   /// compositions of length 1..cycles of the current (1-cycle) relation.
   /// [18] computes multi-cycle dependencies iteratively per cycle; with
   /// cycles >= n the result equals transitive_closure(). Returns true if
   /// the final round still added dependencies (i.e. the relation had not
-  /// converged before `cycles`).
-  bool bounded_closure(std::size_t cycles);
+  /// converged before `cycles`). `pool` (optional) processes the rows of
+  /// each round in parallel; rounds read only that round's snapshot, so
+  /// the result is bit-identical for any thread count.
+  bool bounded_closure(std::size_t cycles, ThreadPool* pool = nullptr);
 
   /// Returns the column indices j with get(i, j) != None.
   std::vector<std::size_t> successors(std::size_t i) const;
@@ -105,7 +113,7 @@ class DepMatrix {
   static std::uint64_t bit(std::size_t j) { return 1ULL << (j & 63); }
 
   void closure_plane(std::vector<std::uint64_t>& plane,
-                     const std::vector<bool>* active);
+                     const std::vector<bool>* active, ThreadPool* pool);
 };
 
 }  // namespace rsnsec

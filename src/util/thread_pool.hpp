@@ -1,0 +1,133 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace rsnsec {
+
+/// Fixed-size worker pool with chunked data-parallel loops.
+///
+/// The pool is the concurrency substrate of the dependency engine
+/// (Sec. III-A fan-out over capture cones, row blocks of the multi-cycle
+/// closure) and of the benchmark sweeps. Design points:
+///
+///  - A pool of `num_threads` has `num_threads - 1` background workers;
+///    the caller of parallel_for/parallel_reduce participates as the
+///    last thread. A 1-thread pool spawns nothing and runs every loop
+///    inline, so sequential and parallel execution share one code path.
+///  - parallel_for splits [begin, end) into chunks claimed from an
+///    atomic counter (work stealing by contended increment), which load-
+///    balances cost-skewed iterations such as SAT-heavy cones.
+///  - Because the caller participates, a loop body may itself call
+///    parallel_for on the same pool (nested parallelism) without
+///    deadlock: if all workers are busy, the nested caller simply runs
+///    its own chunks inline.
+///  - parallel_reduce folds per-chunk partial results left-to-right in
+///    chunk order after the loop completes, so any associative combine
+///    (even a non-commutative one) yields a result independent of thread
+///    count and scheduling.
+///  - The first exception thrown by a loop body cancels the remaining
+///    chunks and is rethrown in the caller; the pool stays usable.
+class ThreadPool {
+ public:
+  /// Resolves a requested parallelism degree: `requested` if > 0, else
+  /// the RSNSEC_JOBS environment variable if set to a positive integer,
+  /// else std::thread::hardware_concurrency() (at least 1).
+  static std::size_t resolve_num_threads(std::size_t requested = 0);
+
+  /// Creates a pool of `num_threads` (0 = resolve_num_threads()).
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Parallelism degree (>= 1). 1 means all loops run inline.
+  std::size_t num_threads() const { return num_threads_; }
+
+  /// Enqueues a fire-and-forget task. Safe to call from worker threads
+  /// (nested submission); tasks run in FIFO order per worker pickup.
+  /// Pending tasks are drained before the destructor returns.
+  void submit(std::function<void()> task);
+
+  /// Applies fn(i) to every i in [begin, end). `grain` is the chunk size
+  /// (0 = automatic: about 8 chunks per thread). Iteration order within
+  /// a chunk is ascending; chunks may run concurrently, so fn must only
+  /// touch state owned by iteration i (or otherwise thread-safe).
+  template <typename Fn>
+  void parallel_for(std::size_t begin, std::size_t end, Fn&& fn,
+                    std::size_t grain = 0) {
+    run_chunked(begin, end, grain,
+                [&fn](std::size_t cb, std::size_t ce, std::size_t) {
+                  for (std::size_t i = cb; i < ce; ++i) fn(i);
+                });
+  }
+
+  /// Folds fn(i) over [begin, end): partials are combined ascending
+  /// within each chunk and chunks are combined left-to-right, so the
+  /// result is deterministic for any thread count as long as `combine`
+  /// is associative.
+  template <typename T, typename Fn, typename Combine>
+  T parallel_reduce(std::size_t begin, std::size_t end, T identity, Fn&& fn,
+                    Combine&& combine, std::size_t grain = 0) {
+    if (begin >= end) return identity;
+    const std::size_t g = effective_grain(end - begin, grain);
+    const std::size_t num_chunks = (end - begin + g - 1) / g;
+    // deque, not vector: vector<bool>'s proxy references would break the
+    // generic fold below.
+    std::deque<T> partials(num_chunks, identity);
+    run_chunked(begin, end, grain,
+                [&](std::size_t cb, std::size_t ce, std::size_t chunk) {
+                  T acc = identity;
+                  for (std::size_t i = cb; i < ce; ++i)
+                    acc = combine(std::move(acc), fn(i));
+                  partials[chunk] = std::move(acc);
+                });
+    T result = identity;
+    for (T& p : partials) result = combine(std::move(result), std::move(p));
+    return result;
+  }
+
+ private:
+  /// Shared state of one parallel loop; kept alive by shared_ptr so a
+  /// stale runner task dequeued after the loop finished finds an
+  /// exhausted chunk counter and returns immediately.
+  struct Batch {
+    std::function<void(std::size_t, std::size_t, std::size_t)> chunk_fn;
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    std::size_t grain = 1;
+    std::size_t num_chunks = 0;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> remaining{0};
+    std::atomic<bool> cancelled{false};
+    std::mutex mutex;
+    std::condition_variable done;
+    std::exception_ptr error;  // guarded by mutex
+  };
+
+  std::size_t effective_grain(std::size_t range, std::size_t grain) const;
+  void run_chunked(
+      std::size_t begin, std::size_t end, std::size_t grain,
+      std::function<void(std::size_t, std::size_t, std::size_t)> chunk_fn);
+  static void run_batch(const std::shared_ptr<Batch>& batch);
+  void worker_loop();
+
+  std::size_t num_threads_ = 1;
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  bool stop_ = false;
+};
+
+}  // namespace rsnsec

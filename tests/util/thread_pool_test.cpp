@@ -1,0 +1,132 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace rsnsec {
+namespace {
+
+TEST(ThreadPool, EmptyRangeRunsNothing) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.parallel_for(0, 0, [&](std::size_t) { ++calls; });
+  pool.parallel_for(5, 5, [&](std::size_t) { ++calls; });
+  pool.parallel_for(7, 3, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+  EXPECT_EQ(pool.parallel_reduce(
+                3, 3, 42, [](std::size_t) { return 1; },
+                [](int a, int b) { return a + b; }),
+            42);
+}
+
+TEST(ThreadPool, SingleThreadRunsInlineInOrder) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::vector<std::size_t> seen;
+  pool.parallel_for(2, 9, [&](std::size_t i) { seen.push_back(i); });
+  std::vector<std::size_t> expect{2, 3, 4, 5, 6, 7, 8};
+  EXPECT_EQ(seen, expect);  // inline mode: sequential ascending
+}
+
+TEST(ThreadPool, EveryIndexVisitedExactlyOnce) {
+  ThreadPool pool(8);
+  const std::size_t n = 10000;
+  std::vector<std::atomic<int>> hits(n);
+  pool.parallel_for(0, n, [&](std::size_t i) { ++hits[i]; }, /*grain=*/1);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, ExceptionPropagatesAndPoolStaysUsable) {
+  ThreadPool pool(4);
+  auto boom = [&] {
+    pool.parallel_for(0, 100, [](std::size_t i) {
+      if (i == 37) throw std::runtime_error("cone 37 failed");
+    });
+  };
+  EXPECT_THROW(boom(), std::runtime_error);
+  // The pool survives a failed loop and runs subsequent work.
+  std::atomic<int> calls{0};
+  pool.parallel_for(0, 100, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 100);
+}
+
+TEST(ThreadPool, NestedParallelForCompletes) {
+  ThreadPool pool(4);
+  const std::size_t outer = 16, inner = 64;
+  std::vector<std::atomic<int>> hits(outer * inner);
+  pool.parallel_for(
+      0, outer,
+      [&](std::size_t o) {
+        // Nested loop on the same pool: the caller participates, so this
+        // terminates even when every worker is busy with outer chunks.
+        pool.parallel_for(
+            0, inner, [&](std::size_t i) { ++hits[o * inner + i]; },
+            /*grain=*/1);
+      },
+      /*grain=*/1);
+  for (std::size_t i = 0; i < hits.size(); ++i)
+    EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, NestedSubmitRuns) {
+  std::atomic<int> inner_ran{0};
+  {
+    ThreadPool pool(3);
+    std::atomic<int> outer_ran{0};
+    for (int t = 0; t < 8; ++t) {
+      pool.submit([&] {
+        ++outer_ran;
+        pool.submit([&] { ++inner_ran; });
+      });
+    }
+    // Destructor joins after the queue (incl. nested submissions) drains.
+  }
+  EXPECT_EQ(inner_ran.load(), 8);
+}
+
+TEST(ThreadPool, ReduceIsDeterministicForNonCommutativeCombine) {
+  // String concatenation is associative but not commutative: any
+  // scheduling-dependent combine order would scramble the digits.
+  std::string expect;
+  for (int i = 0; i < 200; ++i) expect += std::to_string(i) + ",";
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    for (int rep = 0; rep < 3; ++rep) {
+      std::string got = pool.parallel_reduce(
+          0, 200, std::string(),
+          [](std::size_t i) { return std::to_string(i) + ","; },
+          [](std::string a, std::string b) { return a + b; },
+          /*grain=*/7);
+      EXPECT_EQ(got, expect) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(ThreadPool, ReduceSumsLargeRange) {
+  ThreadPool pool(4);
+  std::uint64_t got = pool.parallel_reduce(
+      1, 100001, std::uint64_t{0},
+      [](std::size_t i) { return static_cast<std::uint64_t>(i); },
+      [](std::uint64_t a, std::uint64_t b) { return a + b; });
+  EXPECT_EQ(got, 100000ull * 100001ull / 2);
+}
+
+TEST(ThreadPool, ResolveHonorsRequestThenEnvThenHardware) {
+  EXPECT_EQ(ThreadPool::resolve_num_threads(3), 3u);
+  ::setenv("RSNSEC_JOBS", "5", 1);
+  EXPECT_EQ(ThreadPool::resolve_num_threads(0), 5u);
+  EXPECT_EQ(ThreadPool::resolve_num_threads(2), 2u);  // request wins
+  ::setenv("RSNSEC_JOBS", "not-a-number", 1);
+  EXPECT_GE(ThreadPool::resolve_num_threads(0), 1u);
+  ::unsetenv("RSNSEC_JOBS");
+  EXPECT_GE(ThreadPool::resolve_num_threads(0), 1u);
+}
+
+}  // namespace
+}  // namespace rsnsec

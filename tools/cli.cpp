@@ -121,6 +121,20 @@ LoadedWorkload load_workload(const Args& args) {
   return w;
 }
 
+/// Parses --jobs N (0 = auto: RSNSEC_JOBS, else hardware concurrency).
+/// Without the flag, commands default to auto as well — results are
+/// bit-identical for any value, so parallelism is safe to default on.
+std::size_t jobs_option(const Args& args) {
+  if (auto j = args.get("jobs")) {
+    std::size_t pos = 0;
+    unsigned long v = std::stoul(*j, &pos);
+    if (pos != j->size())
+      throw std::runtime_error("--jobs needs a non-negative integer");
+    return static_cast<std::size_t>(v);
+  }
+  return 0;
+}
+
 PipelineOptions pipeline_options(const Args& args) {
   PipelineOptions opt;
   if (args.has_flag("structural"))
@@ -128,6 +142,7 @@ PipelineOptions pipeline_options(const Args& args) {
   if (args.has_flag("no-pure")) opt.run_pure = false;
   if (args.has_flag("no-hybrid")) opt.run_hybrid = false;
   if (args.has_flag("verify")) opt.verify_invariants = true;
+  opt.dep.num_threads = jobs_option(args);
   return opt;
 }
 
@@ -138,7 +153,8 @@ int cmd_lint(const Args& args, std::ostream& out) {
         "rsnsec lint net.rsn ckt.v policy.spec");
   lint::Registry registry = lint::Registry::with_default_passes();
   std::vector<lint::Diagnostic> diags = lint::lint_files(
-      registry, args.positionals, args.get("top").value_or(""));
+      registry, args.positionals, args.get("top").value_or(""),
+      jobs_option(args));
   if (args.has_flag("json"))
     lint::render_json(out, diags);
   else

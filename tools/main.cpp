@@ -3,7 +3,12 @@
 //   rsnsec generate --benchmark MBIST_2_5_5 --scale 0.5 --seed 7 \
 //          --out-rsn net.rsn --out-verilog ckt.v --out-spec policy.spec
 //   rsnsec info --rsn net.rsn
-//   rsnsec analyze --rsn net.rsn --verilog ckt.v --spec policy.spec
+//   rsnsec analyze --rsn net.rsn --verilog ckt.v --spec policy.spec \
+//          --jobs 8
+//
+// analyze/secure/lint accept --jobs N (0 or omitted = auto from
+// RSNSEC_JOBS / hardware concurrency); results are bit-identical for
+// any thread count.
 //   rsnsec secure  --rsn net.rsn --verilog ckt.v --spec policy.spec \
 //          --out net_secure.rsn
 //   rsnsec lint net.rsn ckt.v policy.spec
