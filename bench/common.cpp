@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
 
+#include "obs/trace.hpp"
 #include "util/thread_pool.hpp"
 
 namespace rsnsec::bench {
@@ -211,6 +213,40 @@ std::optional<PaperRow> paper_row(const std::string& name) {
     if (name == r.name) return r;
   }
   return std::nullopt;
+}
+
+struct TraceFromEnv::Impl {
+  obs::TraceSession session;
+  std::string trace_path;
+  bool metrics = false;
+};
+
+TraceFromEnv::TraceFromEnv() {
+  const char* trace = std::getenv("RSNSEC_TRACE");
+  const char* metrics = std::getenv("RSNSEC_METRICS");
+  bool want_trace = trace != nullptr && *trace != '\0';
+  bool want_metrics = metrics != nullptr && *metrics != '\0';
+  if (!want_trace && !want_metrics) return;
+  impl_ = new Impl;
+  if (want_trace) impl_->trace_path = trace;
+  impl_->metrics = want_metrics;
+  obs::TraceSession::set_active(&impl_->session);
+}
+
+TraceFromEnv::~TraceFromEnv() {
+  if (impl_ == nullptr) return;
+  obs::TraceSession::set_active(nullptr);
+  if (!impl_->trace_path.empty()) {
+    std::ofstream f(impl_->trace_path);
+    if (f) {
+      impl_->session.write_chrome_trace(f);
+    } else {
+      std::cerr << "bench: cannot write RSNSEC_TRACE file '"
+                << impl_->trace_path << "'\n";
+    }
+  }
+  if (impl_->metrics) impl_->session.write_summary_text(std::cerr);
+  delete impl_;
 }
 
 void print_paper_reference(std::ostream& os,

@@ -73,4 +73,23 @@ BenchRow run_benchmark(const std::string& name, const SweepOptions& opt);
 void print_paper_reference(std::ostream& os,
                            const std::vector<std::string>& names);
 
+/// Env-driven tracing for the benchmark harnesses: when RSNSEC_TRACE
+/// names a file, installs a process-wide obs::TraceSession for the
+/// lifetime of this object and writes the chrome://tracing JSON there on
+/// destruction; when RSNSEC_METRICS is set (any non-empty value), prints
+/// the counter/span summary to stderr as well. A no-op when neither
+/// variable is set.
+class TraceFromEnv {
+ public:
+  TraceFromEnv();
+  ~TraceFromEnv();
+
+  TraceFromEnv(const TraceFromEnv&) = delete;
+  TraceFromEnv& operator=(const TraceFromEnv&) = delete;
+
+ private:
+  struct Impl;
+  Impl* impl_ = nullptr;
+};
+
 }  // namespace rsnsec::bench

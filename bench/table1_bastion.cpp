@@ -12,6 +12,7 @@
 
 int main() {
   using namespace rsnsec;
+  bench::TraceFromEnv trace;  // RSNSEC_TRACE=/path.json, RSNSEC_METRICS=1
   bench::SweepOptions opt = bench::sweep_options_from_env();
 
   std::cout << "=== Table I reproduction: BASTION benchmarks ===\n";

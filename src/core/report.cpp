@@ -3,6 +3,9 @@
 #include <iomanip>
 #include <ostream>
 
+#include "obs/trace.hpp"
+#include "util/strings.hpp"
+
 namespace rsnsec {
 
 void RowAccumulator::set_structure(std::size_t registers,
@@ -87,19 +90,6 @@ void print_table_summary(std::ostream& os,
   }
 }
 
-namespace {
-
-std::string json_escape(const std::string& s) {
-  std::string out;
-  for (char c : s) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    out.push_back(c);
-  }
-  return out;
-}
-
-}  // namespace
-
 void write_json(std::ostream& os, const PipelineResult& r) {
   os << "{\n";
   os << "  \"secured\": " << (r.secured ? "true" : "false") << ",\n";
@@ -138,7 +128,16 @@ void write_json(std::ostream& os, const PipelineResult& r) {
   os << "    ]\n  },\n";
   os << "  \"runtime_seconds\": {\"dependency\": " << r.t_dependency
      << ", \"pure\": " << r.t_pure << ", \"hybrid\": " << r.t_hybrid
-     << ", \"total\": " << r.t_total << "}\n";
+     << ", \"total\": " << r.t_total << "}";
+  // When a trace session is active its counter/span rollup rides along in
+  // the report, so `--metrics --json` needs no second output file.
+  if (obs::TraceSession* trace = obs::TraceSession::active()) {
+    os << ",\n  \"observability\": ";
+    trace->write_summary_json(os, "  ");
+    os << "\n";
+  } else {
+    os << "\n";
+  }
   os << "}\n";
 }
 

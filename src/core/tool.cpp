@@ -3,7 +3,7 @@
 #include <stdexcept>
 
 #include "lint/invariant.hpp"
-#include "util/stopwatch.hpp"
+#include "obs/trace.hpp"
 
 namespace rsnsec {
 
@@ -18,7 +18,8 @@ SecureFlowTool::SecureFlowTool(const netlist::Netlist& circuit,
 
 PipelineResult SecureFlowTool::run() {
   PipelineResult result;
-  Stopwatch total;
+  obs::TraceSession* trace = obs::TraceSession::active();
+  obs::Span total(trace, "pipeline");
 
   std::string err;
   if (!spec_.validate(&err))
@@ -31,11 +32,13 @@ PipelineResult SecureFlowTool::run() {
   // Phase 1: data-flow analysis over the circuit logic (Sec. III-A).
   // Computed once, without RSN-internal connections, and reused across
   // every rewiring of the resolution loop.
-  Stopwatch sw;
   dep::DependencyAnalyzer deps(circuit_, network_, options_.dep);
-  deps.run();
-  result.dep_stats = deps.stats();
-  result.t_dependency = sw.seconds();
+  {
+    obs::Span span(trace, "pipeline.dependency");
+    deps.run();
+    result.dep_stats = deps.stats();
+    result.t_dependency = span.seconds();
+  }
 
   security::TokenTable tokens(spec_, spec_.num_modules());
   security::HybridAnalyzer hybrid(circuit_, network_, deps, spec_, tokens);
@@ -67,19 +70,19 @@ PipelineResult SecureFlowTool::run() {
 
   // Phase 3: pure scan paths (method of [17]).
   if (options_.run_pure) {
-    sw.restart();
+    obs::Span span(trace, "pipeline.pure");
     security::PureScanAnalyzer pure(spec_, tokens);
     result.pure = pure.detect_and_resolve(network_, &result.changes,
                                           options_.resolution, on_change);
-    result.t_pure = sw.seconds();
+    result.t_pure = span.seconds();
   }
 
   // Phase 4: hybrid scan paths (Sec. III-C / III-D).
   if (options_.run_hybrid) {
-    sw.restart();
+    obs::Span span(trace, "pipeline.hybrid");
     result.hybrid = hybrid.detect_and_resolve(network_, &result.changes,
                                               options_.resolution, on_change);
-    result.t_hybrid = sw.seconds();
+    result.t_hybrid = span.seconds();
   }
 
   if (options_.verify_invariants)

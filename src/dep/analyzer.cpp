@@ -4,7 +4,7 @@
 
 #include "netlist/cone_check.hpp"
 #include "netlist/sim.hpp"
-#include "util/stopwatch.hpp"
+#include "obs/trace.hpp"
 #include "util/thread_pool.hpp"
 
 namespace rsnsec::dep {
@@ -313,19 +313,41 @@ void DependencyAnalyzer::run() {
   pool_ = &pool;
   stats_.threads_used = pool.num_threads();
 
-  Stopwatch sw;
-  build_index();
-  extract_capture_cones();
-  classify_internal();
-  sw.restart();
-  compute_one_cycle();
-  stats_.t_one_cycle = sw.seconds();
-  sw.restart();
-  bridge_internal();
-  stats_.t_bridge = sw.seconds();
-  sw.restart();
-  compute_closure();
-  stats_.t_closure = sw.seconds();
+  // Each phase is one trace span; Span::seconds() feeds the same DepStats
+  // wall-clock fields the old per-phase stopwatches filled, so the
+  // BENCH_dep.json schema and existing consumers are unchanged.
+  obs::TraceSession* trace = obs::TraceSession::active();
+  obs::Span analysis_span(trace, "dep.analysis");
+  {
+    obs::Span span(trace, "dep.setup");
+    build_index();
+    extract_capture_cones();
+    classify_internal();
+  }
+  {
+    obs::Span span(trace, "dep.one_cycle");
+    compute_one_cycle();
+    stats_.t_one_cycle = span.seconds();
+  }
+  {
+    obs::Span span(trace, "dep.bridge");
+    bridge_internal();
+    stats_.t_bridge = span.seconds();
+  }
+  {
+    obs::Span span(trace, "dep.closure");
+    compute_closure();
+    stats_.t_closure = span.seconds();
+  }
+  if (trace != nullptr) {
+    trace->counter("dep.runs").add(1);
+    trace->counter("dep.sim_resolved").add(stats_.sim_resolved);
+    trace->counter("dep.sat_calls").add(stats_.sat_calls);
+    trace->counter("dep.sat_unknown").add(stats_.sat_unknown);
+    trace->counter("dep.deps_after_bridging")
+        .add(stats_.deps_after_bridging);
+    trace->counter("dep.closure_deps").add(stats_.closure_deps);
+  }
   pool_ = nullptr;
 }
 

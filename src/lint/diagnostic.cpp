@@ -2,31 +2,13 @@
 
 #include <ostream>
 
+#include "util/strings.hpp"  // the shared json_escape
+
 namespace rsnsec::lint {
 
-namespace {
+using rsnsec::json_escape;
 
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
+namespace {
 
 struct Counts {
   std::size_t errors = 0, warnings = 0, notes = 0;

@@ -65,6 +65,9 @@ Diagnostic classify_load_error(const std::string& path,
   } else if (contains(what, "accept its own trust category")) {
     d.code = "SPEC003";
     d.fix_hint = "a module may always see its own data; extend 'accepts'";
+  } else if (contains(what, "spec parse error")) {
+    d.code = "SPEC005";
+    d.fix_hint = "fix the malformed line; see the message for its number";
   } else {
     d.code = "IO001";
   }

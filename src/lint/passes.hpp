@@ -28,6 +28,8 @@ namespace rsnsec::lint {
 ///   SPEC002 empty accepted-category set
 ///   SPEC003 module rejects its own trust category
 ///   SPEC004 spec references a module unknown to the network  [warning]
+///   SPEC005 malformed spec file (parse error; emitted by the file
+///           driver, which maps security::SpecParseError onto it)
 ///   INV001  transformation introduced a scan-path cycle
 ///   INV002  transformation lost a scan register
 ///   INV003  transformation made a register inaccessible

@@ -1,6 +1,7 @@
 #include "lint/registry.hpp"
 
 #include "lint/passes.hpp"
+#include "obs/trace.hpp"
 #include "util/thread_pool.hpp"
 
 namespace rsnsec::lint {
@@ -30,10 +31,18 @@ std::vector<Diagnostic> Registry::run(const LintInput& input,
   // concatenation order (= registration order) independent of how the
   // passes were scheduled across threads.
   std::vector<std::vector<Diagnostic>> per_pass(passes_.size());
+  obs::TraceSession* trace = obs::TraceSession::active();
+  obs::Span lint_span(trace, "lint.run");
   auto run_pass = [&](std::size_t p) {
     if (passes_[p]->applicable(input)) {
+      obs::Span span(trace,
+                     std::string("lint.pass.") + passes_[p]->name());
       Sink sink(per_pass[p]);
       passes_[p]->run(input, sink);
+      if (trace != nullptr) {
+        trace->counter("lint.passes_run").add(1);
+        trace->counter("lint.diagnostics").add(per_pass[p].size());
+      }
     }
   };
   if (pool != nullptr && pool->num_threads() > 1) {

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
 #include "sat/encode.hpp"
 
 namespace rsnsec::netlist {
@@ -118,6 +119,11 @@ sat::Result ConeDependenceChecker::query(std::size_t leaf_idx) {
   assumptions.push_back(~b_leaf_[leaf_idx]);
   assumptions.push_back(diff_);
   ++sat_calls_;
+  if (obs::TraceSession* trace = obs::TraceSession::active()) {
+    trace->counter("cone.sat_queries").add(1);
+    trace->histogram("cone.leaves_per_query")
+        .record(cone_.leaves.size());
+  }
   return solver_.solve(assumptions);
 }
 

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/trace.hpp"
+
 namespace rsnsec::sat {
 
 std::uint64_t luby(std::uint64_t i) {
@@ -461,6 +463,25 @@ Result Solver::search(std::uint64_t conflicts_budget,
 }
 
 Result Solver::solve(const std::vector<Lit>& assumptions) {
+  obs::TraceSession* trace = obs::TraceSession::active();
+  if (trace == nullptr) return solve_impl(assumptions);
+  const std::uint64_t conflicts_before = stats_.conflicts;
+  const std::uint64_t propagations_before = stats_.propagations;
+  Result result = solve_impl(assumptions);
+  trace->counter("sat.solve_calls").add(1);
+  trace->counter(result == Result::Sat      ? "sat.results_sat"
+                 : result == Result::Unsat  ? "sat.results_unsat"
+                                            : "sat.results_unknown")
+      .add(1);
+  trace->counter("sat.conflicts").add(stats_.conflicts - conflicts_before);
+  trace->counter("sat.propagations")
+      .add(stats_.propagations - propagations_before);
+  trace->histogram("sat.conflicts_per_call")
+      .record(stats_.conflicts - conflicts_before);
+  return result;
+}
+
+Result Solver::solve_impl(const std::vector<Lit>& assumptions) {
   if (!ok_) return Result::Unsat;
   cancel_until(0);
   std::uint64_t restart = 0;

@@ -148,6 +148,7 @@ class Solver {
   void analyze(CRef confl, Clause& out_learnt, std::int32_t& out_btlevel);
   bool lit_redundant(Lit l, std::uint32_t abstract_levels);
   Lit pick_branch_lit();
+  Result solve_impl(const std::vector<Lit>& assumptions);
   Result search(std::uint64_t conflicts_budget,
                 const std::vector<Lit>& assumptions);
   void reduce_db();

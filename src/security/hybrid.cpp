@@ -3,6 +3,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace rsnsec::security {
 
 using rsn::ElemId;
@@ -178,6 +180,8 @@ std::vector<TokenSet> HybridAnalyzer::run_worklist(
 
 std::vector<TokenSet> HybridAnalyzer::propagate(const Rsn* network,
                                                 bool circuit_only) const {
+  if (obs::TraceSession* trace = obs::TraceSession::active())
+    trace->counter("hybrid.propagations").add(1);
   std::vector<std::vector<std::size_t>> extra;
   if (network != nullptr && !circuit_only) {
     extra.assign(owner_module_.size(), {});
@@ -336,6 +340,8 @@ std::optional<HybridAnalyzer::Violation> HybridAnalyzer::find_violation(
 HybridStats HybridAnalyzer::detect_and_resolve(
     Rsn& network, std::vector<AppliedChange>* log,
     ResolutionPolicy policy, const ChangeCallback& on_change) {
+  obs::TraceSession* trace = obs::TraceSession::active();
+  obs::Span resolve_span(trace, "hybrid.resolve");
   HybridStats stats;
   stats.initial_violating_registers = count_violating_registers(network);
   stats.initial_violating_pairs = count_violating_pairs(network);
@@ -346,6 +352,8 @@ HybridStats HybridAnalyzer::detect_and_resolve(
     if (++iter > max_iters)
       throw std::runtime_error(
           "hybrid resolution did not converge (iteration cap exceeded)");
+    if (trace != nullptr)
+      trace->counter("resolve.hybrid_iterations").add(1);
     if (v->rsn_connections.empty())
       throw std::runtime_error(
           "hybrid violation without RSN connection on its path; "
@@ -393,6 +401,10 @@ HybridStats HybridAnalyzer::detect_and_resolve(
     }
     ++stats.applied_changes;
     stats.rewire_operations += change.rewire_operations;
+    if (trace != nullptr) {
+      trace->counter("rewire.changes_applied").add(1);
+      trace->counter("rewire.operations").add(change.rewire_operations);
+    }
     if (on_change) on_change(network, change);
     if (log) log->push_back(std::move(change));
   }

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace rsnsec::security {
 
 using rsn::ElemId;
@@ -147,6 +149,8 @@ std::optional<PureViolation> PureScanAnalyzer::find_violation(
 PureStats PureScanAnalyzer::detect_and_resolve(
     Rsn& network, std::vector<AppliedChange>* log,
     ResolutionPolicy policy, const ChangeCallback& on_change) {
+  obs::TraceSession* trace = obs::TraceSession::active();
+  obs::Span resolve_span(trace, "pure.resolve");
   PureStats stats;
   stats.initial_violating_registers = count_violating_registers(network);
   stats.initial_violating_pairs = count_violating_pairs(network);
@@ -157,6 +161,7 @@ PureStats PureScanAnalyzer::detect_and_resolve(
     if (++iter > max_iters)
       throw std::runtime_error(
           "pure resolution did not converge (iteration cap exceeded)");
+    if (trace != nullptr) trace->counter("resolve.pure_iterations").add(1);
 
     // Candidate cuts: every connection along the witnessing path.
     std::vector<Connection> candidates;
@@ -201,6 +206,10 @@ PureStats PureScanAnalyzer::detect_and_resolve(
     }
     ++stats.applied_changes;
     stats.rewire_operations += change.rewire_operations;
+    if (trace != nullptr) {
+      trace->counter("rewire.changes_applied").add(1);
+      trace->counter("rewire.operations").add(change.rewire_operations);
+    }
     if (on_change) on_change(network, change);
     if (log) log->push_back(std::move(change));
   }

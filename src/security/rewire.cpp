@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "obs/trace.hpp"
+
 namespace rsnsec::security {
 
 using rsn::ElemId;
@@ -110,12 +112,14 @@ Rewirer::Selection Rewirer::select_cut(
     const Rsn& network, const std::vector<Connection>& candidates,
     const std::function<std::size_t(const Rsn&)>& count_pairs,
     std::size_t current_pairs, ResolutionPolicy policy) {
+  obs::TraceSession* trace = obs::TraceSession::active();
   Selection best;
   for (const Connection& c : candidates) {
     std::vector<ElemId> hints{rsn::no_elem, network.scan_in()};
     if (policy == ResolutionPolicy::PreferScanIn)
       std::swap(hints[0], hints[1]);
     for (ElemId hint : hints) {
+      if (trace != nullptr) trace->counter("rewire.trials").add(1);
       Rsn trial = network;
       int ops = cut_connection(trial, c, hint);
       std::size_t pairs = count_pairs(trial);

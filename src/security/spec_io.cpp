@@ -10,6 +10,16 @@
 
 namespace rsnsec::security {
 
+namespace {
+
+/// Upper bound for numeric module indices in spec files. A spec's
+/// largest index sizes the policy table, so an absurd index (typo or
+/// hostile input) must be a parse error, not a multi-gigabyte
+/// allocation.
+constexpr std::uint64_t kMaxModuleIndex = 1u << 20;
+
+}  // namespace
+
 void write_spec(std::ostream& os, const SecuritySpec& spec,
                 const std::vector<std::string>& module_names) {
   os << "categories " << spec.num_categories() << "\n";
@@ -55,20 +65,32 @@ SecuritySpec read_spec(std::istream& is,
 
   std::string line;
   int line_no = 0;
-  auto fail = [&](const std::string& msg) -> std::runtime_error {
-    return std::runtime_error("spec parse error at line " +
-                              std::to_string(line_no) + ": " + msg);
+  auto fail = [&](const std::string& msg) -> SpecParseError {
+    return SpecParseError(line_no, msg);
+  };
+  // Guarded numeric parse: a hostile or truncated file must surface as a
+  // line-numbered diagnostic, never as an uncaught std::stoul exception.
+  auto parse_num = [&](const std::string& tok,
+                       const char* what) -> std::uint64_t {
+    std::optional<std::uint64_t> v = parse_u64(tok);
+    if (!v)
+      throw fail(std::string("invalid ") + what + " '" + tok +
+                 "' (expected a non-negative integer)");
+    return *v;
   };
   while (std::getline(is, line)) {
     ++line_no;
     std::string_view sv = trim(line);
     if (sv.empty() || sv.front() == '#') continue;
-    std::vector<std::string> tok = split(sv, ' ');
+    // split_ws: tabs and runs of spaces separate tokens just like a
+    // single space, so indented or column-aligned specs parse the same.
+    std::vector<std::string> tok = split_ws(sv);
     if (tok[0] == "categories") {
       if (tok.size() != 2) throw fail("expected: categories <n>");
-      categories = std::stoul(tok[1]);
-      if (categories == 0 || categories > max_categories)
+      std::uint64_t n = parse_num(tok[1], "category count");
+      if (n == 0 || n > max_categories)
         throw fail("category count out of range");
+      categories = static_cast<std::size_t>(n);
     } else if (tok[0] == "module") {
       if (tok.size() != 6 || tok[2] != "trust" || tok[4] != "accepts")
         throw fail(
@@ -83,15 +105,19 @@ SecuritySpec read_spec(std::istream& is,
                  std::all_of(tok[1].begin(), tok[1].end(), [](char c) {
                    return c >= '0' && c <= '9';
                  })) {
-        e.module = std::stoul(tok[1]);
+        std::uint64_t m = parse_num(tok[1], "module index");
+        if (m > kMaxModuleIndex)
+          throw fail("module index " + tok[1] + " out of range (max " +
+                     std::to_string(kMaxModuleIndex) + ")");
+        e.module = static_cast<std::size_t>(m);
       } else {
         throw fail("unknown module '" + tok[1] + "'");
       }
-      unsigned long trust = std::stoul(tok[3]);
+      std::uint64_t trust = parse_num(tok[3], "trust category");
       if (trust >= categories) throw fail("trust category out of range");
       e.trust = static_cast<TrustCategory>(trust);
       for (const std::string& c : split(tok[5], ',')) {
-        unsigned long cat = std::stoul(c);
+        std::uint64_t cat = parse_num(c, "accepted category");
         if (cat >= categories) throw fail("accepted category out of range");
         e.accepted |= 1u << cat;
       }

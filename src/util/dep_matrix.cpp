@@ -3,6 +3,7 @@
 #include <bit>
 #include <cassert>
 
+#include "obs/trace.hpp"
 #include "util/thread_pool.hpp"
 
 namespace rsnsec {
@@ -98,6 +99,8 @@ void DepMatrix::closure_plane(std::vector<std::uint64_t>& plane,
 }
 
 bool DepMatrix::bounded_closure(std::size_t cycles, ThreadPool* pool) {
+  obs::TraceSession* trace = obs::TraceSession::active();
+  obs::Span span(trace, "closure.bounded");
   // Round k extends chains by one hop of the original 1-cycle relation:
   // new(i,j) |= max over v of compose(cur(i,v), one(v,j)). Keeping the
   // original relation fixed per round gives exactly the "dependencies
@@ -145,6 +148,7 @@ bool DepMatrix::bounded_closure(std::size_t cycles, ThreadPool* pool) {
       for (std::size_t i = 0; i < n_; ++i) changed |= extend_row(i);
     }
     changed_last = changed;
+    if (trace != nullptr) trace->counter("closure.rounds").add(1);
     if (!changed) break;
   }
   return changed_last;
@@ -152,6 +156,7 @@ bool DepMatrix::bounded_closure(std::size_t cycles, ThreadPool* pool) {
 
 void DepMatrix::transitive_closure(const std::vector<bool>* active,
                                    ThreadPool* pool) {
+  obs::Span span(obs::TraceSession::active(), "closure.transitive");
   // Path-dependence closes over functional (path) edges only; structural
   // dependence closes over all edges. Closing the planes independently
   // implements exactly the compose_dep semantics.

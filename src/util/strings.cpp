@@ -1,6 +1,7 @@
 #include "util/strings.hpp"
 
 #include <cctype>
+#include <charconv>
 
 namespace rsnsec {
 
@@ -23,6 +24,38 @@ std::vector<std::string> split(std::string_view s, char sep) {
     pos = next + 1;
   }
   return out;
+}
+
+std::vector<std::string> split_ws(std::string_view s) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    while (pos < s.size() &&
+           std::isspace(static_cast<unsigned char>(s[pos])))
+      ++pos;
+    std::size_t start = pos;
+    while (pos < s.size() &&
+           !std::isspace(static_cast<unsigned char>(s[pos])))
+      ++pos;
+    if (pos > start) out.emplace_back(s.substr(start, pos - start));
+  }
+  return out;
+}
+
+std::optional<std::uint64_t> parse_u64(std::string_view s) {
+  if (s.empty()) return std::nullopt;
+  std::uint64_t v = 0;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v, 10);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) return std::nullopt;
+  return v;
+}
+
+std::optional<double> parse_double(std::string_view s) {
+  if (s.empty()) return std::nullopt;
+  double v = 0.0;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) return std::nullopt;
+  return v;
 }
 
 bool starts_with(std::string_view s, std::string_view prefix) {

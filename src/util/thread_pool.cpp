@@ -1,6 +1,7 @@
 #include "util/thread_pool.hpp"
 
 #include <cstdlib>
+#include <optional>
 
 namespace rsnsec {
 
@@ -19,7 +20,10 @@ ThreadPool::ThreadPool(std::size_t num_threads)
     : num_threads_(num_threads == 0 ? resolve_num_threads() : num_threads) {
   workers_.reserve(num_threads_ - 1);
   for (std::size_t t = 1; t < num_threads_; ++t)
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, t] {
+      obs::set_current_thread_name("pool-worker-" + std::to_string(t));
+      worker_loop();
+    });
 }
 
 ThreadPool::~ThreadPool() {
@@ -74,6 +78,9 @@ std::size_t ThreadPool::effective_grain(std::size_t range,
 }
 
 void ThreadPool::run_batch(const std::shared_ptr<Batch>& batch) {
+  // Attribute spans opened by chunk bodies to the loop's enclosing span
+  // (no-op when tracing is off: two thread_local assignments).
+  obs::ScopedTaskParent task_parent(batch->trace_parent);
   for (;;) {
     std::size_t chunk = batch->next.fetch_add(1, std::memory_order_relaxed);
     if (chunk >= batch->num_chunks) return;
@@ -104,6 +111,14 @@ void ThreadPool::run_chunked(
   const std::size_t g = effective_grain(range, grain);
   const std::size_t num_chunks = (range + g - 1) / g;
 
+  obs::TraceSession* trace = obs::TraceSession::active();
+  std::optional<obs::Span> loop_span;
+  if (trace != nullptr) {
+    loop_span.emplace(trace, "pool.loop");
+    trace->counter("pool.loops").add(1);
+    trace->counter("pool.chunks").add(num_chunks);
+  }
+
   if (workers_.empty() || num_chunks == 1) {
     // Inline: sequential ascending, exceptions propagate naturally.
     for (std::size_t chunk = 0; chunk < num_chunks; ++chunk) {
@@ -116,6 +131,7 @@ void ThreadPool::run_chunked(
 
   auto batch = std::make_shared<Batch>();
   batch->chunk_fn = std::move(chunk_fn);
+  batch->trace_parent = obs::current_context();
   batch->begin = begin;
   batch->end = end;
   batch->grain = g;

@@ -12,6 +12,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "obs/trace.hpp"
+
 namespace rsnsec {
 
 /// Fixed-size worker pool with chunked data-parallel loops.
@@ -103,6 +105,11 @@ class ThreadPool {
   /// exhausted chunk counter and returns immediately.
   struct Batch {
     std::function<void(std::size_t, std::size_t, std::size_t)> chunk_fn;
+    /// Span context open at the fan-out site; re-installed as the
+    /// ambient parent on whichever thread runs a chunk, so spans opened
+    /// inside the loop body attribute to the enclosing span even when
+    /// they execute on a pool worker.
+    obs::SpanHandle trace_parent;
     std::size_t begin = 0;
     std::size_t end = 0;
     std::size_t grain = 1;

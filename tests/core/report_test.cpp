@@ -5,6 +5,8 @@
 #include <sstream>
 
 #include "benchgen/running_example.hpp"
+#include "obs/trace.hpp"
+#include "support/minijson.hpp"
 
 namespace rsnsec {
 namespace {
@@ -71,6 +73,54 @@ TEST(Report, JsonContainsAllSections) {
     pos += 6;
   }
   EXPECT_EQ(notes, r.changes.size());
+}
+
+TEST(Report, JsonIsStrictlyValid) {
+  PipelineResult r = run_example();
+  std::ostringstream os;
+  write_json(os, r);
+  EXPECT_TRUE(testsupport::is_valid_json(os.str())) << os.str();
+}
+
+TEST(Report, HostileChangeNotesSurviveJsonRoundTrip) {
+  // A change note carrying every character class the escaper must
+  // handle: quote, backslash, newline, tab and a raw control byte.
+  PipelineResult r;
+  r.secured = true;
+  security::AppliedChange evil;
+  evil.note = std::string("evil\n\t\"quoted\" \\slash\\ ctl:") + '\x01';
+  evil.rewire_operations = 2;
+  r.changes.push_back(evil);
+  r.changes.push_back({});  // second entry: comma placement
+
+  std::ostringstream os;
+  write_json(os, r);
+  const std::string s = os.str();
+  ASSERT_TRUE(testsupport::is_valid_json(s)) << s;
+  EXPECT_NE(s.find("evil\\n\\t\\\"quoted\\\" \\\\slash\\\\ ctl:\\u0001"),
+            std::string::npos)
+      << s;
+  // The raw bytes must not leak into the output unescaped.
+  EXPECT_EQ(s.find('\x01'), std::string::npos);
+}
+
+TEST(Report, ObservabilitySectionAppearsWhenSessionActive) {
+  obs::TraceSession session;
+  session.counter("sat.solve_calls").add(7);
+  obs::TraceSession::set_active(&session);
+  PipelineResult r;
+  std::ostringstream os;
+  write_json(os, r);
+  obs::TraceSession::set_active(nullptr);
+  EXPECT_TRUE(testsupport::is_valid_json(os.str())) << os.str();
+  EXPECT_NE(os.str().find("\"observability\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"sat.solve_calls\": 7"), std::string::npos);
+
+  // Without a session the section is absent and the JSON still valid.
+  std::ostringstream os2;
+  write_json(os2, r);
+  EXPECT_TRUE(testsupport::is_valid_json(os2.str()));
+  EXPECT_EQ(os2.str().find("\"observability\""), std::string::npos);
 }
 
 TEST(Report, CsvHasHeaderAndRows) {

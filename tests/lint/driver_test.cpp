@@ -130,6 +130,26 @@ TEST_F(DriverTest, OutOfRangeSpecClassifiesAsSpec001) {
   EXPECT_EQ(count_code(diags, "SPEC001"), 1u);
 }
 
+TEST_F(DriverTest, MalformedSpecNumberClassifiesAsSpec005) {
+  std::string spec = write("overflow.spec",
+                           "categories 2\n"
+                           "module 0 trust 99999999999999999999 accepts 0\n");
+  std::vector<Diagnostic> diags = lint({spec});
+  ASSERT_EQ(count_code(diags, "SPEC005"), 1u);
+  for (const Diagnostic& d : diags) {
+    if (d.code != "SPEC005") continue;
+    EXPECT_EQ(d.severity, Severity::Error);
+    // The message carries the failing line number from SpecParseError.
+    EXPECT_NE(d.message.find("line 2"), std::string::npos) << d.message;
+  }
+
+  std::string garbage = write("garbage.spec",
+                              "categories 2\n"
+                              "module 0 trust abc accepts 0\n");
+  diags = lint({garbage});
+  EXPECT_EQ(count_code(diags, "SPEC005"), 1u);
+}
+
 TEST_F(DriverTest, GarbageFileClassifiesAsIo001) {
   std::string rsn = write("garbage.rsn", "this is not an rsn file\n");
   std::vector<Diagnostic> diags = lint({rsn});

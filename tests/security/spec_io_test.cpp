@@ -84,6 +84,80 @@ TEST(SpecIo, RejectsMalformedInput) {
   }
 }
 
+TEST(SpecIo, TabsAndRunsOfSpacesTokenizeLikeSingleSpaces) {
+  std::istringstream is(
+      "categories\t2\n"
+      "module   0\ttrust  1   accepts\t0,1\n");
+  SecuritySpec spec = read_spec(is);
+  EXPECT_EQ(spec.policy(0).trust, 1u);
+  EXPECT_EQ(spec.policy(0).accepted, 0b11u);
+}
+
+TEST(SpecIo, OverflowingNumbersAreLineNumberedParseErrors) {
+  std::istringstream is(
+      "categories 2\n"
+      "module 0 trust 99999999999999999999 accepts 0\n");
+  try {
+    read_spec(is);
+    FAIL() << "expected SpecParseError";
+  } catch (const SpecParseError& e) {
+    EXPECT_EQ(e.line(), 2);
+    EXPECT_NE(std::string(e.what()).find("spec parse error at line 2"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("99999999999999999999"),
+              std::string::npos);
+  }
+}
+
+TEST(SpecIo, NonNumericFieldsAreParseErrors) {
+  {
+    std::istringstream is("categories abc\n");
+    EXPECT_THROW(read_spec(is), SpecParseError);
+  }
+  {
+    std::istringstream is("categories 2\nmodule 0 trust abc accepts 0\n");
+    EXPECT_THROW(read_spec(is), SpecParseError);
+  }
+  {
+    std::istringstream is("categories 2\nmodule 0 trust 0 accepts 0,x\n");
+    EXPECT_THROW(read_spec(is), SpecParseError);
+  }
+  {
+    // Overflowing category count must not wrap into a "valid" value.
+    std::istringstream is("categories 18446744073709551616\n");
+    EXPECT_THROW(read_spec(is), SpecParseError);
+  }
+}
+
+TEST(SpecIo, AbsurdModuleIndexIsRejectedNotAllocated) {
+  // A huge numeric index sizes the policy table; it must fail cleanly
+  // instead of attempting a multi-gigabyte allocation.
+  std::istringstream is(
+      "categories 2\n"
+      "module 4000000000 trust 0 accepts 0\n");
+  try {
+    read_spec(is);
+    FAIL() << "expected SpecParseError";
+  } catch (const SpecParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("out of range"),
+              std::string::npos);
+  }
+}
+
+TEST(SpecIo, ParseErrorsCarryTheFailingLineNumber) {
+  std::istringstream is(
+      "categories 2\n"
+      "# a comment\n"
+      "\n"
+      "module 0 trust 0 accepts zero\n");
+  try {
+    read_spec(is);
+    FAIL() << "expected SpecParseError";
+  } catch (const SpecParseError& e) {
+    EXPECT_EQ(e.line(), 4);
+  }
+}
+
 TEST(SpecIo, ParsedSpecValidates) {
   std::istringstream is(
       "categories 4\n"

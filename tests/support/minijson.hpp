@@ -1,0 +1,166 @@
+#pragma once
+
+// Minimal strict JSON validator for tests. Recursive-descent over the
+// RFC 8259 grammar; no DOM is built — validate() just answers "would a
+// strict parser accept this byte string?". Tests use it to prove that
+// the report writer, the lint renderer and the trace sinks emit real
+// JSON even when fed hostile strings (embedded quotes, newlines,
+// control characters).
+
+#include <cctype>
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace rsnsec::testsupport {
+
+class JsonValidator {
+ public:
+  explicit JsonValidator(std::string_view text) : text_(text) {}
+
+  /// True iff the whole input is exactly one valid JSON value
+  /// (surrounding whitespace allowed).
+  bool validate() {
+    pos_ = 0;
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+  /// Byte offset of the first error (meaningful after validate() failed).
+  std::size_t error_pos() const { return pos_; }
+
+ private:
+  bool eof() const { return pos_ >= text_.size(); }
+  char peek() const { return text_[pos_]; }
+  bool consume(char c) {
+    if (eof() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+  void skip_ws() {
+    while (!eof() && (peek() == ' ' || peek() == '\t' || peek() == '\n' ||
+                      peek() == '\r'))
+      ++pos_;
+  }
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  bool value() {
+    if (eof()) return false;
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    if (!consume('{')) return false;
+    skip_ws();
+    if (consume('}')) return true;
+    for (;;) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (!consume(':')) return false;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (consume('}')) return true;
+      if (!consume(',')) return false;
+    }
+  }
+
+  bool array() {
+    if (!consume('[')) return false;
+    skip_ws();
+    if (consume(']')) return true;
+    for (;;) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (consume(']')) return true;
+      if (!consume(',')) return false;
+    }
+  }
+
+  bool string() {
+    if (!consume('"')) return false;
+    while (!eof()) {
+      unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c < 0x20) return false;  // raw control char: invalid JSON
+      if (c == '\\') {
+        ++pos_;
+        if (eof()) return false;
+        char e = text_[pos_];
+        if (e == 'u') {
+          ++pos_;
+          for (int i = 0; i < 4; ++i) {
+            if (eof() || !std::isxdigit(static_cast<unsigned char>(peek())))
+              return false;
+            ++pos_;
+          }
+          continue;
+        }
+        if (e != '"' && e != '\\' && e != '/' && e != 'b' && e != 'f' &&
+            e != 'n' && e != 'r' && e != 't')
+          return false;
+        ++pos_;
+        continue;
+      }
+      ++pos_;
+    }
+    return false;  // unterminated
+  }
+
+  bool number() {
+    std::size_t start = pos_;
+    consume('-');
+    if (eof() || !std::isdigit(static_cast<unsigned char>(peek())))
+      return false;
+    if (peek() == '0') {
+      ++pos_;
+    } else {
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek())))
+        ++pos_;
+    }
+    if (!eof() && peek() == '.') {
+      ++pos_;
+      if (eof() || !std::isdigit(static_cast<unsigned char>(peek())))
+        return false;
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek())))
+        ++pos_;
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (eof() || !std::isdigit(static_cast<unsigned char>(peek())))
+        return false;
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek())))
+        ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+inline bool is_valid_json(std::string_view text) {
+  return JsonValidator(text).validate();
+}
+
+}  // namespace rsnsec::testsupport

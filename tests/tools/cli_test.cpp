@@ -10,6 +10,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "support/minijson.hpp"
+
 namespace rsnsec::cli {
 namespace {
 
@@ -176,6 +178,104 @@ TEST_F(CliTest, ErrorsAreReported) {
                      path("x.rsn")}),
             1);
   EXPECT_EQ(run_cli({"secure", "--oops"}), 1);
+}
+
+TEST_F(CliTest, MalformedNumbersAreUsageErrors) {
+  // Exit 2 = "your invocation is wrong", with the offending token named.
+  EXPECT_EQ(run_cli({"generate", "--benchmark", "Mingle", "--seed", "abc",
+                     "--out-rsn", path("x.rsn")}),
+            2);
+  EXPECT_NE(err_.str().find("--seed"), std::string::npos);
+  EXPECT_NE(err_.str().find("abc"), std::string::npos);
+
+  EXPECT_EQ(run_cli({"generate", "--benchmark", "Mingle", "--seed",
+                     "99999999999999999999", "--out-rsn", path("x.rsn")}),
+            2);
+
+  EXPECT_EQ(run_cli({"generate", "--benchmark", "Mingle", "--scale", "big",
+                     "--out-rsn", path("x.rsn")}),
+            2);
+  EXPECT_NE(err_.str().find("--scale"), std::string::npos);
+
+  EXPECT_EQ(run_cli({"generate", "--benchmark", "MBIST_1_x_2", "--out-rsn",
+                     path("x.rsn")}),
+            2);
+  EXPECT_NE(err_.str().find("MBIST"), std::string::npos);
+
+  std::ofstream(path("n.rsn")) << "rsn t\n"
+                                  "register a ffs 1 module -1\n"
+                                  "connect scan_in a 0\n"
+                                  "connect a scan_out 0\n";
+  EXPECT_EQ(run_cli({"lint", path("n.rsn"), "--jobs", "many"}), 2);
+  EXPECT_NE(err_.str().find("--jobs"), std::string::npos);
+}
+
+TEST_F(CliTest, MalformedSpecFileExitsTwoWithLineNumber) {
+  ASSERT_EQ(run_cli({"generate", "--benchmark", "BasicSCB", "--seed", "3",
+                     "--out-rsn", path("n.rsn"), "--out-verilog",
+                     path("c.v")}),
+            0)
+      << err_.str();
+  std::ofstream(path("bad.spec")) << "categories 2\n"
+                                  << "module 0 trust 99999999999999999999 "
+                                     "accepts 0\n";
+  int rc = run_cli({"analyze", "--rsn", path("n.rsn"), "--verilog",
+                    path("c.v"), "--spec", path("bad.spec")});
+  EXPECT_EQ(rc, 2);
+  EXPECT_NE(err_.str().find("spec parse error at line 2"),
+            std::string::npos)
+      << err_.str();
+}
+
+TEST_F(CliTest, TraceAndMetricsProduceValidOutputs) {
+  ASSERT_EQ(run_cli({"generate", "--benchmark", "Mingle", "--scale", "0.4",
+                     "--seed", "5", "--out-rsn", path("net.rsn"),
+                     "--out-verilog", path("ckt.v"), "--out-spec",
+                     path("policy.spec")}),
+            0)
+      << err_.str();
+
+  int rc = run_cli({"analyze", "--rsn", path("net.rsn"), "--verilog",
+                    path("ckt.v"), "--spec", path("policy.spec"), "--json",
+                    "--trace", path("trace.json"), "--metrics"});
+  ASSERT_TRUE(rc == 0 || rc == 2) << err_.str();
+  EXPECT_TRUE(testsupport::is_valid_json(out_.str())) << out_.str();
+
+  // The trace file is strict JSON with spans and counters in it.
+  std::ifstream f(path("trace.json"));
+  ASSERT_TRUE(f.good());
+  std::stringstream trace;
+  trace << f.rdbuf();
+  EXPECT_TRUE(testsupport::is_valid_json(trace.str()));
+  EXPECT_NE(trace.str().find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.str().find("dep.one_cycle"), std::string::npos);
+  EXPECT_NE(trace.str().find("dep.closure"), std::string::npos);
+
+  // --metrics prints the text summary to the error stream.
+  EXPECT_NE(err_.str().find("== metrics =="), std::string::npos);
+  EXPECT_NE(err_.str().find("dep.runs"), std::string::npos);
+}
+
+TEST_F(CliTest, SecureWithTraceEmbedsObservabilityInReport) {
+  ASSERT_EQ(run_cli({"generate", "--benchmark", "Mingle", "--scale", "0.4",
+                     "--seed", "5", "--out-rsn", path("net.rsn"),
+                     "--out-verilog", path("ckt.v"), "--out-spec",
+                     path("policy.spec")}),
+            0)
+      << err_.str();
+  int rc = run_cli({"secure", "--rsn", path("net.rsn"), "--verilog",
+                    path("ckt.v"), "--spec", path("policy.spec"), "--out",
+                    path("out.rsn"), "--json", "--trace",
+                    path("trace.json")});
+  ASSERT_TRUE(rc == 0 || rc == 3) << err_.str();
+  EXPECT_TRUE(testsupport::is_valid_json(out_.str())) << out_.str();
+  EXPECT_NE(out_.str().find("\"observability\""), std::string::npos);
+  EXPECT_NE(out_.str().find("\"pipeline\""), std::string::npos);
+  std::ifstream f(path("trace.json"));
+  ASSERT_TRUE(f.good());
+  std::stringstream trace;
+  trace << f.rdbuf();
+  EXPECT_TRUE(testsupport::is_valid_json(trace.str()));
 }
 
 }  // namespace

@@ -1,11 +1,14 @@
 #include "tools/cli.hpp"
 
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <optional>
 #include <sstream>
+#include <stdexcept>
 
+#include "obs/trace.hpp"
 #include "util/strings.hpp"
 
 #include "benchgen/circuit.hpp"
@@ -24,6 +27,13 @@
 namespace rsnsec::cli {
 
 namespace {
+
+/// Bad command-line *input* (malformed numbers, bad benchmark syntax).
+/// Distinct from plain runtime_error so run() can exit 2 — "your
+/// invocation is wrong" — instead of 1 ("the tool failed").
+struct UsageError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
 
 struct Args {
   std::string command;
@@ -64,7 +74,8 @@ Args parse_args(const std::vector<std::string>& argv) {
     std::string key = a.substr(2);
     // Boolean flags.
     if (key == "structural" || key == "json" || key == "no-pure" ||
-        key == "no-hybrid" || key == "filter-baseline" || key == "verify") {
+        key == "no-hybrid" || key == "filter-baseline" || key == "verify" ||
+        key == "metrics") {
       args.flags.push_back(key);
       continue;
     }
@@ -121,17 +132,29 @@ LoadedWorkload load_workload(const Args& args) {
   return w;
 }
 
+/// Guarded numeric parses: any malformed or overflowing number in the
+/// invocation is a UsageError (exit 2) with the offending token quoted,
+/// never an uncaught std::sto* exception.
+std::uint64_t u64_or_usage(const std::string& s, const std::string& what) {
+  std::optional<std::uint64_t> v = parse_u64(s);
+  if (!v)
+    throw UsageError(what + " needs a non-negative integer, got '" + s +
+                     "'");
+  return *v;
+}
+
+double double_or_usage(const std::string& s, const std::string& what) {
+  std::optional<double> v = parse_double(s);
+  if (!v) throw UsageError(what + " needs a number, got '" + s + "'");
+  return *v;
+}
+
 /// Parses --jobs N (0 = auto: RSNSEC_JOBS, else hardware concurrency).
 /// Without the flag, commands default to auto as well — results are
 /// bit-identical for any value, so parallelism is safe to default on.
 std::size_t jobs_option(const Args& args) {
-  if (auto j = args.get("jobs")) {
-    std::size_t pos = 0;
-    unsigned long v = std::stoul(*j, &pos);
-    if (pos != j->size())
-      throw std::runtime_error("--jobs needs a non-negative integer");
-    return static_cast<std::size_t>(v);
-  }
+  if (auto j = args.get("jobs"))
+    return static_cast<std::size_t>(u64_or_usage(*j, "--jobs"));
   return 0;
 }
 
@@ -164,17 +187,22 @@ int cmd_lint(const Args& args, std::ostream& out) {
 
 int cmd_generate(const Args& args, std::ostream& out) {
   std::string name = args.require("benchmark");
-  double scale = std::stod(args.get("scale").value_or("1.0"));
-  std::uint64_t seed = std::stoull(args.get("seed").value_or("1"));
+  double scale = double_or_usage(args.get("scale").value_or("1.0"),
+                                 "--scale");
+  std::uint64_t seed = u64_or_usage(args.get("seed").value_or("1"),
+                                    "--seed");
   Rng rng(seed);
 
   rsn::RsnDocument doc;
   if (name.rfind("MBIST_", 0) == 0) {
     std::vector<std::string> dims = split(name.substr(6), '_');
     if (dims.size() != 3)
-      throw std::runtime_error("MBIST benchmark must be MBIST_n_m_o");
-    doc = benchgen::generate_mbist(std::stoul(dims[0]), std::stoul(dims[1]),
-                                   std::stoul(dims[2]), scale);
+      throw UsageError("MBIST benchmark must be MBIST_n_m_o");
+    doc = benchgen::generate_mbist(
+        static_cast<std::size_t>(u64_or_usage(dims[0], "MBIST dimension n")),
+        static_cast<std::size_t>(u64_or_usage(dims[1], "MBIST dimension m")),
+        static_cast<std::size_t>(u64_or_usage(dims[2], "MBIST dimension o")),
+        scale);
   } else {
     doc = benchgen::generate_bastion(benchgen::bastion_profile(name), scale,
                                      rng);
@@ -284,20 +312,77 @@ int cmd_secure(const Args& args, std::ostream& out) {
   return 0;
 }
 
+/// Installs a process-wide TraceSession when --trace FILE, --metrics or
+/// the RSNSEC_TRACE environment variable asks for one, and writes the
+/// requested sinks when the command finishes. The session deactivates on
+/// scope exit (exceptions included) so nothing outlives the run.
+class TraceScope {
+ public:
+  TraceScope(const Args& args, std::ostream& err) : err_(err) {
+    if (auto t = args.get("trace")) {
+      trace_path_ = *t;
+    } else if (const char* env = std::getenv("RSNSEC_TRACE");
+               env != nullptr && *env != '\0') {
+      trace_path_ = env;
+    }
+    metrics_ = args.has_flag("metrics");
+    if (!trace_path_.empty() || metrics_) {
+      session_.emplace();
+      obs::TraceSession::set_active(&*session_);
+    }
+  }
+
+  ~TraceScope() { obs::TraceSession::set_active(nullptr); }
+
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+  /// Called once on the success path, while the session is still active.
+  void finish() {
+    if (!session_) return;
+    if (!trace_path_.empty()) {
+      std::ofstream f = open_output(trace_path_);
+      session_->write_chrome_trace(f);
+    }
+    if (metrics_) session_->write_summary_text(err_);
+  }
+
+ private:
+  std::ostream& err_;
+  std::string trace_path_;
+  bool metrics_ = false;
+  std::optional<obs::TraceSession> session_;
+};
+
+int dispatch(const Args& args, std::ostream& out) {
+  if (args.command == "generate") return cmd_generate(args, out);
+  if (args.command == "info") return cmd_info(args, out);
+  if (args.command == "analyze") return cmd_analyze(args, out);
+  if (args.command == "secure") return cmd_secure(args, out);
+  if (args.command == "lint") return cmd_lint(args, out);
+  throw std::runtime_error("unknown command '" + args.command +
+                           "' (try: generate, info, analyze, secure, "
+                           "lint)");
+}
+
 }  // namespace
 
 int run(const std::vector<std::string>& args_in, std::ostream& out,
         std::ostream& err) {
   try {
     Args args = parse_args(args_in);
-    if (args.command == "generate") return cmd_generate(args, out);
-    if (args.command == "info") return cmd_info(args, out);
-    if (args.command == "analyze") return cmd_analyze(args, out);
-    if (args.command == "secure") return cmd_secure(args, out);
-    if (args.command == "lint") return cmd_lint(args, out);
-    throw std::runtime_error("unknown command '" + args.command +
-                             "' (try: generate, info, analyze, secure, "
-                             "lint)");
+    TraceScope trace(args, err);
+    int rc = dispatch(args, out);
+    trace.finish();
+    return rc;
+  } catch (const UsageError& e) {
+    err << "rsnsec: " << e.what() << "\n";
+    return 2;
+  } catch (const security::SpecParseError& e) {
+    // Malformed spec *input* is the caller's problem, like a usage
+    // error; the message already carries the line number.
+    err << "rsnsec: " << e.what() << "\n";
+    return 2;
   } catch (const std::exception& e) {
     err << "rsnsec: " << e.what() << "\n";
     return 1;
