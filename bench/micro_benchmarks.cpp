@@ -258,6 +258,133 @@ void BM_IclLoad(benchmark::State& state) {
 }
 BENCHMARK(BM_IclLoad);
 
+// ---------------------------------------------------------------------------
+// Detect-and-resolve: incremental delta engine vs from-scratch oracle
+// (the BENCH_resolve.json suite). arg0 selects the engine (0 = oracle,
+// 1 = incremental). Both engines produce bit-identical change logs and
+// final networks; only the wall clock differs. The workloads are tuned
+// so the resolution loop actually runs (a restrictive spec over a dense
+// cross-functional circuit); a run that applies no change is reported as
+// an error rather than a vacuous timing.
+
+struct ResolveWorkload {
+  rsn::RsnDocument doc;
+  netlist::Netlist circuit;
+  security::SecuritySpec spec{1, 2};
+
+  ResolveWorkload(const char* profile, double target_ffs, std::uint32_t seed,
+                  double cross_functional, double sensitive_modules,
+                  double restrict_prob, double low_trust_prob,
+                  bool with_circuit) {
+    Rng rng(seed);
+    const benchgen::BenchmarkProfile& p = benchgen::bastion_profile(profile);
+    doc = benchgen::generate_bastion(
+        p, target_ffs / static_cast<double>(p.scan_ffs), rng);
+    if (with_circuit) {
+      benchgen::CircuitOptions copt;
+      copt.target_cross_functional = cross_functional;
+      circuit = benchgen::attach_random_circuit(doc, copt, rng);
+    }
+    benchgen::SpecOptions sopt;
+    sopt.expected_sensitive_modules = sensitive_modules;
+    sopt.restrict_prob = restrict_prob;
+    sopt.low_trust_prob = low_trust_prob;
+    spec = benchgen::random_spec(doc.module_names.size(), sopt, rng);
+  }
+};
+
+void EngineArgs(benchmark::internal::Benchmark* b) {
+  b->ArgName("incremental")->Arg(0)->Arg(1);
+}
+
+void BM_PureResolve(benchmark::State& state) {
+  // Pure-path resolution (element-granular propagation) under a
+  // restrictive spec; the circuit is irrelevant to the pure analyzer.
+  ResolveWorkload w("Mingle", static_cast<double>(state.range(1)), 3, 0.0,
+                    8.0, 0.9, 0.7, /*with_circuit=*/false);
+  security::TokenTable tokens(w.spec, w.spec.num_modules());
+  security::PureScanAnalyzer pure(w.spec, tokens);
+  security::ResolveOptions ropt;
+  ropt.incremental = state.range(0) != 0;
+  std::size_t changes = 0;
+  for (auto _ : state) {
+    rsn::Rsn net = w.doc.network;
+    security::PureStats stats = pure.detect_and_resolve(
+        net, nullptr, security::ResolutionPolicy::BestGlobal, {}, ropt);
+    changes = stats.applied_changes;
+    benchmark::DoNotOptimize(net.num_elements());
+  }
+  if (changes == 0) {
+    state.SkipWithError("workload resolved no violations");
+    return;
+  }
+  state.counters["changes"] = static_cast<double>(changes);
+}
+BENCHMARK(BM_PureResolve)
+    ->ArgNames({"incremental", "ffs"})
+    ->Args({0, 900})
+    ->Args({1, 900})
+    ->Args({0, 2000})
+    ->Args({1, 2000});
+
+void BM_HybridResolve(benchmark::State& state) {
+  // The flagship hybrid workload: a balanced-tree RSN at 3000 scan FFs
+  // with a dense cross-functional circuit and a spec restrictive enough
+  // for ~10 applied changes, resolved from the raw generated network.
+  // The dependency analysis and token table are built once outside the
+  // timed region (the pipeline shares them across stages anyway); the
+  // timed region is exactly one detect_and_resolve, which on the
+  // incremental path includes its index rebuild.
+  ResolveWorkload w("TreeBalanced", 3000, 5, 2.0, 6.0, 0.8, 0.5,
+                    /*with_circuit=*/true);
+  dep::DependencyAnalyzer deps(w.circuit, w.doc.network, {});
+  deps.run();
+  security::TokenTable tokens(w.spec, w.spec.num_modules());
+  security::HybridAnalyzer hybrid(w.circuit, w.doc.network, deps, w.spec,
+                                  tokens);
+  security::ResolveOptions ropt;
+  ropt.incremental = state.range(0) != 0;
+  ropt.num_threads = 1;
+  std::size_t changes = 0;
+  for (auto _ : state) {
+    rsn::Rsn net = w.doc.network;
+    security::HybridStats stats = hybrid.detect_and_resolve(
+        net, nullptr, security::ResolutionPolicy::BestGlobal, {}, ropt);
+    changes = stats.applied_changes;
+    benchmark::DoNotOptimize(net.num_elements());
+  }
+  if (changes == 0) {
+    state.SkipWithError("workload resolved no violations");
+    return;
+  }
+  state.counters["changes"] = static_cast<double>(changes);
+}
+BENCHMARK(BM_HybridResolve)->Apply(EngineArgs)->Unit(benchmark::kMillisecond);
+
+// Cone-isomorphism memoization of the dependency analysis on a workload
+// with heavily repeated structure (MBIST memory interfaces). arg:
+// 0 = cache off, 1 = on. Results are bit-identical either way.
+void BM_DependencyAnalysisConeCache(benchmark::State& state) {
+  Rng rng(11);
+  rsn::RsnDocument doc = benchgen::generate_mbist(2, 3, 4, 1.0);
+  netlist::Netlist nl = benchgen::attach_random_circuit(doc, {}, rng);
+  dep::DepOptions opt;
+  opt.num_threads = 1;
+  opt.cone_cache = state.range(0) != 0;
+  std::uint64_t hits = 0;
+  for (auto _ : state) {
+    dep::DependencyAnalyzer a(nl, doc.network, opt);
+    a.run();
+    hits = a.stats().cone_cache_hits;
+    benchmark::DoNotOptimize(a.stats().closure_deps);
+  }
+  state.counters["cone_cache_hits"] = static_cast<double>(hits);
+}
+BENCHMARK(BM_DependencyAnalysisConeCache)
+    ->ArgName("cache")
+    ->Arg(0)
+    ->Arg(1);
+
 }  // namespace
 
 BENCHMARK_MAIN();

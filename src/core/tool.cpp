@@ -72,16 +72,20 @@ PipelineResult SecureFlowTool::run() {
   if (options_.run_pure) {
     obs::Span span(trace, "pipeline.pure");
     security::PureScanAnalyzer pure(spec_, tokens);
-    result.pure = pure.detect_and_resolve(network_, &result.changes,
-                                          options_.resolution, on_change);
+    result.pure =
+        pure.detect_and_resolve(network_, &result.changes,
+                                options_.resolution, on_change,
+                                options_.resolve);
     result.t_pure = span.seconds();
   }
 
   // Phase 4: hybrid scan paths (Sec. III-C / III-D).
   if (options_.run_hybrid) {
     obs::Span span(trace, "pipeline.hybrid");
-    result.hybrid = hybrid.detect_and_resolve(network_, &result.changes,
-                                              options_.resolution, on_change);
+    result.hybrid =
+        hybrid.detect_and_resolve(network_, &result.changes,
+                                  options_.resolution, on_change,
+                                  options_.resolve);
     result.t_hybrid = span.seconds();
   }
 

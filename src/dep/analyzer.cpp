@@ -1,6 +1,7 @@
 #include "dep/analyzer.hpp"
 
 #include <cassert>
+#include <unordered_map>
 
 #include "netlist/cone_check.hpp"
 #include "netlist/sim.hpp"
@@ -15,15 +16,77 @@ using netlist::NodeId;
 
 namespace {
 
-/// Seed of the private RNG stream of cone `idx` (splitmix64 finalizer).
-/// Hashing (seed, cone index) instead of sharing one sequential stream
-/// makes every cone's patterns independent of scheduling, which is what
-/// guarantees bit-identical results for any thread count.
-std::uint64_t cone_seed(std::uint64_t seed, std::uint64_t idx) {
-  std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (idx + 1);
+/// Seed of the private RNG stream of a cone (splitmix64 finalizer over
+/// (seed, cone signature hash)). Hashing instead of sharing one sequential
+/// stream makes every cone's patterns independent of scheduling (bit-
+/// identical results for any thread count); hashing the *signature* rather
+/// than the task index additionally gives isomorphic cones identical
+/// pattern streams, so one cone's sim/SAT verdicts are valid verbatim for
+/// every cone of the same shape — the basis of the cone cache.
+std::uint64_t cone_seed(std::uint64_t seed, std::uint64_t sig_hash) {
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (sig_hash + 1);
   z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
   z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
   return z ^ (z >> 31);
+}
+
+/// Canonical structural signature of a combinational cone. Two cones with
+/// equal signatures are isomorphic in every way cone_deps can observe:
+/// same leaf count and per-leaf node types (FF vs. input vs. constant —
+/// which fixes the ff_leaves set, the constant-pinning of the sim
+/// prefilter, and ConeDependenceChecker's constant handling), same gates
+/// in the same topological order with the same types, and same fanin
+/// wiring in cone-local coordinates (leaf i -> code i, gate g -> code
+/// L + g). eval_cone and the two-copy CNF encoding read exactly this
+/// structure, so equal signatures imply identical simulation values and
+/// an identical CNF modulo variable names — hence identical verdicts,
+/// including Unknown outcomes under the same conflict limit.
+struct ConeSignature {
+  std::vector<std::uint32_t> data;
+  std::uint64_t hash = 0;
+
+  friend bool operator==(const ConeSignature& a, const ConeSignature& b) {
+    return a.hash == b.hash && a.data == b.data;
+  }
+};
+
+ConeSignature cone_signature(const netlist::Netlist& nl, const Cone& cone) {
+  ConeSignature sig;
+  const std::size_t nl_leaves = cone.leaves.size();
+  sig.data.reserve(2 + nl_leaves + 2 * cone.gates.size() + 8);
+  // Cone-local code of a node: leaves first, then gates (matching the
+  // variable-allocation order of the CNF encoding and the evaluation
+  // order of eval_cone).
+  std::unordered_map<NodeId, std::uint32_t> codes;
+  codes.reserve(nl_leaves + cone.gates.size());
+  for (std::size_t i = 0; i < nl_leaves; ++i)
+    codes.emplace(cone.leaves[i], static_cast<std::uint32_t>(i));
+  for (std::size_t g = 0; g < cone.gates.size(); ++g)
+    codes.emplace(cone.gates[g], static_cast<std::uint32_t>(nl_leaves + g));
+  auto local_code = [&](NodeId id) -> std::uint32_t {
+    auto it = codes.find(id);
+    return it == codes.end() ? 0xffffffffu : it->second;
+  };
+  sig.data.push_back(static_cast<std::uint32_t>(nl_leaves));
+  for (NodeId leaf : cone.leaves)
+    sig.data.push_back(static_cast<std::uint32_t>(nl.node(leaf).type));
+  sig.data.push_back(static_cast<std::uint32_t>(cone.gates.size()));
+  for (NodeId g : cone.gates) {
+    const netlist::Node& n = nl.node(g);
+    sig.data.push_back(static_cast<std::uint32_t>(n.type));
+    sig.data.push_back(static_cast<std::uint32_t>(n.fanins.size()));
+    for (NodeId f : n.fanins) sig.data.push_back(local_code(f));
+  }
+  sig.data.push_back(cone.root == netlist::no_node ? 0xfffffffeu
+                                                   : local_code(cone.root));
+  std::uint64_t h = 0x243f6a8885a308d3ULL;  // fractional digits of pi
+  for (std::uint32_t w : sig.data) {
+    h ^= w;
+    h *= 0x100000001b3ULL;
+    h ^= h >> 29;
+  }
+  sig.hash = h;
+  return sig;
 }
 
 }  // namespace
@@ -104,10 +167,9 @@ void DependencyAnalyzer::classify_internal() {
   }
 }
 
-std::vector<CaptureDep> DependencyAnalyzer::cone_deps(const Cone& cone,
-                                                      Rng& rng,
-                                                      DepStats& stats) const {
-  std::vector<CaptureDep> out;
+std::vector<DependencyAnalyzer::LeafDep> DependencyAnalyzer::cone_deps(
+    const Cone& cone, Rng& rng, DepStats& stats) const {
+  std::vector<LeafDep> out;
 
   // Special case: the cone start is itself a leaf (direct FF-to-FF wire);
   // extract_cone then reports that single leaf.
@@ -120,8 +182,7 @@ std::vector<CaptureDep> DependencyAnalyzer::cone_deps(const Cone& cone,
   if (options_.mode == DepMode::StructuralOnly) {
     // Over-approximation of Sec. IV-C: every structural connection is
     // treated as if data could propagate.
-    for (std::size_t i : ff_leaves)
-      out.push_back({cone.leaves[i], DepKind::Path});
+    for (std::size_t i : ff_leaves) out.push_back({i, DepKind::Path});
     return out;
   }
 
@@ -153,7 +214,7 @@ std::vector<CaptureDep> DependencyAnalyzer::cone_deps(const Cone& cone,
         decided[i] = true;
         --undecided;
         ++stats.sim_resolved;
-        out.push_back({cone.leaves[i], DepKind::Path});
+        out.push_back({i, DepKind::Path});
       }
     }
   }
@@ -170,18 +231,18 @@ std::vector<CaptureDep> DependencyAnalyzer::cone_deps(const Cone& cone,
       switch (checker.query(i)) {
         case sat::Result::Sat:
           ++stats.sat_functional;
-          out.push_back({cone.leaves[i], DepKind::Path});
+          out.push_back({i, DepKind::Path});
           break;
         case sat::Result::Unsat:
           ++stats.sat_structural;
-          out.push_back({cone.leaves[i], DepKind::Structural});
+          out.push_back({i, DepKind::Structural});
           break;
         case sat::Result::Unknown:
           // Conflict budget exhausted: sound over-approximation — treat
           // the dependency as functional (a missed real flow would be
           // unsound for security; a false Path only costs precision).
           ++stats.sat_unknown;
-          out.push_back({cone.leaves[i], DepKind::Path});
+          out.push_back({i, DepKind::Path});
           break;
       }
     }
@@ -192,10 +253,8 @@ std::vector<CaptureDep> DependencyAnalyzer::cone_deps(const Cone& cone,
 void DependencyAnalyzer::compute_one_cycle() {
   one_cycle_ = DepMatrix(ff_nodes_.size());
 
-  // Fan out one task per cone: first every circuit flip-flop's next-state
-  // cone, then every scan FF's capture cone (cached by
-  // extract_capture_cones). Task index doubles as the cone's RNG-stream
-  // index, so the patterns a cone sees are scheduling-independent.
+  // One task per cone: first every circuit flip-flop's next-state cone,
+  // then every scan FF's capture cone (cached by extract_capture_cones).
   struct CaptureTask {
     std::size_t slot, ff;
   };
@@ -209,39 +268,98 @@ void DependencyAnalyzer::compute_one_cycle() {
   }
   const std::size_t nff = ff_nodes_.size();
   const std::size_t ntasks = nff + capture_tasks.size();
-  std::vector<std::vector<CaptureDep>> results(ntasks);
-  std::vector<DepStats> local(ntasks);
 
+  // Phase 1 (parallel): materialize every task's cone and its canonical
+  // signature. Next-state cones were previously extracted inside the
+  // classification task; grouping needs them up front.
+  std::vector<Cone> ns_cones(nff);
+  std::vector<ConeSignature> sigs(ntasks);
+  auto task_cone = [&](std::size_t t) -> const Cone& {
+    if (t < nff) return ns_cones[t];
+    const CaptureTask& ct = capture_tasks[t - nff];
+    return capture_cones_[ct.slot][ct.ff];
+  };
   pool_->parallel_for(
       0, ntasks,
       [&](std::size_t t) {
-        Rng rng(cone_seed(options_.seed, t));
-        if (t < nff) {
-          Cone cone = nl_.extract_next_state_cone(ff_nodes_[t]);
-          results[t] = cone_deps(cone, rng, local[t]);
-        } else {
-          const CaptureTask& ct = capture_tasks[t - nff];
-          results[t] = cone_deps(capture_cones_[ct.slot][ct.ff], rng,
-                                 local[t]);
-        }
+        if (t < nff) ns_cones[t] = nl_.extract_next_state_cone(ff_nodes_[t]);
+        sigs[t] = cone_signature(nl_, task_cone(t));
       },
       /*grain=*/1);
 
-  // Deterministic reduction: apply results and counters in task order.
-  for (std::size_t j = 0; j < nff; ++j) {
-    for (const CaptureDep& d : results[j])
-      one_cycle_.upgrade(circuit_index(d.circuit_ff), j, d.kind);
+  // Phase 2 (sequential): group isomorphic cones. The representative of a
+  // group is its lowest task index; membership is decided by full
+  // signature equality — the 64-bit hash only buckets, so a hash
+  // collision can never make two different cones share verdicts. With the
+  // cache off every task is its own group, which runs the identical code
+  // path below (same RNG streams, same verdicts) minus the sharing.
+  std::vector<std::size_t> group_of(ntasks);
+  std::vector<std::size_t> reps;
+  if (options_.cone_cache) {
+    std::unordered_map<std::uint64_t, std::vector<std::size_t>> buckets;
+    buckets.reserve(ntasks);
+    for (std::size_t t = 0; t < ntasks; ++t) {
+      std::vector<std::size_t>& bucket = buckets[sigs[t].hash];
+      std::size_t g = static_cast<std::size_t>(-1);
+      for (std::size_t cand : bucket) {
+        if (sigs[reps[cand]] == sigs[t]) {
+          g = cand;
+          break;
+        }
+      }
+      if (g == static_cast<std::size_t>(-1)) {
+        g = reps.size();
+        reps.push_back(t);
+        bucket.push_back(g);
+      }
+      group_of[t] = g;
+    }
+  } else {
+    reps.resize(ntasks);
+    for (std::size_t t = 0; t < ntasks; ++t) {
+      reps[t] = t;
+      group_of[t] = t;
+    }
   }
-  for (std::size_t t = 0; t < capture_tasks.size(); ++t) {
-    const CaptureTask& ct = capture_tasks[t];
-    capture_deps_[ct.slot][ct.ff] = std::move(results[nff + t]);
-  }
-  for (const DepStats& s : local) {
+
+  // Phase 3 (parallel): classify one representative per group. The RNG
+  // stream is a pure function of (seed, signature), so a representative's
+  // verdicts are bit for bit what classifying any member would produce.
+  std::vector<std::vector<LeafDep>> group_results(reps.size());
+  std::vector<DepStats> group_stats(reps.size());
+  pool_->parallel_for(
+      0, reps.size(),
+      [&](std::size_t g) {
+        Rng rng(cone_seed(options_.seed, sigs[reps[g]].hash));
+        group_results[g] = cone_deps(task_cone(reps[g]), rng, group_stats[g]);
+      },
+      /*grain=*/1);
+
+  // Phase 4 (sequential): distribute verdicts (translating cone-local
+  // leaf indices back to each member's own leaves) and counters in task
+  // order. Counters are replicated per member — the cache saves work, not
+  // logical results — so every DepStats field matches a cache-off run.
+  for (std::size_t t = 0; t < ntasks; ++t) {
+    const std::size_t g = group_of[t];
+    const Cone& cone = task_cone(t);
+    if (t < nff) {
+      for (const LeafDep& d : group_results[g])
+        one_cycle_.upgrade(circuit_index(cone.leaves[d.leaf_idx]), t, d.kind);
+    } else {
+      const CaptureTask& ct = capture_tasks[t - nff];
+      std::vector<CaptureDep>& deps = capture_deps_[ct.slot][ct.ff];
+      deps.clear();
+      deps.reserve(group_results[g].size());
+      for (const LeafDep& d : group_results[g])
+        deps.push_back({cone.leaves[d.leaf_idx], d.kind});
+    }
+    const DepStats& s = group_stats[g];
     stats_.sim_resolved += s.sim_resolved;
     stats_.sat_calls += s.sat_calls;
     stats_.sat_functional += s.sat_functional;
     stats_.sat_structural += s.sat_structural;
     stats_.sat_unknown += s.sat_unknown;
+    if (t != reps[g]) ++stats_.cone_cache_hits;
   }
 
   stats_.deps_before_bridging = one_cycle_.count_nonzero();
@@ -267,20 +385,12 @@ void DependencyAnalyzer::bridge_internal() {
   // then remove v from the relation (Fig. 3). Only-structural hops make
   // the composed dependency only-structural unless a path-dependent pair
   // is already known. Inherently sequential: each elimination rewrites
-  // the relation the next one reads.
+  // the relation the next one reads. DepMatrix::eliminate does the
+  // composition word-parallel on the bit planes — the predecessors()/
+  // successors() index vectors this loop used to allocate per internal
+  // flip-flop dominated the bridging phase on large circuits.
   for (std::size_t v = 0; v < ff_nodes_.size(); ++v) {
-    if (!internal_[v]) continue;
-    std::vector<std::size_t> preds = closure_.predecessors(v);
-    std::vector<std::size_t> succs = closure_.successors(v);
-    for (std::size_t p : preds) {
-      if (p == v) continue;
-      DepKind in = closure_.get(p, v);
-      for (std::size_t s : succs) {
-        if (s == v || s == p) continue;
-        closure_.upgrade(p, s, compose_dep(in, closure_.get(v, s)));
-      }
-    }
-    closure_.clear_node(v);
+    if (internal_[v]) closure_.eliminate(v);
   }
   stats_.deps_after_bridging = closure_.count_nonzero();
   std::vector<bool> denoted(ff_nodes_.size(), false);
@@ -344,6 +454,7 @@ void DependencyAnalyzer::run() {
     trace->counter("dep.sim_resolved").add(stats_.sim_resolved);
     trace->counter("dep.sat_calls").add(stats_.sat_calls);
     trace->counter("dep.sat_unknown").add(stats_.sat_unknown);
+    trace->counter("dep.cone_cache_hits").add(stats_.cone_cache_hits);
     trace->counter("dep.deps_after_bridging")
         .add(stats_.deps_after_bridging);
     trace->counter("dep.closure_deps").add(stats_.closure_deps);

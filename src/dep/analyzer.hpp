@@ -46,9 +46,17 @@ struct DepOptions {
   /// is in bridged hops.
   std::size_t max_cycles = 0;
   /// Seed for the simulation prefilter patterns. Every cone draws its
-  /// patterns from a private stream seeded as hash(seed, cone index), so
-  /// the analysis result is bit-identical for any num_threads.
+  /// patterns from a private stream seeded as hash(seed, cone signature),
+  /// so the analysis result is bit-identical for any num_threads — and,
+  /// because isomorphic cones share a signature, identical with and
+  /// without the cone cache.
   std::uint64_t seed = 1;
+  /// Memoize cone classifications by structural signature: replicated
+  /// modules (MBIST arrays, BASTION instruments) produce many isomorphic
+  /// capture/next-state cones, and one sim+SAT classification serves all
+  /// of them. Results (matrices and all stats counters except
+  /// cone_cache_hits) are bit-identical with the cache disabled.
+  bool cone_cache = true;
   /// Worker threads for the cone fan-out and the closure's row blocks.
   /// 0 = auto: the RSNSEC_JOBS environment variable if set, else
   /// std::thread::hardware_concurrency(). Any value yields bit-identical
@@ -73,6 +81,11 @@ struct DepStats {
   /// Queries that exhausted DepOptions::sat_conflict_limit; each is
   /// conservatively classified as a functional (Path) dependency.
   std::uint64_t sat_unknown = 0;
+  /// Cones whose classification was reused from an isomorphic cone (0
+  /// when DepOptions::cone_cache is off). All other counters report the
+  /// logical work — a cache hit replicates the representative's sim/SAT
+  /// counters — so they match a cache-off run bit for bit.
+  std::uint64_t cone_cache_hits = 0;
   std::size_t threads_used = 0;  ///< resolved parallelism of the run
   /// Per-phase wall-clock seconds (cone classification incl. the
   /// simulation prefilter and SAT, internal-FF bridging, multi-cycle
@@ -166,6 +179,14 @@ class DependencyAnalyzer {
   /// Live only during run(); loops run inline when it is null.
   ThreadPool* pool_ = nullptr;
 
+  /// Dependency of the cone root on cone.leaves[leaf_idx], positionally:
+  /// isomorphic cones (equal signatures) share these verdicts, each cone
+  /// translating leaf_idx back to its own leaf node.
+  struct LeafDep {
+    std::size_t leaf_idx;
+    DepKind kind;
+  };
+
   void build_index();
   void extract_capture_cones();
   void classify_internal();
@@ -173,8 +194,8 @@ class DependencyAnalyzer {
   /// leaves (functional vs. only-structural). Thread-safe: draws patterns
   /// from the caller-provided RNG stream and accumulates the sim/SAT
   /// counters into `stats` (a per-task instance when run in parallel).
-  std::vector<CaptureDep> cone_deps(const netlist::Cone& cone, Rng& rng,
-                                    DepStats& stats) const;
+  std::vector<LeafDep> cone_deps(const netlist::Cone& cone, Rng& rng,
+                                 DepStats& stats) const;
   void compute_one_cycle();
   void bridge_internal();
   void compute_closure();

@@ -4,6 +4,17 @@
 
 namespace rsnsec::rsn {
 
+FanoutIndex::FanoutIndex(const Rsn& network)
+    : fanout_(network.num_elements()) {
+  // (consumer id ascending, port ascending) — documented ordering.
+  for (ElemId id = 0; id < network.num_elements(); ++id) {
+    const Element& e = network.elem(id);
+    for (std::size_t p = 0; p < e.inputs.size(); ++p) {
+      if (e.inputs[p] != no_elem) fanout_[e.inputs[p]].push_back({id, p});
+    }
+  }
+}
+
 std::vector<ElemId> AccessPlanner::find_chain(ElemId from, ElemId to) const {
   // BFS backward over input edges from `to`; reconstruct the chain.
   std::vector<ElemId> parent(net_.num_elements(), no_elem);

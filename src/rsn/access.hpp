@@ -38,6 +38,28 @@ struct AccessPlan {
   }
 };
 
+/// Materialized fanout adjacency of an RSN: for every element, the
+/// (consumer, port) pairs it drives. Rsn::fanouts(id) scans all elements
+/// per call, which is fine for one-off queries but quadratic when a
+/// traversal needs the fanout of many elements (chain enumeration in the
+/// security analysis, the violation index's delta maintenance). The index
+/// is a snapshot — rebuild it after structural edits.
+///
+/// Entries are ordered by (consumer id ascending, port ascending); code
+/// that derives deterministic structures from fanout order (the per-
+/// register chain DFS of the hybrid analyzer) relies on this.
+class FanoutIndex {
+ public:
+  explicit FanoutIndex(const Rsn& network);
+
+  const std::vector<std::pair<ElemId, std::size_t>>& of(ElemId id) const {
+    return fanout_[static_cast<std::size_t>(id)];
+  }
+
+ private:
+  std::vector<std::vector<std::pair<ElemId, std::size_t>>> fanout_;
+};
+
 /// Plans scan access to registers of an RSN (the pattern-retargeting
 /// core of tools like eda1687 [20], reduced to path planning).
 ///

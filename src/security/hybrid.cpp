@@ -1,9 +1,12 @@
 #include "security/hybrid.hpp"
 
 #include <cassert>
+#include <memory>
 #include <stdexcept>
 
 #include "obs/trace.hpp"
+#include "security/violation_index.hpp"
+#include "util/thread_pool.hpp"
 
 namespace rsnsec::security {
 
@@ -103,43 +106,24 @@ void HybridAnalyzer::build_static_edges(const Rsn& layout) {
   }
 }
 
+void HybridAnalyzer::append_register_chains(const Rsn& network,
+                                            const rsn::FanoutIndex& fanout,
+                                            ElemId r,
+                                            std::vector<RsnEdge>& out) {
+  append_register_chains_fn(
+      network, [&](ElemId id) -> decltype(auto) { return fanout.of(id); }, r,
+      out);
+}
+
 std::vector<HybridAnalyzer::RsnEdge> HybridAnalyzer::build_rsn_edges(
     const Rsn& network) const {
   // For every register, find the registers reachable through mux-only
   // element chains, recording the concrete connections of each chain
   // (cut candidates for the resolution step).
   std::vector<RsnEdge> edges;
-  std::vector<std::vector<std::pair<ElemId, std::size_t>>> fanout(
-      network.num_elements());
-  for (ElemId id = 0; id < network.num_elements(); ++id) {
-    const rsn::Element& e = network.elem(id);
-    for (std::size_t p = 0; p < e.inputs.size(); ++p)
-      if (e.inputs[p] != rsn::no_elem)
-        fanout[e.inputs[p]].push_back({id, p});
-  }
-  constexpr std::size_t max_chains_per_register = 256;
-  for (ElemId r : network.registers()) {
-    std::size_t emitted = 0;
-    // DFS over (element, chain-so-far); chains are short in practice.
-    std::vector<std::pair<ElemId, std::vector<Connection>>> stack;
-    stack.push_back({r, {}});
-    while (!stack.empty() && emitted < max_chains_per_register) {
-      auto [cur, chain] = std::move(stack.back());
-      stack.pop_back();
-      for (auto [to, port] : fanout[cur]) {
-        std::vector<Connection> next_chain = chain;
-        next_chain.push_back({cur, to, port});
-        const rsn::Element& te = network.elem(to);
-        if (te.kind == ElemKind::Register) {
-          edges.push_back({r, to, std::move(next_chain)});
-          ++emitted;
-        } else if (te.kind == ElemKind::Mux) {
-          stack.push_back({to, std::move(next_chain)});
-        }
-        // Scan-out: data leaves the chip; no further segment is reached.
-      }
-    }
-  }
+  rsn::FanoutIndex fanout(network);
+  for (ElemId r : network.registers())
+    append_register_chains(network, fanout, r, edges);
   return edges;
 }
 
@@ -339,16 +323,37 @@ std::optional<HybridAnalyzer::Violation> HybridAnalyzer::find_violation(
 
 HybridStats HybridAnalyzer::detect_and_resolve(
     Rsn& network, std::vector<AppliedChange>* log,
-    ResolutionPolicy policy, const ChangeCallback& on_change) {
+    ResolutionPolicy policy, const ChangeCallback& on_change,
+    const ResolveOptions& resolve_options) {
   obs::TraceSession* trace = obs::TraceSession::active();
   obs::Span resolve_span(trace, "hybrid.resolve");
   HybridStats stats;
-  stats.initial_violating_registers = count_violating_registers(network);
-  stats.initial_violating_pairs = count_violating_pairs(network);
+
+  const bool incremental = resolve_options.incremental;
+  std::optional<HybridViolationIndex> index;
+  std::optional<ThreadPool> pool;
+  if (incremental) {
+    index.emplace(*this, network);
+    pool.emplace(ThreadPool::resolve_num_threads(resolve_options.num_threads));
+    stats.initial_violating_registers = index->violating_registers();
+    stats.initial_violating_pairs = index->pairs();
+  } else {
+    stats.initial_violating_registers = count_violating_registers(network);
+    stats.initial_violating_pairs = count_violating_pairs(network);
+  }
+  // Applying a cut re-runs the deterministic cut_connection on the real
+  // network, so the selected trial's residual count IS the new current
+  // count; only the fallback isolation needs a recount. (Previously every
+  // iteration recounted from scratch on top of find_violation's own
+  // propagation.)
+  std::size_t cur_pairs = stats.initial_violating_pairs;
 
   std::size_t max_iters = 8 * network.registers().size() + 64;
   std::size_t iter = 0;
-  while (auto v = find_violation(network)) {
+  for (;;) {
+    std::optional<Violation> v =
+        incremental ? index->find_violation() : find_violation(network);
+    if (!v) break;
     if (++iter > max_iters)
       throw std::runtime_error(
           "hybrid resolution did not converge (iteration cap exceeded)");
@@ -361,11 +366,23 @@ HybridStats HybridAnalyzer::detect_and_resolve(
 
     // Each cut is evaluated with both reconnection variants ([17]-style
     // candidate generation); the policy decides how exhaustively.
-    std::size_t cur_pairs = count_violating_pairs(network);
-    Rewirer::Selection sel = Rewirer::select_cut(
-        network, v->rsn_connections,
-        [this](const Rsn& n) { return count_violating_pairs(n); },
-        cur_pairs, policy);
+    Rewirer::Selection sel;
+    if (incremental) {
+      sel = Rewirer::select_cut_parallel(
+          network, v->rsn_connections,
+          [&index]() -> Rewirer::TrialCounter {
+            auto scratch = std::make_shared<HybridViolationIndex::Scratch>();
+            return [&index, scratch](const Rsn& n) {
+              return index->eval_trial(n, *scratch);
+            };
+          },
+          cur_pairs, policy, *pool);
+    } else {
+      sel = Rewirer::select_cut(
+          network, v->rsn_connections,
+          [this](const Rsn& n) { return count_violating_pairs(n); },
+          cur_pairs, policy);
+    }
 
     AppliedChange change;
     if (sel.found) {
@@ -375,6 +392,8 @@ HybridStats HybridAnalyzer::detect_and_resolve(
           Rewirer::cut_connection(network, sel.cut, sel.reconnect_hint);
       change.note = "hybrid: cut " + network.elem(sel.cut.from).name +
                     " -> " + network.elem(sel.cut.to).name;
+      cur_pairs = sel.residual_pairs;
+      if (incremental) index->commit(network);
     } else {
       // Isolate the source register of the last RSN hop on the path.
       ElemId iso = v->rsn_connections.front().from;
@@ -398,6 +417,12 @@ HybridStats HybridAnalyzer::detect_and_resolve(
           Rewirer::isolate_register_output(network, iso);
       change.note = "hybrid: isolate " + network.elem(iso).name;
       ++stats.fallback_isolations;
+      if (incremental) {
+        index->commit(network);
+        cur_pairs = index->pairs();
+      } else {
+        cur_pairs = count_violating_pairs(network);
+      }
     }
     ++stats.applied_changes;
     stats.rewire_operations += change.rewire_operations;

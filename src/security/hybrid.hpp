@@ -7,11 +7,14 @@
 
 #include "dep/analyzer.hpp"
 #include "netlist/netlist.hpp"
+#include "rsn/access.hpp"
 #include "rsn/rsn.hpp"
 #include "security/rewire.hpp"
 #include "security/spec.hpp"
 
 namespace rsnsec::security {
+
+class HybridViolationIndex;
 
 /// Outcome of the scan-infrastructure-independent checks (Sec. III-B plus
 /// the intra-segment extension documented in DESIGN.md). Violations of
@@ -107,12 +110,21 @@ class HybridAnalyzer {
   /// connections until the network is secure. Requires check_static() to
   /// be clean. Modifies `network`; appends changes to `log`; invokes
   /// `on_change` after every applied change (see ChangeCallback).
+  ///
+  /// By default (ResolveOptions::incremental) violation state is kept in
+  /// a HybridViolationIndex and maintained under deltas, with candidate
+  /// cuts trial-evaluated in parallel; with incremental off every query
+  /// recomputes the fixpoint from scratch (the oracle the incremental
+  /// path is tested against). Both paths — at any thread count — produce
+  /// bit-identical change logs, stats and final networks.
   HybridStats detect_and_resolve(
       rsn::Rsn& network, std::vector<AppliedChange>* log = nullptr,
       ResolutionPolicy policy = ResolutionPolicy::BestGlobal,
-      const ChangeCallback& on_change = {});
+      const ChangeCallback& on_change = {},
+      const ResolveOptions& resolve_options = {});
 
  private:
+  friend class HybridViolationIndex;
   const netlist::Netlist& nl_;
   const dep::DependencyAnalyzer& deps_;
   const SecuritySpec& spec_;
@@ -134,6 +146,47 @@ class HybridAnalyzer {
     rsn::ElemId from_reg, to_reg;
     std::vector<Connection> chain;
   };
+  /// Appends the inter-segment chains starting at register `r` (DFS over
+  /// mux-only element chains under `fanout`, capped) to `out`. The
+  /// emission order is a deterministic function of r's local fanout
+  /// structure alone, so the violation index can rebuild one register's
+  /// chains and splice them into the full build_rsn_edges order.
+  static void append_register_chains(const rsn::Rsn& network,
+                                     const rsn::FanoutIndex& fanout,
+                                     rsn::ElemId r, std::vector<RsnEdge>& out);
+  /// Generalization over the fanout source: `fanout_of(id)` must return a
+  /// range of (consumer, port) pairs in FanoutIndex order (consumer
+  /// ascending, then port). The returned reference may be invalidated by
+  /// the next fanout_of call; each result is fully consumed before the
+  /// next lookup. This is what lets the violation index rebuild chains
+  /// against a patched committed fanout without indexing a whole trial
+  /// network per candidate.
+  template <typename FanoutFn>
+  static void append_register_chains_fn(const rsn::Rsn& network,
+                                        FanoutFn&& fanout_of, rsn::ElemId r,
+                                        std::vector<RsnEdge>& out) {
+    constexpr std::size_t max_chains_per_register = 256;
+    std::size_t emitted = 0;
+    // DFS over (element, chain-so-far); chains are short in practice.
+    std::vector<std::pair<rsn::ElemId, std::vector<Connection>>> stack;
+    stack.push_back({r, {}});
+    while (!stack.empty() && emitted < max_chains_per_register) {
+      auto [cur, chain] = std::move(stack.back());
+      stack.pop_back();
+      for (auto [to, port] : fanout_of(cur)) {
+        std::vector<Connection> next_chain = chain;
+        next_chain.push_back({cur, to, port});
+        const rsn::Element& te = network.elem(to);
+        if (te.kind == rsn::ElemKind::Register) {
+          out.push_back({r, to, std::move(next_chain)});
+          ++emitted;
+        } else if (te.kind == rsn::ElemKind::Mux) {
+          stack.push_back({to, std::move(next_chain)});
+        }
+        // Scan-out: data leaves the chip; no further segment is reached.
+      }
+    }
+  }
   std::vector<RsnEdge> build_rsn_edges(const rsn::Rsn& network) const;
 
   void build_nodes(const rsn::Rsn& layout);

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cassert>
+#include <memory>
 #include <stdexcept>
 
 #include "obs/trace.hpp"
+#include "security/violation_index.hpp"
+#include "util/thread_pool.hpp"
 
 namespace rsnsec::security {
 
@@ -148,16 +151,37 @@ std::optional<PureViolation> PureScanAnalyzer::find_violation(
 
 PureStats PureScanAnalyzer::detect_and_resolve(
     Rsn& network, std::vector<AppliedChange>* log,
-    ResolutionPolicy policy, const ChangeCallback& on_change) {
+    ResolutionPolicy policy, const ChangeCallback& on_change,
+    const ResolveOptions& resolve_options) {
   obs::TraceSession* trace = obs::TraceSession::active();
   obs::Span resolve_span(trace, "pure.resolve");
   PureStats stats;
-  stats.initial_violating_registers = count_violating_registers(network);
-  stats.initial_violating_pairs = count_violating_pairs(network);
+
+  const bool incremental = resolve_options.incremental;
+  std::optional<PureViolationIndex> index;
+  std::optional<ThreadPool> pool;
+  if (incremental) {
+    index.emplace(*this, network);
+    pool.emplace(ThreadPool::resolve_num_threads(resolve_options.num_threads));
+    stats.initial_violating_registers = index->violating_registers();
+    stats.initial_violating_pairs = index->pairs();
+  } else {
+    stats.initial_violating_registers = count_violating_registers(network);
+    stats.initial_violating_pairs = count_violating_pairs(network);
+  }
+  // Applying a cut re-runs the deterministic cut_connection on the real
+  // network, so the selected trial's residual count IS the new current
+  // count; only the fallback isolation needs a recount. (Previously every
+  // iteration recounted from scratch on top of find_violation's own
+  // propagation.)
+  std::size_t cur_pairs = stats.initial_violating_pairs;
 
   std::size_t max_iters = 8 * network.registers().size() + 64;
   std::size_t iter = 0;
-  while (auto v = find_violation(network)) {
+  for (;;) {
+    std::optional<PureViolation> v =
+        incremental ? index->find_violation() : find_violation(network);
+    if (!v) break;
     if (++iter > max_iters)
       throw std::runtime_error(
           "pure resolution did not converge (iteration cap exceeded)");
@@ -175,11 +199,23 @@ PureStats PureScanAnalyzer::detect_and_resolve(
 
     // Each cut is evaluated with both reconnection variants ([17]-style
     // candidate generation); the policy decides how exhaustively.
-    std::size_t cur_pairs = count_violating_pairs(network);
-    Rewirer::Selection sel = Rewirer::select_cut(
-        network, candidates,
-        [this](const Rsn& n) { return count_violating_pairs(n); },
-        cur_pairs, policy);
+    Rewirer::Selection sel;
+    if (incremental) {
+      sel = Rewirer::select_cut_parallel(
+          network, candidates,
+          [&index]() -> Rewirer::TrialCounter {
+            auto scratch = std::make_shared<PureViolationIndex::Scratch>();
+            return [&index, scratch](const Rsn& n) {
+              return index->eval_trial(n, *scratch);
+            };
+          },
+          cur_pairs, policy, *pool);
+    } else {
+      sel = Rewirer::select_cut(
+          network, candidates,
+          [this](const Rsn& n) { return count_violating_pairs(n); },
+          cur_pairs, policy);
+    }
 
     AppliedChange change;
     if (sel.found) {
@@ -189,6 +225,8 @@ PureStats PureScanAnalyzer::detect_and_resolve(
           Rewirer::cut_connection(network, sel.cut, sel.reconnect_hint);
       change.note = "pure: cut " + network.elem(sel.cut.from).name + " -> " +
                     network.elem(sel.cut.to).name;
+      cur_pairs = sel.residual_pairs;
+      if (incremental) index->commit(network);
     } else {
       // Guaranteed-progress fallback: isolate the last register on the
       // path before the victim (or the origin itself).
@@ -203,6 +241,12 @@ PureStats PureScanAnalyzer::detect_and_resolve(
           Rewirer::isolate_register_output(network, iso);
       change.note = "pure: isolate " + network.elem(iso).name;
       ++stats.fallback_isolations;
+      if (incremental) {
+        index->commit(network);
+        cur_pairs = index->pairs();
+      } else {
+        cur_pairs = count_violating_pairs(network);
+      }
     }
     ++stats.applied_changes;
     stats.rewire_operations += change.rewire_operations;

@@ -9,6 +9,8 @@
 
 namespace rsnsec::security {
 
+class PureViolationIndex;
+
 /// A detected security violation over a pure scan path: data of some
 /// register carrying `token` reaches register `victim` purely over the
 /// scan infrastructure; `path` is one witnessing element path from a
@@ -59,12 +61,19 @@ class PureScanAnalyzer {
   /// secure w.r.t. pure scan paths. Modifies `network` in place; appends
   /// applied changes to `log`; invokes `on_change` after every applied
   /// change (see ChangeCallback). Returns run statistics.
+  ///
+  /// ResolveOptions selects between the incremental engine (delta
+  /// queries against a PureViolationIndex, parallel candidate trials)
+  /// and the from-scratch oracle path; both produce bit-identical change
+  /// logs, stats and final networks.
   PureStats detect_and_resolve(
       rsn::Rsn& network, std::vector<AppliedChange>* log = nullptr,
       ResolutionPolicy policy = ResolutionPolicy::BestGlobal,
-      const ChangeCallback& on_change = {});
+      const ChangeCallback& on_change = {},
+      const ResolveOptions& resolve_options = {});
 
  private:
+  friend class PureViolationIndex;
   const SecuritySpec& spec_;
   const TokenTable& tokens_;
 

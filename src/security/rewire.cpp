@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "obs/trace.hpp"
+#include "util/thread_pool.hpp"
 
 namespace rsnsec::security {
 
@@ -118,6 +119,10 @@ Rewirer::Selection Rewirer::select_cut(
     std::vector<ElemId> hints{rsn::no_elem, network.scan_in()};
     if (policy == ResolutionPolicy::PreferScanIn)
       std::swap(hints[0], hints[1]);
+    // A hint-insensitive cut yields the same trial for both hints;
+    // evaluating it twice cannot change the selection (identical pairs
+    // and ops lose every strict tie-break), so the duplicate is skipped.
+    if (cut_is_hint_insensitive(network, c)) hints.resize(1);
     for (ElemId hint : hints) {
       if (trace != nullptr) trace->counter("rewire.trials").add(1);
       Rsn trial = network;
@@ -136,16 +141,95 @@ Rewirer::Selection Rewirer::select_cut(
   return best;
 }
 
+Rewirer::Selection Rewirer::select_cut_parallel(
+    const Rsn& network, const std::vector<Connection>& candidates,
+    const TrialCounterFactory& make_counter, std::size_t current_pairs,
+    ResolutionPolicy policy, ThreadPool& pool) {
+  obs::TraceSession* trace = obs::TraceSession::active();
+  // Flatten the nested (candidate, hint) loop of select_cut into one
+  // combo list in the same order; evaluate all combos concurrently; then
+  // select by scanning the results in combo order. The scan replicates
+  // the sequential policy logic exactly, so the Selection is identical
+  // for any thread count — including the sequential path itself.
+  struct Combo {
+    Connection cut;
+    rsn::ElemId hint;
+  };
+  std::vector<Combo> combos;
+  combos.reserve(2 * candidates.size());
+  for (const Connection& c : candidates) {
+    rsn::ElemId hints[2] = {rsn::no_elem, network.scan_in()};
+    if (policy == ResolutionPolicy::PreferScanIn)
+      std::swap(hints[0], hints[1]);
+    combos.push_back({c, hints[0]});
+    // Same dedupe as select_cut, so both paths stay in lockstep.
+    if (!cut_is_hint_insensitive(network, c)) combos.push_back({c, hints[1]});
+  }
+  std::vector<std::size_t> pairs(combos.size(), 0);
+  std::vector<int> ops(combos.size(), 0);
+  pool.parallel_chunks(
+      0, combos.size(),
+      [&](std::size_t cb, std::size_t ce, std::size_t) {
+        // One counter (and thus one set of delta-query scratch buffers)
+        // per chunk, reused across the chunk's trials.
+        TrialCounter count = make_counter();
+        for (std::size_t i = cb; i < ce; ++i) {
+          Rsn trial = network;
+          ops[i] = cut_connection(trial, combos[i].cut, combos[i].hint);
+          pairs[i] = count(trial);
+        }
+      },
+      /*grain=*/0);
+  if (trace != nullptr) {
+    trace->counter("rewire.trials").add(combos.size());
+    trace->counter("resolve.candidates_evaluated").add(combos.size());
+  }
+
+  Selection best;
+  for (std::size_t i = 0; i < combos.size(); ++i) {
+    if (pairs[i] >= current_pairs) continue;
+    if (policy != ResolutionPolicy::BestGlobal) {
+      return {true, combos[i].cut, combos[i].hint, pairs[i], ops[i]};
+    }
+    if (!best.found || pairs[i] < best.residual_pairs ||
+        (pairs[i] == best.residual_pairs && ops[i] < best.operations)) {
+      best = {true, combos[i].cut, combos[i].hint, pairs[i], ops[i]};
+    }
+  }
+  return best;
+}
+
+bool Rewirer::cut_is_hint_insensitive(const Rsn& network,
+                                      const Connection& c) {
+  // The reconnect hint is consulted only by repair_dangling_input, which
+  // runs when the cut leaves a non-mux input dangling. A cut that merely
+  // shrinks a multi-input mux and does not orphan its source produces
+  // the same network for every hint.
+  const rsn::Element& to_elem = network.elem(c.to);
+  if (to_elem.kind != ElemKind::Mux || to_elem.inputs.size() <= 1)
+    return false;
+  return !(network.elem(c.from).kind != ElemKind::ScanIn &&
+           network.fanouts(c.from).size() == 1);
+}
+
 int Rewirer::cut_connection(Rsn& network, const Connection& c,
                             ElemId reconnect_hint) {
   assert(network.elem(c.to).inputs.at(c.port) == c.from);
-  // Predecessor/successor sets *before* the cut, per Sec. III-D.
-  std::vector<ElemId> pre_preds = network.reaching(c.to);
-  std::vector<ElemId> pre_succs = network.reachable_from(c.from);
-
   int ops = 1;
   const rsn::Element& to_elem = network.elem(c.to);
-  if (to_elem.kind == ElemKind::Mux && to_elem.inputs.size() > 1) {
+  const bool mux_shrink =
+      to_elem.kind == ElemKind::Mux && to_elem.inputs.size() > 1;
+  // `from` is orphaned exactly when this connection is its only fanout
+  // (repairs reconnect drivers to `c.to` but never to `from`).
+  const bool loses_fanout = network.elem(c.from).kind != ElemKind::ScanIn &&
+                            network.fanouts(c.from).size() == 1;
+  // Predecessor/successor sets *before* the cut, per Sec. III-D —
+  // computed only for the repairs that actually consult them.
+  std::vector<ElemId> pre_preds, pre_succs;
+  if (!mux_shrink) pre_preds = network.reaching(c.to);
+  if (loses_fanout) pre_succs = network.reachable_from(c.from);
+
+  if (mux_shrink) {
     network.remove_mux_input(c.to, c.port);
   } else {
     network.disconnect(c.to, c.port);
@@ -153,10 +237,7 @@ int Rewirer::cut_connection(Rsn& network, const Connection& c,
                                  reconnect_hint);
   }
 
-  if (network.fanouts(c.from).empty() &&
-      network.elem(c.from).kind != ElemKind::ScanIn) {
-    ops += repair_lost_fanout(network, c.from, pre_succs, c.to);
-  }
+  if (loses_fanout) ops += repair_lost_fanout(network, c.from, pre_succs, c.to);
   return ops;
 }
 
@@ -167,12 +248,12 @@ int Rewirer::isolate_register_output(Rsn& network, ElemId reg) {
     auto fo = network.fanouts(reg);
     if (fo.empty()) break;
     auto [to, port] = fo.front();
-    std::vector<ElemId> pre_preds = network.reaching(to);
     const rsn::Element& te = network.elem(to);
     ++ops;
     if (te.kind == ElemKind::Mux && te.inputs.size() > 1) {
       network.remove_mux_input(to, port);
     } else {
+      std::vector<ElemId> pre_preds = network.reaching(to);
       network.disconnect(to, port);
       ops += repair_dangling_input(network, to, port, pre_preds, reg,
                                    rsn::no_elem);

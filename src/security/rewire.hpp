@@ -7,6 +7,10 @@
 
 #include "rsn/rsn.hpp"
 
+namespace rsnsec {
+class ThreadPool;
+}
+
 namespace rsnsec::security {
 
 /// Candidate-selection strategy of the resolution loops (pure and
@@ -23,6 +27,20 @@ enum class ResolutionPolicy : std::uint8_t {
   /// Like FirstImproving, but try the reconnect-to-scan-in variant first
   /// (aggressively isolating upstream flow).
   PreferScanIn
+};
+
+/// Execution options of the detect-and-resolve loops (pure and hybrid).
+struct ResolveOptions {
+  /// Maintain violation state in a ViolationIndex and evaluate candidate
+  /// cuts as deltas against it (parallel across candidates). When false,
+  /// every query recomputes reachability from scratch — the oracle path
+  /// (`--no-incremental`). Both paths produce bit-identical change logs,
+  /// stats and final networks.
+  bool incremental = true;
+  /// Worker threads for candidate trial evaluation (incremental path
+  /// only). 0 = auto: RSNSEC_JOBS if set, else hardware concurrency.
+  /// Any value yields bit-identical results (in-order selection).
+  std::size_t num_threads = 0;
 };
 
 /// One concrete RSN connection (driver `from` feeding input `port` of
@@ -78,6 +96,13 @@ class Rewirer {
   static int cut_connection(rsn::Rsn& network, const Connection& c,
                             rsn::ElemId reconnect_hint = rsn::no_elem);
 
+  /// True if cut_connection(network, c, hint) produces the same network
+  /// for every hint (the cut shrinks a multi-input mux and does not
+  /// orphan its source, so no dangling-input repair consults the hint).
+  /// The selection loops evaluate such cuts once instead of per hint.
+  static bool cut_is_hint_insensitive(const rsn::Rsn& network,
+                                      const Connection& c);
+
   /// Removes every outgoing connection of register `reg` and routes its
   /// output directly to the scan-out port; downstream dangling inputs are
   /// repaired. This is the guaranteed-progress fallback of the resolution
@@ -105,6 +130,25 @@ class Rewirer {
       const rsn::Rsn& network, const std::vector<Connection>& candidates,
       const std::function<std::size_t(const rsn::Rsn&)>& count_pairs,
       std::size_t current_pairs, ResolutionPolicy policy);
+
+  /// Counts the violating pairs of one trial network. Instances returned
+  /// by a TrialCounterFactory may carry per-chunk scratch state; each
+  /// instance is used by one thread at a time.
+  using TrialCounter = std::function<std::size_t(const rsn::Rsn&)>;
+  /// Called once per work chunk of the parallel trial loop; the returned
+  /// counter is reused for every trial of that chunk (scratch reuse).
+  using TrialCounterFactory = std::function<TrialCounter()>;
+
+  /// Parallel variant of select_cut: every (cut, reconnect) candidate is
+  /// trial-evaluated concurrently on `pool`, then the selection scans the
+  /// results in the same nested (candidate, hint) order as the sequential
+  /// loop — so for every policy the returned Selection is identical to
+  /// select_cut's. (FirstImproving/PreferScanIn evaluate trials past the
+  /// one selected; only side-effect-free counters may observe that.)
+  static Selection select_cut_parallel(
+      const rsn::Rsn& network, const std::vector<Connection>& candidates,
+      const TrialCounterFactory& make_counter, std::size_t current_pairs,
+      ResolutionPolicy policy, ThreadPool& pool);
 
  private:
   static int repair_dangling_input(rsn::Rsn& network, rsn::ElemId to,

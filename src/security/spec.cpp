@@ -1,5 +1,6 @@
 #include "security/spec.hpp"
 
+#include <bit>
 #include <stdexcept>
 
 namespace rsnsec::security {
@@ -56,6 +57,13 @@ int TokenSet::first_common(const TokenSet& o) const {
     if (test(i) && o.test(i)) return static_cast<int>(i);
   }
   return -1;
+}
+
+std::size_t TokenSet::count_common(const TokenSet& o) const {
+  std::size_t c = 0;
+  for (std::size_t k = 0; k < w_.size(); ++k)
+    c += static_cast<std::size_t>(std::popcount(w_[k] & o.w_[k]));
+  return c;
 }
 
 TokenTable::TokenTable(const SecuritySpec& spec, std::size_t num_modules) {

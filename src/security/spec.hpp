@@ -97,8 +97,26 @@ class TokenSet {
     return false;
   }
 
+  /// True if every token of `o` is already present, i.e. merge(o) would
+  /// be a no-op. Lets the delta engine test for growth without copying.
+  bool contains(const TokenSet& o) const {
+    for (std::size_t k = 0; k < w_.size(); ++k)
+      if (o.w_[k] & ~w_[k]) return false;
+    return true;
+  }
+
+  /// Removes every token of `o` (set difference in place).
+  void subtract(const TokenSet& o) {
+    for (std::size_t k = 0; k < w_.size(); ++k) w_[k] &= ~o.w_[k];
+  }
+
   /// First token id present in both sets, or -1.
   int first_common(const TokenSet& o) const;
+
+  /// Number of token ids present in both sets (popcount of the
+  /// intersection). The violation index uses this to maintain per-victim
+  /// violating-pair counts under deltas.
+  std::size_t count_common(const TokenSet& o) const;
 
   bool operator==(const TokenSet&) const = default;
 

@@ -167,6 +167,46 @@ void DepMatrix::transitive_closure(const std::vector<bool>* active,
   for (std::size_t w = 0; w < s_.size(); ++w) s_[w] |= p_[w];
 }
 
+void DepMatrix::eliminate(std::size_t v) {
+  assert(v < n_);
+  const std::uint64_t* vrow_s = &s_[v * words_per_row_];
+  const std::uint64_t* vrow_p = &p_[v * words_per_row_];
+  const std::size_t vw = v >> 6;
+  const std::uint64_t vb = bit(v);
+  // Scan column v for predecessors p of v; for each, OR v's outgoing row
+  // into p's row word-parallel. compose_dep(in, out): a Path in-edge keeps
+  // out kinds as-is; a Structural in-edge demotes every composition to
+  // Structural (so only the S plane is extended). Row v stays stable
+  // during the loop (p == v is skipped), so no snapshot is needed.
+  for (std::size_t p = 0; p < n_; ++p) {
+    if (p == v) continue;
+    if (!(s_[p * words_per_row_ + vw] & vb)) continue;
+    const bool in_path = (p_[p * words_per_row_ + vw] & vb) != 0;
+    std::uint64_t* prow_s = &s_[p * words_per_row_];
+    std::uint64_t* prow_p = &p_[p * words_per_row_];
+    // Bridging never introduces a (p, p) self-dependency: a chain p->v->p
+    // is a cycle through the eliminated node, not a dependency of p on
+    // itself at the bridged granularity. The word-OR would set it when v
+    // has an edge back to p, so preserve the old diagonal bit. (The ORed
+    // (p, v) bit — when v has a self-loop — is wiped by clear_node below.)
+    const std::size_t pw = p >> 6;
+    const std::uint64_t pb = bit(p);
+    const std::uint64_t old_diag_s = prow_s[pw] & pb;
+    const std::uint64_t old_diag_p = prow_p[pw] & pb;
+    if (in_path) {
+      for (std::size_t w = 0; w < words_per_row_; ++w) {
+        prow_s[w] |= vrow_s[w];
+        prow_p[w] |= vrow_p[w];
+      }
+    } else {
+      for (std::size_t w = 0; w < words_per_row_; ++w) prow_s[w] |= vrow_s[w];
+    }
+    prow_s[pw] = (prow_s[pw] & ~pb) | old_diag_s;
+    prow_p[pw] = (prow_p[pw] & ~pb) | old_diag_p;
+  }
+  clear_node(v);
+}
+
 std::vector<std::size_t> DepMatrix::successors(std::size_t i) const {
   std::vector<std::size_t> out;
   for (std::size_t w = 0; w < words_per_row_; ++w) {

@@ -90,6 +90,18 @@ class DepMatrix {
   /// the result is bit-identical for any thread count.
   bool bounded_closure(std::size_t cycles, ThreadPool* pool = nullptr);
 
+  /// Bridges node `v` out of the relation (Fig. 3 of the paper): every
+  /// incoming dependency (v on p) is composed with every outgoing one
+  /// (s on v) into (s on p) under compose_dep, then row/column v are
+  /// cleared. Equivalent to the naive
+  ///   for p in predecessors(v): for s in successors(v):
+  ///     upgrade(p, s, compose_dep(get(p, v), get(v, s)))
+  ///   clear_node(v)
+  /// but word-parallel over v's row bit-planes and allocation-free — the
+  /// naive loop allocated two index vectors per eliminated flip-flop,
+  /// which dominated the bridging phase on large circuits.
+  void eliminate(std::size_t v);
+
   /// Returns the column indices j with get(i, j) != None.
   std::vector<std::size_t> successors(std::size_t i) const;
 

@@ -74,6 +74,21 @@ class ThreadPool {
                 });
   }
 
+  /// Chunk-granular variant of parallel_for: chunk_fn(chunk_begin,
+  /// chunk_end, chunk_index) is called once per chunk of [begin, end),
+  /// chunk_index running over [0, num_chunks). Use when the loop body
+  /// wants per-chunk scratch state (allocate once per chunk, reuse across
+  /// the chunk's iterations) instead of per-iteration state — e.g. the
+  /// violation-index candidate evaluation reuses one trial overlay per
+  /// chunk. Chunks may run concurrently and are claimed dynamically, so
+  /// chunk_index is NOT a thread id: a thread may run many chunks, and
+  /// which thread runs which chunk is scheduling-dependent.
+  template <typename ChunkFn>
+  void parallel_chunks(std::size_t begin, std::size_t end, ChunkFn&& chunk_fn,
+                       std::size_t grain = 0) {
+    run_chunked(begin, end, grain, std::forward<ChunkFn>(chunk_fn));
+  }
+
   /// Folds fn(i) over [begin, end): partials are combined ascending
   /// within each chunk and chunks are combined left-to-right, so the
   /// result is deterministic for any thread count as long as `combine`

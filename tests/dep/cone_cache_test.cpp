@@ -1,0 +1,99 @@
+// Cone-isomorphism memoization: workloads with structurally repeated
+// logic (MBIST's identical memory interfaces) must classify each cone
+// shape once and replicate the verdicts, and the memoized run must be
+// bit-identical to the cache-off run (matrices, capture deps, and every
+// stats counter except cone_cache_hits).
+
+#include <gtest/gtest.h>
+
+#include "benchgen/circuit.hpp"
+#include "benchgen/families.hpp"
+#include "dep/analyzer.hpp"
+
+namespace rsnsec::dep {
+namespace {
+
+struct Built {
+  rsn::RsnDocument doc;
+  netlist::Netlist circuit;
+};
+
+Built make_mbist() {
+  Built b;
+  Rng rng(0xc0deULL);
+  b.doc = benchgen::generate_mbist(2, 2, 3, 0.5);
+  b.circuit = benchgen::attach_random_circuit(b.doc, {}, rng);
+  return b;
+}
+
+void expect_equal_results(const DependencyAnalyzer& a,
+                          const DependencyAnalyzer& b,
+                          const rsn::Rsn& net) {
+  ASSERT_EQ(a.num_circuit_ffs(), b.num_circuit_ffs());
+  const std::size_t n = a.num_circuit_ffs();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      ASSERT_EQ(a.one_cycle().get(i, j), b.one_cycle().get(i, j))
+          << i << "," << j;
+      ASSERT_EQ(a.circuit_closure().get(i, j), b.circuit_closure().get(i, j))
+          << i << "," << j;
+    }
+  }
+  for (rsn::ElemId r : net.registers()) {
+    for (std::size_t f = 0; f < net.elem(r).ffs.size(); ++f) {
+      const std::vector<CaptureDep>& da = a.capture_deps(r, f);
+      const std::vector<CaptureDep>& db = b.capture_deps(r, f);
+      ASSERT_EQ(da.size(), db.size()) << r << "[" << f << "]";
+      for (std::size_t k = 0; k < da.size(); ++k) {
+        EXPECT_EQ(da[k].circuit_ff, db[k].circuit_ff);
+        EXPECT_EQ(da[k].kind, db[k].kind);
+      }
+    }
+  }
+  // Every analysis counter except the hit count itself must agree: the
+  // cache replicates the representative's SAT/simulation work per member.
+  EXPECT_EQ(a.stats().sim_resolved, b.stats().sim_resolved);
+  EXPECT_EQ(a.stats().sat_calls, b.stats().sat_calls);
+  EXPECT_EQ(a.stats().sat_functional, b.stats().sat_functional);
+  EXPECT_EQ(a.stats().sat_structural, b.stats().sat_structural);
+  EXPECT_EQ(a.stats().sat_unknown, b.stats().sat_unknown);
+}
+
+TEST(ConeCache, MemoizedRunIsBitIdenticalToUncached) {
+  Built b = make_mbist();
+
+  DepOptions cached;
+  cached.cone_cache = true;
+  DependencyAnalyzer with_cache(b.circuit, b.doc.network, cached);
+  with_cache.run();
+
+  DepOptions uncached;
+  uncached.cone_cache = false;
+  DependencyAnalyzer without_cache(b.circuit, b.doc.network, uncached);
+  without_cache.run();
+
+  // MBIST instantiates the same memory interface many times, so the
+  // cache must collapse repeated cone shapes.
+  EXPECT_GT(with_cache.stats().cone_cache_hits, 0u);
+  EXPECT_EQ(without_cache.stats().cone_cache_hits, 0u);
+  expect_equal_results(with_cache, without_cache, b.doc.network);
+}
+
+TEST(ConeCache, CachedRunIsDeterministicAcrossThreadCounts) {
+  Built b = make_mbist();
+  DepOptions one;
+  one.cone_cache = true;
+  one.num_threads = 1;
+  DepOptions many;
+  many.cone_cache = true;
+  many.num_threads = 8;
+  DependencyAnalyzer a(b.circuit, b.doc.network, one);
+  a.run();
+  DependencyAnalyzer c(b.circuit, b.doc.network, many);
+  c.run();
+  EXPECT_EQ(a.stats().cone_cache_hits, c.stats().cone_cache_hits);
+  expect_equal_results(a, c, b.doc.network);
+}
+
+}  // namespace
+}  // namespace rsnsec::dep

@@ -162,5 +162,60 @@ TEST_P(ClosureFuzz, MatchesNaiveFixpoint) {
 
 INSTANTIATE_TEST_SUITE_P(Fuzz, ClosureFuzz, ::testing::Range(0, 40));
 
+TEST(DepMatrix, EliminateBridgesThroughNode) {
+  DepMatrix m(5);
+  m.upgrade(0, 2, DepKind::Path);        // pred of the bridged node
+  m.upgrade(1, 2, DepKind::Structural);  // structural pred
+  m.upgrade(2, 3, DepKind::Path);
+  m.upgrade(2, 4, DepKind::Structural);
+  m.upgrade(1, 1, DepKind::Path);  // diagonal entry must survive untouched
+  m.eliminate(2);
+  // Composition semantics: a bridged chain is Path only if both hops are.
+  EXPECT_EQ(m.get(0, 3), DepKind::Path);
+  EXPECT_EQ(m.get(0, 4), DepKind::Structural);
+  EXPECT_EQ(m.get(1, 3), DepKind::Structural);
+  EXPECT_EQ(m.get(1, 4), DepKind::Structural);
+  EXPECT_EQ(m.get(1, 1), DepKind::Path);
+  // No self-dependencies created, and the node is fully cleared.
+  EXPECT_EQ(m.get(0, 0), DepKind::None);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(m.get(2, i), DepKind::None) << i;
+    EXPECT_EQ(m.get(i, 2), DepKind::None) << i;
+  }
+}
+
+class EliminateFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(EliminateFuzz, MatchesNaiveBridging) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 3);
+  const std::size_t n = 2 + rng.below(70);  // crosses the 64-bit word edge
+  DepMatrix m(n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      if (rng.chance(0.12)) m.upgrade(i, j, DepKind::Structural);
+      if (rng.chance(0.08)) m.upgrade(i, j, DepKind::Path);
+    }
+  const std::size_t v = rng.below(static_cast<std::uint32_t>(n));
+
+  // Reference: the allocation-heavy per-pair loop eliminate() replaces
+  // (including the v-self-loop and (p,p)-diagonal exclusions).
+  DepMatrix ref = m;
+  for (std::size_t p = 0; p < n; ++p) {
+    if (p == v || m.get(p, v) == DepKind::None) continue;
+    for (std::size_t s = 0; s < n; ++s) {
+      if (s == v || s == p || m.get(v, s) == DepKind::None) continue;
+      ref.upgrade(p, s, compose_dep(m.get(p, v), m.get(v, s)));
+    }
+  }
+  ref.clear_node(v);
+
+  m.eliminate(v);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      ASSERT_EQ(m.get(i, j), ref.get(i, j)) << i << "," << j << " v=" << v;
+}
+
+INSTANTIATE_TEST_SUITE_P(Fuzz, EliminateFuzz, ::testing::Range(0, 30));
+
 }  // namespace
 }  // namespace rsnsec

@@ -117,6 +117,38 @@ TEST(ThreadPool, ReduceSumsLargeRange) {
   EXPECT_EQ(got, 100000ull * 100001ull / 2);
 }
 
+TEST(ThreadPool, ParallelChunksCoverRangeWithPerChunkScratch) {
+  ThreadPool pool(4);
+  const std::size_t n = 1000;
+  std::vector<std::atomic<int>> hits(n);
+  std::atomic<int> scratch_setups{0};
+  pool.parallel_chunks(
+      0, n,
+      [&](std::size_t cb, std::size_t ce, std::size_t) {
+        ++scratch_setups;  // one "scratch allocation" per chunk
+        ASSERT_LT(cb, ce);
+        for (std::size_t i = cb; i < ce; ++i) ++hits[i];
+      },
+      /*grain=*/64);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+  // Chunks amortize scratch: far fewer setups than iterations.
+  EXPECT_EQ(scratch_setups.load(), static_cast<int>((n + 63) / 64));
+}
+
+TEST(ThreadPool, ParallelChunksIndicesAreDistinctAndDense) {
+  ThreadPool pool(8);
+  const std::size_t n = 512;
+  std::vector<std::atomic<int>> chunk_seen(64);
+  pool.parallel_chunks(
+      0, n,
+      [&](std::size_t, std::size_t, std::size_t chunk) {
+        ASSERT_LT(chunk, chunk_seen.size());
+        ++chunk_seen[chunk];
+      },
+      /*grain=*/8);
+  for (std::size_t c = 0; c < 64; ++c) EXPECT_EQ(chunk_seen[c].load(), 1);
+}
+
 TEST(ThreadPool, ResolveHonorsRequestThenEnvThenHardware) {
   EXPECT_EQ(ThreadPool::resolve_num_threads(3), 3u);
   ::setenv("RSNSEC_JOBS", "5", 1);

@@ -74,8 +74,8 @@ Args parse_args(const std::vector<std::string>& argv) {
     std::string key = a.substr(2);
     // Boolean flags.
     if (key == "structural" || key == "json" || key == "no-pure" ||
-        key == "no-hybrid" || key == "filter-baseline" || key == "verify" ||
-        key == "metrics") {
+        key == "no-hybrid" || key == "no-incremental" ||
+        key == "filter-baseline" || key == "verify" || key == "metrics") {
       args.flags.push_back(key);
       continue;
     }
@@ -165,7 +165,12 @@ PipelineOptions pipeline_options(const Args& args) {
   if (args.has_flag("no-pure")) opt.run_pure = false;
   if (args.has_flag("no-hybrid")) opt.run_hybrid = false;
   if (args.has_flag("verify")) opt.verify_invariants = true;
+  // Oracle mode: recompute violation state from scratch on every query
+  // instead of maintaining it incrementally. Same results, much slower;
+  // useful to cross-check the delta engine.
+  if (args.has_flag("no-incremental")) opt.resolve.incremental = false;
   opt.dep.num_threads = jobs_option(args);
+  opt.resolve.num_threads = opt.dep.num_threads;
   return opt;
 }
 
