@@ -5,6 +5,7 @@
 #include <fstream>
 #include <iomanip>
 #include <iostream>
+#include <memory>
 
 #include "obs/trace.hpp"
 #include "util/thread_pool.hpp"
@@ -50,7 +51,25 @@ SweepOptions sweep_options_from_env() {
   // low-trust ones, matching the violating-register densities of Table I.
   opt.spec.expected_sensitive_modules = 2.5;
   opt.spec.low_trust_prob = 0.1;
+  opt.pipeline.store = store_from_env();
   return opt;
+}
+
+store::ArtifactStore* store_from_env() {
+  struct Holder {
+    std::unique_ptr<store::ArtifactStore> store;
+    Holder() {
+      const char* dir = std::getenv("RSNSEC_STORE");
+      if (dir == nullptr || *dir == '\0') return;
+      try {
+        store = std::make_unique<store::ArtifactStore>(dir);
+      } catch (const std::exception& e) {
+        std::cerr << "bench: ignoring RSNSEC_STORE: " << e.what() << "\n";
+      }
+    }
+  };
+  static Holder holder;
+  return holder.store.get();
 }
 
 Instance make_instance(const std::string& name, const SweepOptions& opt,

@@ -10,6 +10,7 @@
 #include "benchgen/specgen.hpp"
 #include "core/report.hpp"
 #include "core/tool.hpp"
+#include "store/artifact_store.hpp"
 
 namespace rsnsec::bench {
 
@@ -39,7 +40,16 @@ struct SweepOptions {
 };
 
 /// Reads sweep options from the environment (falling back to defaults).
+/// When RSNSEC_STORE names a directory, pipeline.store is pointed at a
+/// process-lifetime ArtifactStore rooted there (see store_from_env), so
+/// a warm sweep serves every dependency analysis from the cache.
 SweepOptions sweep_options_from_env();
+
+/// Process-lifetime artifact store rooted at $RSNSEC_STORE, opened on
+/// first call; nullptr when the variable is unset or the directory
+/// cannot be created (a broken store must not fail a benchmark run —
+/// the sweep falls back to recomputing).
+store::ArtifactStore* store_from_env();
 
 /// A generated (network, circuit) instance ready for specification runs.
 struct Instance {

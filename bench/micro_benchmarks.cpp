@@ -5,6 +5,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
 #include <sstream>
 #include <thread>
 
@@ -21,6 +22,8 @@
 #include "security/filter.hpp"
 #include "security/hybrid.hpp"
 #include "security/pure.hpp"
+#include "store/artifact_store.hpp"
+#include "store/dep_cache.hpp"
 #include "util/dep_matrix.hpp"
 #include "util/thread_pool.hpp"
 
@@ -384,6 +387,76 @@ BENCHMARK(BM_DependencyAnalysisConeCache)
     ->ArgName("cache")
     ->Arg(0)
     ->Arg(1);
+
+// ---------------------------------------------------------------------------
+// Artifact store (the BENCH_store.json suite): the serialization + disk
+// round trip of one analysis snapshot, and the end-to-end dependency
+// phase cold (store emptied every iteration: full analysis + publication)
+// vs warm (replayed from the store, zero analysis work).
+
+void BM_StoreRoundTrip(benchmark::State& state) {
+  Workload w;
+  dep::DependencyAnalyzer a(w.circuit, w.doc.network, {});
+  a.run();
+  store::ByteWriter enc;
+  store::encode_dep_snapshot(enc, a.snapshot());
+  const std::string payload = enc.bytes();
+  const std::string key =
+      store::dep_cache_key(w.circuit, w.doc.network, a.options());
+
+  std::filesystem::path root =
+      std::filesystem::temp_directory_path() / "rsnsec_bench_store_rt";
+  std::filesystem::remove_all(root);
+  store::StoreOptions sopt;
+  sopt.memory_tier = false;  // measure the disk tier, not the LRU map
+  store::ArtifactStore st(root, sopt);
+  for (auto _ : state) {
+    st.put(key, payload);
+    std::optional<std::string> blob = st.load(key);
+    store::ByteReader r(*blob);
+    dep::DependencyAnalyzer::AnalysisSnapshot snap =
+        store::decode_dep_snapshot(r);
+    benchmark::DoNotOptimize(snap.stats.closure_deps);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(payload.size()));
+  state.counters["blob_bytes"] = static_cast<double>(payload.size());
+  std::filesystem::remove_all(root);
+}
+BENCHMARK(BM_StoreRoundTrip);
+
+void BM_DependencyAnalysisStore(benchmark::State& state) {
+  const bool warm = state.range(0) != 0;
+  Workload w(400);
+  std::filesystem::path root =
+      std::filesystem::temp_directory_path() / "rsnsec_bench_store_dep";
+  std::filesystem::remove_all(root);
+  store::ArtifactStore st(root);
+  if (warm) {
+    // Publish once; every timed iteration is then a pure store hit.
+    dep::DependencyAnalyzer seed_run(w.circuit, w.doc.network, {});
+    store::run_with_store(&st, seed_run);
+  }
+  for (auto _ : state) {
+    if (!warm) {
+      state.PauseTiming();
+      st.gc(0);  // empty disk AND memory tier: genuinely cold
+      state.ResumeTiming();
+    }
+    dep::DependencyAnalyzer a(w.circuit, w.doc.network, {});
+    store::run_with_store(&st, a);
+    benchmark::DoNotOptimize(a.stats().closure_deps);
+  }
+  store::StoreCounters c = st.counters();
+  state.counters["store_hits"] = static_cast<double>(c.hits);
+  state.counters["store_misses"] = static_cast<double>(c.misses);
+  std::filesystem::remove_all(root);
+}
+BENCHMARK(BM_DependencyAnalysisStore)
+    ->ArgName("warm")
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -4,6 +4,7 @@
 
 #include "lint/invariant.hpp"
 #include "obs/trace.hpp"
+#include "store/dep_cache.hpp"
 
 namespace rsnsec {
 
@@ -35,7 +36,7 @@ PipelineResult SecureFlowTool::run() {
   dep::DependencyAnalyzer deps(circuit_, network_, options_.dep);
   {
     obs::Span span(trace, "pipeline.dependency");
-    deps.run();
+    store::run_with_store(options_.store, deps);
     result.dep_stats = deps.stats();
     result.t_dependency = span.seconds();
   }

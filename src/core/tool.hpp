@@ -11,9 +11,19 @@
 
 namespace rsnsec {
 
+namespace store {
+class ArtifactStore;
+}
+
 /// Options of the end-to-end pipeline.
 struct PipelineOptions {
   dep::DepOptions dep;
+  /// Optional artifact store (content-addressed cache, src/store). When
+  /// set, the dependency analysis is served from the store if a result
+  /// for (circuit, RSN, dep options) was published before — bit-identical
+  /// to recomputation — and published after a fresh computation. Not
+  /// owned; must outlive the pipeline run. nullptr = always recompute.
+  store::ArtifactStore* store = nullptr;
   /// Run the pure-path method of [17] first (Fig. 2). Disable to measure
   /// what the hybrid stage alone must do.
   bool run_pure = true;

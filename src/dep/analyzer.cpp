@@ -467,4 +467,53 @@ const std::vector<CaptureDep>& DependencyAnalyzer::capture_deps(
   return capture_deps_[reg_slot_[reg]][ff];
 }
 
+DependencyAnalyzer::AnalysisSnapshot DependencyAnalyzer::snapshot() const {
+  AnalysisSnapshot snap;
+  snap.internal = internal_;
+  snap.one_cycle = one_cycle_;
+  snap.closure = closure_;
+  snap.capture_deps = capture_deps_;
+  snap.stats = stats_;
+  return snap;
+}
+
+bool DependencyAnalyzer::restore(AnalysisSnapshot snap, std::string* error) {
+  auto fail = [&](const char* what) {
+    if (error != nullptr) *error = what;
+    return false;
+  };
+  build_index();
+  const std::size_t n = ff_nodes_.size();
+  if (snap.internal.size() != n)
+    return fail("internal-FF vector does not match the circuit");
+  if (snap.one_cycle.size() != n || snap.closure.size() != n)
+    return fail("matrix dimension does not match the circuit");
+  if (snap.stats.circuit_ffs != n)
+    return fail("stats do not match the circuit");
+  if (snap.capture_deps.size() != capture_deps_.size())
+    return fail("capture dependencies do not match the RSN registers");
+  for (rsn::ElemId r : rsn_.registers()) {
+    const std::size_t slot = reg_slot_[r];
+    if (snap.capture_deps[slot].size() != rsn_.elem(r).ffs.size())
+      return fail("capture dependencies do not match a register's scan FFs");
+    for (const std::vector<CaptureDep>& deps : snap.capture_deps[slot]) {
+      for (const CaptureDep& d : deps) {
+        if (static_cast<std::size_t>(d.circuit_ff) >= nl_.num_nodes() ||
+            !nl_.is_ff(d.circuit_ff))
+          return fail("capture dependency references a non-FF node");
+      }
+    }
+  }
+  internal_ = std::move(snap.internal);
+  one_cycle_ = std::move(snap.one_cycle);
+  closure_ = std::move(snap.closure);
+  capture_deps_ = std::move(snap.capture_deps);
+  stats_ = snap.stats;
+  stats_.t_one_cycle = 0.0;
+  stats_.t_bridge = 0.0;
+  stats_.t_closure = 0.0;
+  stats_.threads_used = 0;
+  return true;
+}
+
 }  // namespace rsnsec::dep

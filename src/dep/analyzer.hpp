@@ -159,6 +159,38 @@ class DependencyAnalyzer {
   const DepStats& stats() const { return stats_; }
   const DepOptions& options() const { return options_; }
 
+  /// The analysis inputs. Exposed so the artifact store can derive the
+  /// content-addressed cache key from an analyzer without re-threading
+  /// circuit and network through every call site.
+  const netlist::Netlist& circuit() const { return nl_; }
+  const rsn::Rsn& network() const { return rsn_; }
+
+  /// Complete result state of a finished run(), in a form that can be
+  /// serialized and replayed into a fresh analyzer of the same inputs
+  /// (src/store caches these across processes). The dense FF index is
+  /// not part of the snapshot — it is a cheap pure function of the
+  /// circuit and recomputed on restore.
+  struct AnalysisSnapshot {
+    std::vector<bool> internal;
+    DepMatrix one_cycle;
+    DepMatrix closure;
+    std::vector<std::vector<std::vector<CaptureDep>>> capture_deps;
+    DepStats stats;
+  };
+
+  /// Captures the result state. Valid only after run() (or a successful
+  /// restore()).
+  AnalysisSnapshot snapshot() const;
+
+  /// Replays a snapshot into this analyzer as if run() had produced it.
+  /// Validates every shape against the analyzer's own circuit and RSN
+  /// (matrix dimensions, register/scan-FF layout, capture-dependency
+  /// node ids); on mismatch returns false, fills `error`, and leaves the
+  /// analyzer unusable for queries (callers fall back to run()). The
+  /// wall-clock fields of the restored stats are zeroed and threads_used
+  /// is 0 — "served from the store" does no analysis work.
+  bool restore(AnalysisSnapshot snap, std::string* error = nullptr);
+
  private:
   const netlist::Netlist& nl_;
   const rsn::Rsn& rsn_;

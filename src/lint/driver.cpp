@@ -68,6 +68,10 @@ Diagnostic classify_load_error(const std::string& path,
   } else if (contains(what, "spec parse error")) {
     d.code = "SPEC005";
     d.fix_hint = "fix the malformed line; see the message for its number";
+  } else if (contains(what, "rsn parse error") ||
+             contains(what, "icl parse error")) {
+    d.code = "IO003";
+    d.fix_hint = "fix the malformed line; see the message for its number";
   } else {
     d.code = "IO001";
   }

@@ -208,6 +208,12 @@ class Span {
 /// fan-out and re-installs it on the executing thread.
 SpanHandle current_context();
 
+/// Bumps counter `name` on the ambient session, if one is installed.
+/// Convenience for cold paths that do not cache the Counter pointer.
+inline void bump(std::string_view name, std::uint64_t n = 1) {
+  if (TraceSession* t = TraceSession::active()) t->counter(name).add(n);
+}
+
 /// Installs `parent` as this thread's ambient span parent for the
 /// lifetime of the object (restores the previous one on destruction).
 class ScopedTaskParent {

@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cctype>
 #include <istream>
+#include <optional>
 #include <set>
 #include <stdexcept>
+
+#include "util/strings.hpp"
 
 namespace rsnsec::rsn::icl {
 
@@ -105,16 +108,36 @@ class Lexer {
           int radix = base == 'b' ? 2 : base == 'd' ? 10 : base == 'h' ? 16
                                                                        : 0;
           if (radix == 0) fail(line, "unsupported constant base");
-          std::uint32_t value = static_cast<std::uint32_t>(
-              std::stoul(digits, nullptr, radix));
-          tokens_.push_back(
-              {TokKind::SizedConst, s.substr(i, v - i), value, line});
+          // Strict radix-checked accumulation: std::stoul would silently
+          // stop at the first out-of-base digit ("2'b02" -> 0) and throw
+          // an uncaught out_of_range on overflow; a hostile file gets a
+          // line-numbered diagnostic instead.
+          std::uint64_t value = 0;
+          for (char d : digits) {
+            int dv = d >= '0' && d <= '9'
+                         ? d - '0'
+                         : 10 + (std::tolower(static_cast<unsigned char>(d)) -
+                                 'a');
+            if (dv >= radix)
+              fail(line, "digit '" + std::string(1, d) +
+                             "' invalid for base-" + std::to_string(radix) +
+                             " constant");
+            value = value * static_cast<std::uint64_t>(radix) +
+                    static_cast<std::uint64_t>(dv);
+            if (value > 0xffffffffULL)
+              fail(line, "sized constant '" + s.substr(i, v - i) +
+                             "' overflows 32 bits");
+          }
+          tokens_.push_back({TokKind::SizedConst, s.substr(i, v - i),
+                             static_cast<std::uint32_t>(value), line});
           i = v;
         } else {
-          std::uint32_t value = static_cast<std::uint32_t>(
-              std::stoul(s.substr(i, j - i)));
-          tokens_.push_back({TokKind::Number, s.substr(i, j - i), value,
-                             line});
+          std::string digits = s.substr(i, j - i);
+          std::optional<std::uint64_t> parsed = parse_u64(digits);
+          if (!parsed || *parsed > 0xffffffffULL)
+            fail(line, "number '" + digits + "' out of range");
+          tokens_.push_back({TokKind::Number, std::move(digits),
+                             static_cast<std::uint32_t>(*parsed), line});
           i = j;
         }
         continue;

@@ -87,6 +87,22 @@ RsnDocument read_rsn(std::istream& is) {
     if (it == by_name.end()) throw fail("unknown element '" + name + "'");
     return it->second;
   };
+  // Guarded numeric fields (like spec_io.cpp): a malformed or absurd
+  // number in a hostile file is a line-numbered parse error, never an
+  // uncaught std::sto* exception or a multi-gigabyte allocation.
+  constexpr std::uint64_t kMaxIndex = 1u << 20;   // modules, ports, ffs
+  constexpr std::uint64_t kMaxCount = 1u << 22;   // ffs/inputs per element
+  auto parse_num = [&](const std::string& tok, const char* what,
+                       std::uint64_t max) -> std::uint64_t {
+    std::optional<std::uint64_t> v = parse_u64(tok);
+    if (!v)
+      throw fail(std::string("invalid ") + what + " '" + tok +
+                 "' (expected a non-negative integer)");
+    if (*v > max)
+      throw fail(std::string(what) + " " + tok + " out of range (max " +
+                 std::to_string(max) + ")");
+    return *v;
+  };
 
   while (std::getline(is, line)) {
     ++line_no;
@@ -103,7 +119,8 @@ RsnDocument read_rsn(std::istream& is) {
       by_name["scan_out"] = doc.network.scan_out();
     } else if (kw == "module") {
       if (tok.size() != 3) throw fail("expected: module <index> <name>");
-      auto idx = static_cast<std::size_t>(std::stoul(tok[1]));
+      auto idx = static_cast<std::size_t>(
+          parse_num(tok[1], "module index", kMaxIndex));
       if (idx != doc.module_names.size())
         throw fail("module indices must be consecutive from 0");
       doc.module_names.push_back(tok[2]);
@@ -111,23 +128,44 @@ RsnDocument read_rsn(std::istream& is) {
       if (tok.size() != 6 || tok[2] != "ffs" || tok[4] != "module")
         throw fail("expected: register <name> ffs <n> module <index>");
       if (!named) throw fail("missing rsn header");
-      auto n = static_cast<std::size_t>(std::stoul(tok[3]));
-      auto mod = static_cast<netlist::ModuleId>(std::stol(tok[5]));
+      auto n = static_cast<std::size_t>(
+          parse_num(tok[3], "scan FF count", kMaxCount));
+      // "module -1" marks an unowned register (write_rsn emits it for
+      // registers without a module).
+      netlist::ModuleId mod =
+          tok[5] == "-1"
+              ? netlist::no_module
+              : static_cast<netlist::ModuleId>(
+                    parse_num(tok[5], "module index", kMaxIndex));
       if (by_name.count(tok[1])) throw fail("duplicate element name");
-      by_name[tok[1]] = doc.network.add_register(tok[1], n, mod);
+      try {
+        by_name[tok[1]] = doc.network.add_register(tok[1], n, mod);
+      } catch (const std::exception& e) {
+        throw fail(e.what());
+      }
     } else if (kw == "mux") {
       if (tok.size() != 4 || tok[2] != "inputs")
         throw fail("expected: mux <name> inputs <k>");
       if (!named) throw fail("missing rsn header");
-      auto k = static_cast<std::size_t>(std::stoul(tok[3]));
+      auto k = static_cast<std::size_t>(
+          parse_num(tok[3], "mux input count", kMaxCount));
       if (by_name.count(tok[1])) throw fail("duplicate element name");
-      by_name[tok[1]] = doc.network.add_mux(tok[1], k);
+      try {
+        by_name[tok[1]] = doc.network.add_mux(tok[1], k);
+      } catch (const std::exception& e) {
+        throw fail(e.what());
+      }
     } else if (kw == "connect") {
       if (tok.size() != 4) throw fail("expected: connect <from> <to> <port>");
       ElemId from = lookup(tok[1]);
       ElemId to = lookup(tok[2]);
-      auto port = static_cast<std::size_t>(std::stoul(tok[3]));
-      doc.network.connect(from, to, port);
+      auto port = static_cast<std::size_t>(
+          parse_num(tok[3], "port index", kMaxIndex));
+      try {
+        doc.network.connect(from, to, port);
+      } catch (const std::exception& e) {
+        throw fail(e.what());
+      }
     } else if (kw == "capture" || kw == "update") {
       if (tok.size() != 4)
         throw fail("expected: " + kw + " <register> <ff> <net>");
@@ -135,7 +173,8 @@ RsnDocument read_rsn(std::istream& is) {
       a.reg = lookup(tok[1]);
       if (doc.network.elem(a.reg).kind != ElemKind::Register)
         throw fail("'" + tok[1] + "' is not a register");
-      a.ff = std::stoul(tok[2]);
+      a.ff = static_cast<std::size_t>(
+          parse_num(tok[2], "ff index", kMaxIndex));
       if (a.ff >= doc.network.elem(a.reg).ffs.size())
         throw fail("ff index out of range on '" + tok[1] + "'");
       a.is_update = (kw == "update");

@@ -1,0 +1,357 @@
+#include "store/artifact_store.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <system_error>
+
+#include <unistd.h>
+
+#include "obs/trace.hpp"
+#include "store/codec.hpp"
+
+namespace rsnsec::store {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Envelope: 4 magic bytes, 4-byte little-endian format version, payload,
+/// 8-byte little-endian FNV-1a 64 over everything before the checksum.
+constexpr char kMagic[4] = {'R', 'S', 'N', 'A'};
+constexpr std::uint32_t kFormatVersion = 1;
+constexpr std::size_t kHeaderSize = 8;
+constexpr std::size_t kTrailerSize = 8;
+
+void put_u32le(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void put_u64le(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+std::uint32_t get_u32le(const char* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(p[i]))
+         << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64le(const char* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(p[i]))
+         << (8 * i);
+  return v;
+}
+
+std::string wrap(std::string_view payload) {
+  std::string blob;
+  blob.reserve(kHeaderSize + payload.size() + kTrailerSize);
+  blob.append(kMagic, 4);
+  put_u32le(blob, kFormatVersion);
+  blob.append(payload.data(), payload.size());
+  put_u64le(blob, fnv1a64(blob));
+  return blob;
+}
+
+/// Reads a whole file; nullopt on any I/O error (including absence).
+std::optional<std::string> slurp(const fs::path& file) {
+  std::ifstream in(file, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) return std::nullopt;
+  return std::move(buf).str();
+}
+
+/// Process-unique suffix source for temp files; combined with the pid it
+/// makes temp names collision-free across concurrent writers.
+std::uint64_t next_temp_seq() {
+  static std::atomic<std::uint64_t> seq{0};
+  return seq.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+bool is_store_key(std::string_view key) {
+  if (key.size() != 64) return false;
+  return std::all_of(key.begin(), key.end(), [](char c) {
+    return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+  });
+}
+
+ArtifactStore::ArtifactStore(fs::path root, StoreOptions options)
+    : root_(std::move(root)), options_(options) {
+  std::error_code ec;
+  fs::create_directories(root_ / "objects", ec);
+  if (ec) {
+    throw std::runtime_error("store: cannot create '" +
+                             (root_ / "objects").string() +
+                             "': " + ec.message());
+  }
+  fs::create_directories(root_ / "quarantine", ec);
+  if (ec) {
+    throw std::runtime_error("store: cannot create '" +
+                             (root_ / "quarantine").string() +
+                             "': " + ec.message());
+  }
+}
+
+fs::path ArtifactStore::object_path(const std::string& key) const {
+  return root_ / "objects" / key.substr(0, 2) / (key + ".art");
+}
+
+std::optional<std::string_view> ArtifactStore::unwrap(std::string_view blob) {
+  if (blob.size() < kHeaderSize + kTrailerSize) return std::nullopt;
+  if (std::memcmp(blob.data(), kMagic, 4) != 0) return std::nullopt;
+  std::uint64_t stored = get_u64le(blob.data() + blob.size() - kTrailerSize);
+  if (fnv1a64(blob.substr(0, blob.size() - kTrailerSize)) != stored)
+    return std::nullopt;
+  // Version is checked after the checksum: a failed checksum means the
+  // version field itself is untrustworthy, so "corrupt" wins over "skew".
+  if (get_u32le(blob.data() + 4) != kFormatVersion) return std::nullopt;
+  return blob.substr(kHeaderSize, blob.size() - kHeaderSize - kTrailerSize);
+}
+
+void ArtifactStore::quarantine(const fs::path& file) {
+  corrupt_.fetch_add(1, std::memory_order_relaxed);
+  obs::bump("store.corrupt");
+  std::error_code ec;
+  // Keep trying distinct destination names so repeated corruption of the
+  // same key never silently overwrites earlier evidence.
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    fs::path dst = root_ / "quarantine" /
+                   (file.filename().string() + "." +
+                    std::to_string(next_temp_seq()));
+    if (fs::exists(dst, ec)) continue;
+    fs::rename(file, dst, ec);
+    if (!ec) return;
+  }
+  fs::remove(file, ec);  // last resort: a corrupt blob must not persist
+}
+
+std::shared_ptr<const std::string> ArtifactStore::mem_lookup(
+    const std::string& key) {
+  if (!options_.memory_tier) return nullptr;
+  std::lock_guard<std::mutex> lock(mem_mutex_);
+  auto it = mem_index_.find(key);
+  if (it == mem_index_.end()) return nullptr;
+  mem_lru_.splice(mem_lru_.begin(), mem_lru_, it->second);
+  return it->second->payload;
+}
+
+void ArtifactStore::mem_insert(const std::string& key, std::string payload) {
+  if (!options_.memory_tier) return;
+  std::lock_guard<std::mutex> lock(mem_mutex_);
+  auto it = mem_index_.find(key);
+  if (it != mem_index_.end()) {
+    mem_lru_.splice(mem_lru_.begin(), mem_lru_, it->second);
+    return;  // same key = same content; nothing to replace
+  }
+  mem_bytes_ += payload.size();
+  mem_lru_.push_front(
+      {key, std::make_shared<const std::string>(std::move(payload))});
+  mem_index_[key] = mem_lru_.begin();
+  while (mem_bytes_ > options_.memory_max_bytes && mem_lru_.size() > 1) {
+    const MemEntry& victim = mem_lru_.back();
+    mem_bytes_ -= victim.payload->size();
+    mem_index_.erase(victim.key);
+    mem_lru_.pop_back();
+  }
+}
+
+void ArtifactStore::mem_erase(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mem_mutex_);
+  auto it = mem_index_.find(key);
+  if (it == mem_index_.end()) return;
+  mem_bytes_ -= it->second->payload->size();
+  mem_lru_.erase(it->second);
+  mem_index_.erase(it);
+}
+
+std::optional<std::string> ArtifactStore::load(const std::string& key) {
+  if (auto mem = mem_lookup(key)) return *mem;
+  fs::path file = object_path(key);
+  std::optional<std::string> blob = slurp(file);
+  if (!blob) return std::nullopt;  // plain absence: not corruption
+  std::optional<std::string_view> payload = unwrap(*blob);
+  if (!payload) {
+    quarantine(file);
+    return std::nullopt;
+  }
+  // Touch: a served object is "recently used" for the LRU collector.
+  std::error_code ec;
+  fs::last_write_time(file, fs::file_time_type::clock::now(), ec);
+  std::string result(*payload);
+  mem_insert(key, result);
+  return result;
+}
+
+void ArtifactStore::put(const std::string& key, std::string_view payload) {
+  if (!is_store_key(key))
+    throw std::runtime_error("store: malformed key '" + key + "'");
+  fs::path file = object_path(key);
+  std::error_code ec;
+  fs::create_directories(file.parent_path(), ec);
+  if (ec) {
+    throw std::runtime_error("store: cannot create '" +
+                             file.parent_path().string() +
+                             "': " + ec.message());
+  }
+  std::string blob = wrap(payload);
+  fs::path tmp =
+      file.parent_path() /
+      (key + ".tmp." + std::to_string(::getpid()) + "." +
+       std::to_string(next_temp_seq()));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("store: cannot write '" + tmp.string() + "'");
+    }
+    out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+    out.flush();
+    if (!out) {
+      out.close();
+      fs::remove(tmp, ec);
+      throw std::runtime_error("store: short write to '" + tmp.string() +
+                               "'");
+    }
+  }
+  fs::rename(tmp, file, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    throw std::runtime_error("store: cannot publish '" + file.string() +
+                             "': " + ec.message());
+  }
+  mem_insert(key, std::string(payload));
+  if (options_.max_bytes > 0) gc(options_.max_bytes);
+}
+
+void ArtifactStore::discard(const std::string& key) {
+  mem_erase(key);
+  fs::path file = object_path(key);
+  std::error_code ec;
+  if (fs::exists(file, ec)) quarantine(file);
+}
+
+std::size_t ArtifactStore::gc(std::uint64_t max_bytes) {
+  obs::Span span(obs::TraceSession::active(), "store.gc");
+  struct Object {
+    fs::path path;
+    std::uint64_t size = 0;
+    fs::file_time_type mtime;
+  };
+  std::vector<Object> objects;
+  std::uint64_t total = 0;
+  std::error_code ec;
+  for (fs::recursive_directory_iterator it(root_ / "objects", ec), end;
+       !ec && it != end; it.increment(ec)) {
+    if (!it->is_regular_file(ec)) continue;
+    fs::path p = it->path();
+    if (p.extension() != ".art") continue;
+    Object o;
+    o.path = p;
+    o.size = it->file_size(ec);
+    if (ec) continue;
+    o.mtime = fs::last_write_time(p, ec);
+    if (ec) continue;
+    total += o.size;
+    objects.push_back(std::move(o));
+  }
+  if (total <= max_bytes) return 0;
+  std::sort(objects.begin(), objects.end(),
+            [](const Object& a, const Object& b) { return a.mtime < b.mtime; });
+  std::size_t evicted = 0;
+  for (const Object& o : objects) {
+    if (total <= max_bytes) break;
+    fs::remove(o.path, ec);
+    if (ec) continue;
+    total -= o.size;
+    ++evicted;
+    mem_erase(o.path.stem().string());
+  }
+  if (max_bytes == 0) {
+    // Emptying the store must also drop the memory tier, or a "cold"
+    // run in this process would still be served from memory.
+    std::lock_guard<std::mutex> lock(mem_mutex_);
+    mem_lru_.clear();
+    mem_index_.clear();
+    mem_bytes_ = 0;
+  }
+  evictions_.fetch_add(evicted, std::memory_order_relaxed);
+  obs::bump("store.evictions", evicted);
+  return evicted;
+}
+
+VerifyResult ArtifactStore::verify() {
+  obs::Span span(obs::TraceSession::active(), "store.verify");
+  VerifyResult result;
+  std::vector<fs::path> files;
+  std::error_code ec;
+  for (fs::recursive_directory_iterator it(root_ / "objects", ec), end;
+       !ec && it != end; it.increment(ec)) {
+    if (!it->is_regular_file(ec)) continue;
+    if (it->path().extension() != ".art") continue;
+    files.push_back(it->path());
+  }
+  for (const fs::path& file : files) {
+    std::optional<std::string> blob = slurp(file);
+    bool ok = blob && unwrap(*blob).has_value() &&
+              is_store_key(file.stem().string());
+    if (ok) {
+      ++result.valid;
+    } else {
+      ++result.corrupt;
+      quarantine(file);
+      mem_erase(file.stem().string());
+    }
+  }
+  return result;
+}
+
+DiskStats ArtifactStore::disk_stats() const {
+  DiskStats stats;
+  std::error_code ec;
+  for (fs::recursive_directory_iterator it(root_ / "objects", ec), end;
+       !ec && it != end; it.increment(ec)) {
+    if (!it->is_regular_file(ec)) continue;
+    if (it->path().extension() != ".art") continue;
+    ++stats.objects;
+    stats.bytes += it->file_size(ec);
+  }
+  for (fs::directory_iterator it(root_ / "quarantine", ec), end;
+       !ec && it != end; it.increment(ec)) {
+    if (it->is_regular_file(ec)) ++stats.quarantined;
+  }
+  return stats;
+}
+
+void ArtifactStore::note_hit() {
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  obs::bump("store.hits");
+}
+
+void ArtifactStore::note_miss() {
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  obs::bump("store.misses");
+}
+
+StoreCounters ArtifactStore::counters() const {
+  StoreCounters c;
+  c.hits = hits_.load(std::memory_order_relaxed);
+  c.misses = misses_.load(std::memory_order_relaxed);
+  c.corrupt = corrupt_.load(std::memory_order_relaxed);
+  c.evictions = evictions_.load(std::memory_order_relaxed);
+  return c;
+}
+
+}  // namespace rsnsec::store

@@ -1,0 +1,152 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace rsnsec::store {
+
+/// Tuning knobs for an ArtifactStore.
+struct StoreOptions {
+  /// On-disk size cap in bytes; when non-zero, every put() is followed by
+  /// an LRU garbage collection down to this cap. 0 = unbounded (collect
+  /// explicitly via gc() / the `rsnsec store gc` subcommand).
+  std::uint64_t max_bytes = 0;
+  /// Byte cap of the in-memory tier (decoded-blob payload bytes).
+  std::uint64_t memory_max_bytes = 256ull << 20;
+  /// Whether the in-memory tier is enabled at all. Disable to test the
+  /// disk path in isolation.
+  bool memory_tier = true;
+};
+
+/// Monotonic counters of one store instance. These mirror the ambient
+/// `store.*` obs counters so tests and tools can assert on store behavior
+/// without installing a TraceSession.
+struct StoreCounters {
+  std::uint64_t hits = 0;       ///< analyses served from the store
+  std::uint64_t misses = 0;     ///< analyses recomputed (then published)
+  std::uint64_t corrupt = 0;    ///< blobs rejected and quarantined
+  std::uint64_t evictions = 0;  ///< blobs removed by gc()
+};
+
+/// Aggregate on-disk state, as reported by `rsnsec store stats`.
+struct DiskStats {
+  std::uint64_t objects = 0;      ///< valid-envelope object files
+  std::uint64_t bytes = 0;        ///< total size of object files
+  std::uint64_t quarantined = 0;  ///< files parked in quarantine/
+};
+
+/// Result of a full verification scan.
+struct VerifyResult {
+  std::uint64_t valid = 0;
+  std::uint64_t corrupt = 0;  ///< rejected and moved to quarantine/
+};
+
+/// Content-addressed artifact store: an on-disk map from 64-hex-char
+/// content keys to opaque payload blobs, fronted by an in-process LRU
+/// memory tier.
+///
+/// Layout under the root directory:
+///   objects/<key[0:2]>/<key>.art   — published blobs
+///   quarantine/<original name>.N   — blobs that failed validation
+///
+/// Each object file wraps the payload in an envelope of magic, format
+/// version and a trailing FNV-1a checksum; load() validates all three and
+/// treats any mismatch — truncation, bit flip, version skew — as a clean
+/// miss, moving the offending file to quarantine/ so it is never
+/// revalidated (and remains available for debugging). Publication is
+/// write-to-temp-then-rename, so concurrent writers of the same key are
+/// safe: rename is atomic and last-wins, and both writers produced the
+/// same bytes by construction (the key is a content hash).
+///
+/// All methods are safe to call from multiple threads; cross-process
+/// safety relies only on atomic rename within one filesystem.
+class ArtifactStore {
+ public:
+  explicit ArtifactStore(std::filesystem::path root,
+                         StoreOptions options = {});
+
+  const std::filesystem::path& root() const { return root_; }
+  const StoreOptions& options() const { return options_; }
+
+  /// Fetches the payload stored under `key`, or nullopt if absent or
+  /// invalid (invalid blobs are quarantined and counted as corrupt).
+  /// A successful disk load refreshes the object's mtime — the LRU clock
+  /// used by gc(). Never throws on malformed data.
+  std::optional<std::string> load(const std::string& key);
+
+  /// Publishes `payload` under `key` (write-to-temp + atomic rename) and
+  /// inserts it into the memory tier. If StoreOptions::max_bytes is
+  /// non-zero, collects down to the cap afterwards. Throws
+  /// std::runtime_error on I/O failure (disk full, unwritable root).
+  void put(const std::string& key, std::string_view payload);
+
+  /// Drops `key` everywhere after a higher layer rejected its payload
+  /// (structurally invalid despite a valid envelope checksum): removes
+  /// it from the memory tier and quarantines the on-disk object,
+  /// counting it corrupt. Without this, a poisoned memory-tier entry
+  /// would be served again on the next lookup.
+  void discard(const std::string& key);
+
+  /// Evicts least-recently-used objects (by mtime) until the on-disk
+  /// total is at most `max_bytes`; evicted keys leave the memory tier
+  /// too. gc(0) empties the store. Returns the number of evicted objects.
+  std::size_t gc(std::uint64_t max_bytes);
+
+  /// Validates every object's envelope, quarantining failures.
+  VerifyResult verify();
+
+  /// Scans the on-disk state.
+  DiskStats disk_stats() const;
+
+  /// Records a served-from-store / recomputed outcome. Called by the
+  /// cache driver (run_with_store), not by load()/put() themselves, so
+  /// that a corrupt blob followed by recomputation counts as exactly one
+  /// miss.
+  void note_hit();
+  void note_miss();
+
+  /// Snapshot of this instance's counters.
+  StoreCounters counters() const;
+
+ private:
+  std::filesystem::path root_;
+  StoreOptions options_;
+
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> corrupt_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+
+  // In-memory tier: key -> payload, LRU by access order.
+  struct MemEntry {
+    std::string key;
+    std::shared_ptr<const std::string> payload;
+  };
+  mutable std::mutex mem_mutex_;
+  std::list<MemEntry> mem_lru_;  // front = most recent
+  std::unordered_map<std::string, std::list<MemEntry>::iterator> mem_index_;
+  std::uint64_t mem_bytes_ = 0;
+
+  std::filesystem::path object_path(const std::string& key) const;
+  void quarantine(const std::filesystem::path& file);
+  void mem_insert(const std::string& key, std::string payload);
+  std::shared_ptr<const std::string> mem_lookup(const std::string& key);
+  void mem_erase(const std::string& key);
+
+  /// Validates an envelope in place; returns the payload view on success.
+  static std::optional<std::string_view> unwrap(std::string_view blob);
+};
+
+/// True if `key` has the shape of a store key (64 lowercase hex chars).
+bool is_store_key(std::string_view key);
+
+}  // namespace rsnsec::store

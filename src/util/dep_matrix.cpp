@@ -207,6 +207,29 @@ void DepMatrix::eliminate(std::size_t v) {
   clear_node(v);
 }
 
+bool DepMatrix::from_planes(std::size_t n, std::vector<std::uint64_t> s,
+                            std::vector<std::uint64_t> p, DepMatrix* out) {
+  const std::size_t wpr = (n + 63) / 64;
+  if (s.size() != n * wpr || p.size() != n * wpr) return false;
+  // Tail bits beyond column n-1 must be clear: count_nonzero() and the
+  // word-parallel kernels assume it.
+  if (n % 64 != 0 && wpr > 0) {
+    const std::uint64_t tail_mask = ~((1ULL << (n % 64)) - 1);
+    for (std::size_t r = 0; r < n; ++r) {
+      if ((s[r * wpr + wpr - 1] | p[r * wpr + wpr - 1]) & tail_mask)
+        return false;
+    }
+  }
+  for (std::size_t w = 0; w < p.size(); ++w) {
+    if (p[w] & ~s[w]) return false;  // P implies S
+  }
+  out->n_ = n;
+  out->words_per_row_ = wpr;
+  out->s_ = std::move(s);
+  out->p_ = std::move(p);
+  return true;
+}
+
 std::vector<std::size_t> DepMatrix::successors(std::size_t i) const {
   std::vector<std::size_t> out;
   for (std::size_t w = 0; w < words_per_row_; ++w) {

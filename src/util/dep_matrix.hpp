@@ -113,6 +113,23 @@ class DepMatrix {
     return a.n_ == b.n_ && a.s_ == b.s_ && a.p_ == b.p_;
   }
 
+  /// 64-bit words per bit-plane row: (size() + 63) / 64.
+  std::size_t words_per_row() const { return words_per_row_; }
+
+  /// Raw bit planes (row-major, words_per_row() words per row). S holds
+  /// "structural or stronger", P holds "path". Exposed for serialization.
+  const std::vector<std::uint64_t>& plane_s() const { return s_; }
+  const std::vector<std::uint64_t>& plane_p() const { return p_; }
+
+  /// Rebuilds a matrix from raw planes (the inverse of plane_s/plane_p),
+  /// validating shape and invariants: both planes sized n*((n+63)/64),
+  /// no bit set beyond column n-1, and P implies S. Returns false (and
+  /// leaves `out` untouched) if the planes are inconsistent — required so
+  /// that a corrupted serialized matrix cannot poison count_nonzero() or
+  /// the closure kernels with stray tail bits.
+  static bool from_planes(std::size_t n, std::vector<std::uint64_t> s,
+                          std::vector<std::uint64_t> p, DepMatrix* out);
+
  private:
   std::size_t n_ = 0;
   std::size_t words_per_row_ = 0;

@@ -150,13 +150,20 @@ TEST_F(DriverTest, MalformedSpecNumberClassifiesAsSpec005) {
   EXPECT_EQ(count_code(diags, "SPEC005"), 1u);
 }
 
-TEST_F(DriverTest, GarbageFileClassifiesAsIo001) {
+TEST_F(DriverTest, GarbageRsnFileClassifiesAsIo003) {
   std::string rsn = write("garbage.rsn", "this is not an rsn file\n");
   std::vector<Diagnostic> diags = lint({rsn});
-  EXPECT_EQ(count_code(diags, "IO001"), 1u);
+  ASSERT_EQ(count_code(diags, "IO003"), 1u);
+  for (const Diagnostic& d : diags) {
+    if (d.code != "IO003") continue;
+    // The strict parser reports the failing line number.
+    EXPECT_NE(d.message.find("line 1"), std::string::npos) << d.message;
+  }
+}
 
+TEST_F(DriverTest, UnknownFileClassifiesAsIo001) {
   std::string unknown = write("notes.txt", "hello\n");
-  diags = lint({unknown});
+  std::vector<Diagnostic> diags = lint({unknown});
   EXPECT_EQ(count_code(diags, "IO001"), 1u);
 }
 

@@ -1,0 +1,368 @@
+// ArtifactStore behavior under normal and hostile conditions: round
+// trips, corruption (truncation, bit flips, version skew) as clean
+// misses with quarantine, LRU garbage collection, the memory tier, and
+// concurrent writers racing on one key.
+
+#include "store/artifact_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "store/codec.hpp"
+
+namespace rsnsec::store {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh, empty store root per test.
+fs::path test_root() {
+  const ::testing::TestInfo* info =
+      ::testing::UnitTest::GetInstance()->current_test_info();
+  fs::path dir = fs::temp_directory_path() / "rsnsec_store_tests" /
+                 (std::string(info->test_suite_name()) + "." + info->name());
+  fs::remove_all(dir);
+  return dir;
+}
+
+std::string key_of(std::string_view payload) { return Sha256::hex(payload); }
+
+fs::path object_file(const fs::path& root, const std::string& key) {
+  return root / "objects" / key.substr(0, 2) / (key + ".art");
+}
+
+std::string read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void write_file(const fs::path& p, const std::string& bytes) {
+  std::ofstream out(p, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(StoreKey, ShapeValidation) {
+  EXPECT_TRUE(is_store_key(std::string(64, 'a')));
+  EXPECT_TRUE(is_store_key(key_of("x")));
+  EXPECT_FALSE(is_store_key(std::string(63, 'a')));
+  EXPECT_FALSE(is_store_key(std::string(65, 'a')));
+  EXPECT_FALSE(is_store_key(std::string(64, 'A')));  // uppercase
+  EXPECT_FALSE(is_store_key(std::string(64, 'g')));
+  EXPECT_FALSE(is_store_key("../../../../etc/passwd"));
+}
+
+TEST(ArtifactStore, PutLoadRoundTrip) {
+  fs::path root = test_root();
+  ArtifactStore store(root);
+  const std::string payload = "the quick brown fox";
+  const std::string key = key_of(payload);
+
+  EXPECT_FALSE(store.load(key).has_value());  // absence is a plain miss
+  EXPECT_EQ(store.counters().corrupt, 0u);
+
+  store.put(key, payload);
+  std::optional<std::string> got = store.load(key);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, payload);
+
+  // A second instance over the same root exercises the disk path.
+  ArtifactStore reopened(root);
+  got = reopened.load(key);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, payload);
+
+  DiskStats stats = store.disk_stats();
+  EXPECT_EQ(stats.objects, 1u);
+  EXPECT_EQ(stats.quarantined, 0u);
+  EXPECT_GT(stats.bytes, payload.size());  // envelope overhead
+}
+
+TEST(ArtifactStore, RejectsMalformedKey) {
+  ArtifactStore store(test_root());
+  EXPECT_THROW(store.put("not-a-key", "x"), std::runtime_error);
+  EXPECT_THROW(store.put(std::string(64, 'G'), "x"), std::runtime_error);
+}
+
+TEST(ArtifactStore, TruncatedBlobIsMissAndQuarantined) {
+  fs::path root = test_root();
+  const std::string payload(100, 'p');
+  const std::string key = key_of(payload);
+  {
+    ArtifactStore writer(root);
+    writer.put(key, payload);
+  }
+  fs::path file = object_file(root, key);
+  std::string blob = read_file(file);
+  for (std::size_t keep : {std::size_t{0}, std::size_t{3}, std::size_t{7},
+                           blob.size() / 2, blob.size() - 1}) {
+    write_file(file, blob.substr(0, keep));
+    StoreOptions opt;
+    opt.memory_tier = false;
+    ArtifactStore store(root, opt);
+    EXPECT_FALSE(store.load(key).has_value()) << "kept " << keep << " bytes";
+    EXPECT_EQ(store.counters().corrupt, 1u);
+    EXPECT_FALSE(fs::exists(file));  // moved to quarantine
+    EXPECT_GE(store.disk_stats().quarantined, 1u);
+    // A repeat lookup is a plain miss; nothing left to quarantine.
+    EXPECT_FALSE(store.load(key).has_value());
+    EXPECT_EQ(store.counters().corrupt, 1u);
+    write_file(file, blob);  // restore for the next truncation point
+  }
+}
+
+TEST(ArtifactStore, EveryBitFlipIsMissOrIntact) {
+  fs::path root = test_root();
+  const std::string payload = "sensitive analysis result";
+  const std::string key = key_of(payload);
+  {
+    ArtifactStore writer(root);
+    writer.put(key, payload);
+  }
+  fs::path file = object_file(root, key);
+  const std::string blob = read_file(file);
+  for (std::size_t byte = 0; byte < blob.size(); ++byte) {
+    std::string mutated = blob;
+    mutated[byte] = static_cast<char>(
+        static_cast<unsigned char>(mutated[byte]) ^ 0x40);
+    write_file(file, mutated);
+    StoreOptions opt;
+    opt.memory_tier = false;
+    ArtifactStore store(root, opt);
+    std::optional<std::string> got = store.load(key);
+    // The FNV checksum covers every byte before the trailer and the
+    // trailer is the checksum itself, so any single flip must be caught.
+    EXPECT_FALSE(got.has_value()) << "flip at byte " << byte;
+    EXPECT_EQ(store.counters().corrupt, 1u) << "flip at byte " << byte;
+    write_file(file, blob);
+  }
+}
+
+TEST(ArtifactStore, VersionSkewIsMissAndQuarantined) {
+  fs::path root = test_root();
+  const std::string payload = "from-the-future";
+  const std::string key = key_of(payload);
+  {
+    ArtifactStore writer(root);
+    writer.put(key, payload);
+  }
+  fs::path file = object_file(root, key);
+  std::string blob = read_file(file);
+  // Bump the version field (byte 4, little-endian u32) and re-checksum so
+  // only the version mismatches — simulating a blob written by a newer
+  // format revision.
+  blob[4] = static_cast<char>(static_cast<unsigned char>(blob[4]) + 1);
+  std::uint64_t sum =
+      fnv1a64(std::string_view(blob).substr(0, blob.size() - 8));
+  for (int i = 0; i < 8; ++i)
+    blob[blob.size() - 8 + static_cast<std::size_t>(i)] =
+        static_cast<char>((sum >> (8 * i)) & 0xff);
+  write_file(file, blob);
+
+  StoreOptions opt;
+  opt.memory_tier = false;
+  ArtifactStore store(root, opt);
+  EXPECT_FALSE(store.load(key).has_value());
+  EXPECT_EQ(store.counters().corrupt, 1u);
+  EXPECT_FALSE(fs::exists(file));
+  EXPECT_EQ(store.disk_stats().quarantined, 1u);
+}
+
+TEST(ArtifactStore, MemoryTierServesAfterDiskLoss) {
+  fs::path root = test_root();
+  ArtifactStore store(root);
+  const std::string payload = "cached in memory";
+  const std::string key = key_of(payload);
+  store.put(key, payload);
+  fs::remove(object_file(root, key));
+  std::optional<std::string> got = store.load(key);
+  ASSERT_TRUE(got.has_value());  // served from the memory tier
+  EXPECT_EQ(*got, payload);
+}
+
+TEST(ArtifactStore, MemoryTierRespectsByteCap) {
+  StoreOptions opt;
+  opt.memory_max_bytes = 250;  // fits two 100-byte payloads, not three
+  ArtifactStore store(test_root(), opt);
+  std::vector<std::string> keys;
+  for (char c : {'a', 'b', 'c'}) {
+    std::string payload(100, c);
+    keys.push_back(key_of(payload));
+    store.put(keys.back(), payload);
+  }
+  // Evict-from-memory is observable by deleting the disk copies.
+  for (const std::string& k : keys)
+    fs::remove(object_file(store.root(), k));
+  EXPECT_FALSE(store.load(keys[0]).has_value());  // LRU victim
+  EXPECT_TRUE(store.load(keys[1]).has_value());
+  EXPECT_TRUE(store.load(keys[2]).has_value());
+}
+
+TEST(ArtifactStore, GcEvictsLeastRecentlyUsedFirst) {
+  fs::path root = test_root();
+  StoreOptions opt;
+  opt.memory_tier = false;
+  ArtifactStore store(root, opt);
+  std::vector<std::string> keys;
+  for (char c : {'1', '2', '3'}) {
+    std::string payload(100, c);
+    keys.push_back(key_of(payload));
+    store.put(keys.back(), payload);
+  }
+  // Pin distinct mtimes so LRU order is deterministic regardless of
+  // filesystem timestamp granularity: keys[0] oldest.
+  auto now = fs::file_time_type::clock::now();
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    fs::last_write_time(object_file(root, keys[i]),
+                        now - std::chrono::minutes(10 - static_cast<int>(i)));
+  }
+  std::uint64_t blob_size = store.disk_stats().bytes / 3;
+  std::size_t evicted = store.gc(2 * blob_size);
+  EXPECT_EQ(evicted, 1u);
+  EXPECT_EQ(store.counters().evictions, 1u);
+  EXPECT_FALSE(store.load(keys[0]).has_value());
+  EXPECT_TRUE(store.load(keys[1]).has_value());
+  EXPECT_TRUE(store.load(keys[2]).has_value());
+  EXPECT_EQ(store.disk_stats().objects, 2u);
+}
+
+TEST(ArtifactStore, GcToZeroEmptiesDiskAndMemory) {
+  ArtifactStore store(test_root());
+  const std::string payload = "ephemeral";
+  const std::string key = key_of(payload);
+  store.put(key, payload);
+  ASSERT_TRUE(store.load(key).has_value());
+  EXPECT_EQ(store.gc(0), 1u);
+  EXPECT_EQ(store.disk_stats().objects, 0u);
+  // The memory tier must be dropped too, or a "cold" rerun in this
+  // process would silently stay warm.
+  EXPECT_FALSE(store.load(key).has_value());
+}
+
+TEST(ArtifactStore, MaxBytesTriggersAutoGcOnPut) {
+  fs::path root = test_root();
+  StoreOptions opt;
+  opt.memory_tier = false;
+  // One wrapped 100-byte blob is 116 bytes; cap below two of them.
+  opt.max_bytes = 200;
+  ArtifactStore store(root, opt);
+  std::string p1(100, 'x'), p2(100, 'y');
+  store.put(key_of(p1), p1);
+  // Age the first blob so it is the unambiguous LRU victim.
+  fs::last_write_time(
+      object_file(root, key_of(p1)),
+      fs::file_time_type::clock::now() - std::chrono::minutes(5));
+  store.put(key_of(p2), p2);
+  EXPECT_EQ(store.disk_stats().objects, 1u);
+  EXPECT_TRUE(store.load(key_of(p2)).has_value());
+  EXPECT_FALSE(store.load(key_of(p1)).has_value());
+}
+
+TEST(ArtifactStore, VerifyReportsAndQuarantinesCorruption) {
+  fs::path root = test_root();
+  ArtifactStore store(root);
+  std::string good = "good payload", bad = "bad payload";
+  store.put(key_of(good), good);
+  store.put(key_of(bad), bad);
+  // Corrupt the second object in place.
+  fs::path victim = object_file(root, key_of(bad));
+  std::string blob = read_file(victim);
+  blob[blob.size() / 2] ^= 0x01;
+  write_file(victim, blob);
+
+  VerifyResult result = store.verify();
+  EXPECT_EQ(result.valid, 1u);
+  EXPECT_EQ(result.corrupt, 1u);
+  EXPECT_FALSE(fs::exists(victim));
+  EXPECT_EQ(store.disk_stats().quarantined, 1u);
+  EXPECT_EQ(store.disk_stats().objects, 1u);
+}
+
+TEST(ArtifactStore, DiscardDropsMemoryAndQuarantinesDisk) {
+  fs::path root = test_root();
+  ArtifactStore store(root);
+  const std::string payload = "poisoned";
+  const std::string key = key_of(payload);
+  store.put(key, payload);
+  store.discard(key);
+  EXPECT_FALSE(store.load(key).has_value());
+  EXPECT_EQ(store.counters().corrupt, 1u);
+  EXPECT_EQ(store.disk_stats().objects, 0u);
+  EXPECT_EQ(store.disk_stats().quarantined, 1u);
+}
+
+TEST(ArtifactStore, HitMissCountersAreManual) {
+  ArtifactStore store(test_root());
+  store.note_hit();
+  store.note_hit();
+  store.note_miss();
+  StoreCounters c = store.counters();
+  EXPECT_EQ(c.hits, 2u);
+  EXPECT_EQ(c.misses, 1u);
+}
+
+TEST(ArtifactStore, ConcurrentWritersOfOneKeyStayConsistent) {
+  fs::path root = test_root();
+  ArtifactStore store(root);
+  const std::string payload(1024, 'z');
+  const std::string key = key_of(payload);
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 25;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < kRounds; ++i) {
+        store.put(key, payload);
+        std::optional<std::string> got = store.load(key);
+        ASSERT_TRUE(got.has_value());
+        ASSERT_EQ(*got, payload);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  // Exactly one object, no leftover temp files, and it verifies clean.
+  DiskStats stats = store.disk_stats();
+  EXPECT_EQ(stats.objects, 1u);
+  EXPECT_EQ(stats.quarantined, 0u);
+  std::size_t files = 0;
+  for (const fs::directory_entry& e :
+       fs::recursive_directory_iterator(root / "objects")) {
+    if (e.is_regular_file()) ++files;
+  }
+  EXPECT_EQ(files, 1u);  // temp files were all renamed or removed
+  VerifyResult v = store.verify();
+  EXPECT_EQ(v.valid, 1u);
+  EXPECT_EQ(v.corrupt, 0u);
+}
+
+TEST(ArtifactStore, ConcurrentDistinctKeysAllLand) {
+  ArtifactStore store(test_root());
+  constexpr int kThreads = 8;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < 10; ++i) {
+        std::string payload =
+            "payload-" + std::to_string(t) + "-" + std::to_string(i);
+        store.put(key_of(payload), payload);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(store.disk_stats().objects, 80u);
+  VerifyResult v = store.verify();
+  EXPECT_EQ(v.valid, 80u);
+  EXPECT_EQ(v.corrupt, 0u);
+}
+
+}  // namespace
+}  // namespace rsnsec::store

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <stdexcept>
@@ -23,6 +24,8 @@
 #include "rsn/io.hpp"
 #include "security/filter.hpp"
 #include "security/spec_io.hpp"
+#include "store/artifact_store.hpp"
+#include "store/dep_cache.hpp"
 
 namespace rsnsec::cli {
 
@@ -65,8 +68,9 @@ Args parse_args(const std::vector<std::string>& argv) {
   for (std::size_t i = 1; i < argv.size(); ++i) {
     const std::string& a = argv[i];
     if (a.rfind("--", 0) != 0) {
-      // Only `lint` takes positional arguments (its input files).
-      if (args.command != "lint")
+      // Only `lint` (input files) and `store` (the action) take
+      // positional arguments.
+      if (args.command != "lint" && args.command != "store")
         throw std::runtime_error("unexpected argument '" + a + "'");
       args.positionals.push_back(a);
       continue;
@@ -156,6 +160,27 @@ std::size_t jobs_option(const Args& args) {
   if (auto j = args.get("jobs"))
     return static_cast<std::size_t>(u64_or_usage(*j, "--jobs"));
   return 0;
+}
+
+/// Resolves the artifact-store directory: the --store flag wins over the
+/// RSNSEC_STORE environment variable (the same precedence --jobs has
+/// over RSNSEC_JOBS). Empty string = no store, always recompute.
+std::string store_dir(const Args& args) {
+  if (auto s = args.get("store")) return *s;
+  if (const char* env = std::getenv("RSNSEC_STORE");
+      env != nullptr && *env != '\0')
+    return env;
+  return {};
+}
+
+/// Opens the artifact store of this invocation, or nullptr when neither
+/// --store nor RSNSEC_STORE is set. Composes with every subcommand that
+/// runs the dependency analysis (analyze, secure) and is the target of
+/// the `store` maintenance subcommand.
+std::unique_ptr<store::ArtifactStore> open_store(const Args& args) {
+  std::string dir = store_dir(args);
+  if (dir.empty()) return nullptr;
+  return std::make_unique<store::ArtifactStore>(dir);
 }
 
 PipelineOptions pipeline_options(const Args& args) {
@@ -256,9 +281,10 @@ int cmd_analyze(const Args& args, std::ostream& out) {
   LoadedWorkload w = load_workload(args);
   security::TokenTable tokens(w.spec, w.spec.num_modules());
 
+  std::unique_ptr<store::ArtifactStore> artifact_store = open_store(args);
   dep::DependencyAnalyzer deps(w.circuit, w.doc.network,
                                pipeline_options(args).dep);
-  deps.run();
+  store::run_with_store(artifact_store.get(), deps);
   security::HybridAnalyzer hybrid(w.circuit, w.doc.network, deps, w.spec,
                                   tokens);
   security::PureScanAnalyzer pure(w.spec, tokens);
@@ -296,8 +322,10 @@ int cmd_analyze(const Args& args, std::ostream& out) {
 
 int cmd_secure(const Args& args, std::ostream& out) {
   LoadedWorkload w = load_workload(args);
-  SecureFlowTool tool(w.circuit, w.doc.network, w.spec,
-                      pipeline_options(args));
+  std::unique_ptr<store::ArtifactStore> artifact_store = open_store(args);
+  PipelineOptions opt = pipeline_options(args);
+  opt.store = artifact_store.get();
+  SecureFlowTool tool(w.circuit, w.doc.network, w.spec, opt);
   PipelineResult result = tool.run();
 
   if (args.has_flag("json")) {
@@ -315,6 +343,60 @@ int cmd_secure(const Args& args, std::ostream& out) {
   std::ofstream f = open_output(args.require("out"));
   rsn::write_rsn(f, w.doc.network, w.doc.module_names, &w.circuit);
   return 0;
+}
+
+int cmd_store(const Args& args, std::ostream& out) {
+  if (args.positionals.size() != 1)
+    throw UsageError(
+        "store needs exactly one action: stats, verify or gc, e.g. "
+        "rsnsec store stats --store DIR");
+  std::string dir = store_dir(args);
+  if (dir.empty())
+    throw UsageError("store needs --store DIR (or RSNSEC_STORE set)");
+  store::ArtifactStore st(dir);
+  const std::string& action = args.positionals[0];
+  const bool json = args.has_flag("json");
+
+  if (action == "stats") {
+    store::DiskStats s = st.disk_stats();
+    if (json) {
+      out << "{\"objects\": " << s.objects << ", \"bytes\": " << s.bytes
+          << ", \"quarantined\": " << s.quarantined << "}\n";
+    } else {
+      out << "store: " << dir << "\n";
+      out << "objects:     " << s.objects << " (" << s.bytes << " bytes)\n";
+      out << "quarantined: " << s.quarantined << "\n";
+    }
+    return 0;
+  }
+  if (action == "verify") {
+    store::VerifyResult r = st.verify();
+    if (json) {
+      out << "{\"valid\": " << r.valid << ", \"corrupt\": " << r.corrupt
+          << "}\n";
+    } else {
+      out << "valid:   " << r.valid << "\n";
+      out << "corrupt: " << r.corrupt
+          << (r.corrupt > 0 ? " (moved to quarantine/)" : "") << "\n";
+    }
+    return r.corrupt > 0 ? 2 : 0;
+  }
+  if (action == "gc") {
+    std::uint64_t max_bytes =
+        u64_or_usage(args.get("max-bytes").value_or("0"), "--max-bytes");
+    std::size_t evicted = st.gc(max_bytes);
+    store::DiskStats s = st.disk_stats();
+    if (json) {
+      out << "{\"evicted\": " << evicted << ", \"objects\": " << s.objects
+          << ", \"bytes\": " << s.bytes << "}\n";
+    } else {
+      out << "evicted " << evicted << " objects; " << s.objects
+          << " remain (" << s.bytes << " bytes)\n";
+    }
+    return 0;
+  }
+  throw UsageError("unknown store action '" + action +
+                   "' (try: stats, verify, gc)");
 }
 
 /// Installs a process-wide TraceSession when --trace FILE, --metrics or
@@ -365,9 +447,10 @@ int dispatch(const Args& args, std::ostream& out) {
   if (args.command == "analyze") return cmd_analyze(args, out);
   if (args.command == "secure") return cmd_secure(args, out);
   if (args.command == "lint") return cmd_lint(args, out);
+  if (args.command == "store") return cmd_store(args, out);
   throw std::runtime_error("unknown command '" + args.command +
                            "' (try: generate, info, analyze, secure, "
-                           "lint)");
+                           "lint, store)");
 }
 
 }  // namespace
