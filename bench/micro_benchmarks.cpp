@@ -14,6 +14,7 @@
 #include "benchgen/running_example.hpp"
 #include "benchgen/specgen.hpp"
 #include "dep/analyzer.hpp"
+#include "flow/certify.hpp"
 #include "netlist/cone_check.hpp"
 #include "rsn/access.hpp"
 #include "rsn/csu_sim.hpp"
@@ -387,6 +388,64 @@ BENCHMARK(BM_DependencyAnalysisConeCache)
     ->ArgName("cache")
     ->Arg(0)
     ->Arg(1);
+
+// Pair-ternary SAT triage of the dependency analysis on the standard
+// Mingle workload. arg: 0 = prefilter off (every undecided leaf goes to
+// SAT), 1 = on (provably-dead leaves are discharged without a solver
+// call). Matrices are bit-identical either way; the counters record the
+// avoided SAT work.
+void BM_DependencyAnalysisTernary(benchmark::State& state) {
+  Workload w(400);
+  dep::DepOptions opt;
+  opt.num_threads = 1;
+  opt.ternary_prefilter = state.range(0) != 0;
+  std::uint64_t ternary = 0, sat = 0;
+  for (auto _ : state) {
+    dep::DependencyAnalyzer a(w.circuit, w.doc.network, opt);
+    a.run();
+    ternary = a.stats().ternary_resolved;
+    sat = a.stats().sat_calls;
+    benchmark::DoNotOptimize(a.stats().closure_deps);
+  }
+  state.counters["ternary_resolved"] = static_cast<double>(ternary);
+  state.counters["sat_calls"] = static_cast<double>(sat);
+}
+BENCHMARK(BM_DependencyAnalysisTernary)
+    ->ArgName("ternary")
+    ->Arg(0)
+    ->Arg(1);
+
+// ---------------------------------------------------------------------------
+// Flow certifier (the BENCH_certify.json suite): one full SAT-free
+// re-verification — taint graph construction (including the per-edge
+// ternary proofs when enabled) plus the three tier fixpoints and the
+// finding classification. arg: 0 = ternary refinement off, 1 = on.
+
+void BM_Certify(benchmark::State& state) {
+  Workload w(400);
+  // The shared workload's sparse spec happens to certify clean on this
+  // seed; an unsecured network with real leaks is the representative
+  // input (the classification walk over violating pairs is the output-
+  // dependent part of the pass), so use a denser spec for this suite.
+  Rng rng(7);
+  benchgen::SpecOptions sopt;
+  sopt.expected_sensitive_modules = 8.0;
+  sopt.low_trust_prob = 0.35;
+  w.spec = benchgen::random_spec(w.doc.module_names.size(), sopt, rng);
+  flow::CertifyOptions opt;
+  opt.ternary_refine = state.range(0) != 0;
+  std::size_t pairs = 0, discharged = 0;
+  for (auto _ : state) {
+    flow::CertifyResult r =
+        flow::certify(w.circuit, w.doc.network, w.spec, opt);
+    pairs = r.stats.violating_pairs;
+    discharged = r.stats.ternary_discharged;
+    benchmark::DoNotOptimize(r.diagnostics.size());
+  }
+  state.counters["violating_pairs"] = static_cast<double>(pairs);
+  state.counters["ternary_discharged"] = static_cast<double>(discharged);
+}
+BENCHMARK(BM_Certify)->ArgName("ternary")->Arg(0)->Arg(1);
 
 // ---------------------------------------------------------------------------
 // Artifact store (the BENCH_store.json suite): the serialization + disk

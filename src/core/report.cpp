@@ -100,6 +100,11 @@ void write_json(std::ostream& os, const PipelineResult& r) {
   os << "  \"initial_violating_registers\": "
      << r.initial_violating_registers << ",\n";
   os << "  \"dependency\": {\n"
+     << "    \"mode\": \""
+     << (r.dep_mode == dep::DepMode::Exact ? "exact" : "structural")
+     << "\",\n"
+     << "    \"ternary_prefilter\": "
+     << (r.dep_ternary_prefilter ? "true" : "false") << ",\n"
      << "    \"circuit_ffs\": " << r.dep_stats.circuit_ffs << ",\n"
      << "    \"internal_ffs\": " << r.dep_stats.internal_ffs << ",\n"
      << "    \"deps_before_bridging\": " << r.dep_stats.deps_before_bridging
@@ -109,6 +114,8 @@ void write_json(std::ostream& os, const PipelineResult& r) {
      << "    \"sat_calls\": " << r.dep_stats.sat_calls << ",\n"
      << "    \"sat_unknown\": " << r.dep_stats.sat_unknown << ",\n"
      << "    \"sim_resolved\": " << r.dep_stats.sim_resolved << ",\n"
+     << "    \"ternary_resolved\": " << r.dep_stats.ternary_resolved
+     << ",\n"
      << "    \"threads\": " << r.dep_stats.threads_used << ",\n"
      << "    \"phase_seconds\": {\"one_cycle\": " << r.dep_stats.t_one_cycle
      << ", \"bridge\": " << r.dep_stats.t_bridge

@@ -1,7 +1,9 @@
 #include "core/tool.hpp"
 
+#include <sstream>
 #include <stdexcept>
 
+#include "flow/certify.hpp"
 #include "lint/invariant.hpp"
 #include "obs/trace.hpp"
 #include "store/dep_cache.hpp"
@@ -19,6 +21,8 @@ SecureFlowTool::SecureFlowTool(const netlist::Netlist& circuit,
 
 PipelineResult SecureFlowTool::run() {
   PipelineResult result;
+  result.dep_mode = options_.dep.mode;
+  result.dep_ternary_prefilter = options_.dep.ternary_prefilter;
   obs::TraceSession* trace = obs::TraceSession::active();
   obs::Span total(trace, "pipeline");
 
@@ -94,6 +98,21 @@ PipelineResult SecureFlowTool::run() {
     invariants.require(network_, "the full pipeline");
   if (!network_.validate(&err))
     throw std::logic_error("transformed network failed validation: " + err);
+
+  // Defense-in-depth: independent re-verification with the SAT-free
+  // certifier. Its fixpoint over-approximates the pipeline's analysis,
+  // so an error-level finding here on a network the phases above left
+  // "secure" means the pipeline itself is broken — fail loudly.
+  if (options_.verify_certify) {
+    obs::Span span(trace, "pipeline.certify");
+    flow::CertifyResult cert = flow::certify(circuit_, network_, spec_);
+    if (!cert.certified()) {
+      std::ostringstream os;
+      lint::render_text(os, cert.diagnostics);
+      throw std::logic_error(
+          "secured network failed independent certification:\n" + os.str());
+    }
+  }
   result.secured = true;
   result.t_total = total.seconds();
   return result;

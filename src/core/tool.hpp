@@ -44,6 +44,13 @@ struct PipelineOptions {
   /// diagnostics instead of silently corrupting the model. Costs one
   /// access-planning sweep per change.
   bool verify_invariants = false;
+  /// Defense-in-depth: after a successful transformation, re-verify the
+  /// final network with the independent SAT-free certifier (src/flow,
+  /// `rsnsec certify`). The certifier over-approximates the pipeline's
+  /// own analysis, so a violating pair it finds on a network the pipeline
+  /// claims secure means the pipeline (or its dependency analysis) has a
+  /// bug — std::logic_error with the CERT diagnostics is thrown.
+  bool verify_certify = false;
 };
 
 /// Result of one pipeline run (one row of Table I).
@@ -58,6 +65,11 @@ struct PipelineResult {
   /// Registers with at least one violating flip-flop before the method
   /// was applied (Table I, column 5).
   std::size_t initial_violating_registers = 0;
+
+  /// Echo of the analysis configuration that produced dep_stats, so
+  /// reports and benchmark artifacts are self-describing.
+  dep::DepMode dep_mode = dep::DepMode::Exact;
+  bool dep_ternary_prefilter = true;
 
   dep::DepStats dep_stats;
   security::PureStats pure;

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <unordered_map>
 
+#include "flow/ternary.hpp"
 #include "netlist/cone_check.hpp"
 #include "netlist/sim.hpp"
 #include "obs/trace.hpp"
@@ -219,6 +220,23 @@ std::vector<DependencyAnalyzer::LeafDep> DependencyAnalyzer::cone_deps(
     }
   }
 
+  if (undecided > 0 && options_.ternary_prefilter) {
+    // Pair-ternary triage: prove leaves only-structural by abstract
+    // evaluation of the cone. Each proof is exactly an UNSAT certificate,
+    // so it removes the SAT query without changing its classification.
+    // Evaluator state is task-local, like the sim buffers above.
+    flow::TernaryEvaluator ternary(nl_);
+    for (std::size_t i : ff_leaves) {
+      if (decided[i]) continue;
+      if (ternary.proves_independent(cone, i)) {
+        decided[i] = true;
+        --undecided;
+        ++stats.ternary_resolved;
+        out.push_back({i, DepKind::Structural});
+      }
+    }
+  }
+
   if (undecided > 0) {
     // Exact SAT check for the leaves simulation could not witness. The
     // checker (and its solver) is task-local: SAT state is never shared
@@ -355,6 +373,7 @@ void DependencyAnalyzer::compute_one_cycle() {
     }
     const DepStats& s = group_stats[g];
     stats_.sim_resolved += s.sim_resolved;
+    stats_.ternary_resolved += s.ternary_resolved;
     stats_.sat_calls += s.sat_calls;
     stats_.sat_functional += s.sat_functional;
     stats_.sat_structural += s.sat_structural;
@@ -452,6 +471,7 @@ void DependencyAnalyzer::run() {
   if (trace != nullptr) {
     trace->counter("dep.runs").add(1);
     trace->counter("dep.sim_resolved").add(stats_.sim_resolved);
+    trace->counter("dep.ternary_resolved").add(stats_.ternary_resolved);
     trace->counter("dep.sat_calls").add(stats_.sat_calls);
     trace->counter("dep.sat_unknown").add(stats_.sat_unknown);
     trace->counter("dep.cone_cache_hits").add(stats_.cone_cache_hits);

@@ -34,6 +34,14 @@ struct DepOptions {
   bool bridge_internal = true;
   /// Rounds of 64-pattern random simulation per cone before SAT.
   int sim_rounds = 4;
+  /// After the simulation prefilter, try to *prove* the remaining
+  /// undecided leaves only-structural with the pair-ternary abstract
+  /// evaluator (flow::TernaryEvaluator) before falling back to SAT. A
+  /// proof replaces a query whose answer it already determines, so the
+  /// resulting matrices are bit-identical with the prefilter off; only
+  /// the sat_* / ternary_resolved counters shift. No effect in
+  /// DepMode::StructuralOnly (no queries to remove).
+  bool ternary_prefilter = true;
   /// Per-query SAT conflict limit; on Unknown the dependency is
   /// conservatively classified as functional (sound for security).
   std::uint64_t sat_conflict_limit = 200000;
@@ -75,6 +83,9 @@ struct DepStats {
   std::size_t closure_deps = 0;          ///< multi-cycle dependencies
   std::size_t closure_path_deps = 0;
   std::uint64_t sim_resolved = 0;  ///< functional deps proven by simulation
+  /// Only-structural deps proven by the pair-ternary evaluator (each one
+  /// is a SAT query avoided; 0 when DepOptions::ternary_prefilter is off).
+  std::uint64_t ternary_resolved = 0;
   std::uint64_t sat_calls = 0;
   std::uint64_t sat_functional = 0;
   std::uint64_t sat_structural = 0;

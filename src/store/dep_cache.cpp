@@ -9,7 +9,7 @@ namespace {
 /// Versioned domain label: any change to the key recipe or the snapshot
 /// payload format must bump this, so old blobs become unreachable rather
 /// than mis-decoded.
-constexpr std::string_view kDepKeyLabel = "rsnsec-dep-v1";
+constexpr std::string_view kDepKeyLabel = "rsnsec-dep-v2";
 
 void encode_options_fingerprint(ByteWriter& w,
                                 const dep::DepOptions& options) {
@@ -23,6 +23,9 @@ void encode_options_fingerprint(ByteWriter& w,
   // cone_cache_hits — which DepStats reports and the snapshot replays —
   // so it participates in the key to keep even that field bit-identical.
   w.u8(options.cone_cache ? 1 : 0);
+  // Like cone_cache: matrices are bit-identical either way, but the
+  // ternary_resolved / sat_* counters the snapshot replays are not.
+  w.u8(options.ternary_prefilter ? 1 : 0);
   // NOT num_threads: bit-identical at any thread count.
 }
 
@@ -66,6 +69,7 @@ void encode_stats(ByteWriter& w, const dep::DepStats& s) {
   w.varint(s.closure_deps);
   w.varint(s.closure_path_deps);
   w.varint(s.sim_resolved);
+  w.varint(s.ternary_resolved);
   w.varint(s.sat_calls);
   w.varint(s.sat_functional);
   w.varint(s.sat_structural);
@@ -84,6 +88,7 @@ dep::DepStats decode_stats(ByteReader& r) {
   s.closure_deps = static_cast<std::size_t>(r.varint());
   s.closure_path_deps = static_cast<std::size_t>(r.varint());
   s.sim_resolved = r.varint();
+  s.ternary_resolved = r.varint();
   s.sat_calls = r.varint();
   s.sat_functional = r.varint();
   s.sat_structural = r.varint();

@@ -118,8 +118,9 @@ TEST_F(RunningExampleDeps, StructuralOnlyModeOverApproximates) {
   // path dep.
   for (std::size_t i = 0; i < a.num_circuit_ffs(); ++i)
     for (std::size_t j = 0; j < a.num_circuit_ffs(); ++j)
-      if (a.circuit_closure().get(i, j) == DepKind::Path)
+      if (a.circuit_closure().get(i, j) == DepKind::Path) {
         EXPECT_EQ(b.circuit_closure().get(i, j), DepKind::Path);
+      }
 }
 
 TEST_F(RunningExampleDeps, CaptureDepsReportScanAttachment) {
@@ -137,8 +138,18 @@ TEST_F(RunningExampleDeps, SimPrefilterResolvesMostFunctionalDeps) {
   const DepStats& s = a.stats();
   // The simulation witness path must fire (direct wires always witness).
   EXPECT_GT(s.sim_resolved, 0u);
-  // And the cancelled dependencies must have gone through SAT.
-  EXPECT_GT(s.sat_structural, 0u);
+  // The cancelled XOR(F6, F6) dependency is shallow enough for the
+  // ternary prefilter (on by default): discharged before SAT.
+  EXPECT_GT(s.ternary_resolved, 0u);
+  EXPECT_EQ(s.sat_structural, 0u);
+  // With the prefilter off, the same pair must go through SAT instead —
+  // and land in the same classification.
+  DepOptions no_ternary;
+  no_ternary.ternary_prefilter = false;
+  DependencyAnalyzer b = analyze(no_ternary);
+  EXPECT_GT(b.stats().sat_structural, 0u);
+  EXPECT_EQ(b.stats().ternary_resolved, 0u);
+  EXPECT_TRUE(a.circuit_closure() == b.circuit_closure());
 }
 
 TEST_F(RunningExampleDeps, BoundedCyclesUnderApproximate) {

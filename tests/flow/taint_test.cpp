@@ -1,0 +1,173 @@
+// Tests of the structural taint fixpoint behind `rsnsec certify`, on the
+// paper's running example: node layout, classification of internal
+// flip-flops, nesting of the three propagation tiers, monotonicity of the
+// ternary refinement, and the soundness ladder against the pipeline's
+// dependency matrices (the family-wide version runs in certify_test.cpp).
+
+#include "flow/taint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "benchgen/running_example.hpp"
+#include "dep/analyzer.hpp"
+
+namespace rsnsec::flow {
+namespace {
+
+using benchgen::RunningExample;
+using security::TokenSet;
+using security::TokenTable;
+
+class TaintRunningExample : public ::testing::Test {
+ protected:
+  TaintRunningExample()
+      : ex_(benchgen::make_running_example()),
+        tokens_(ex_.spec, ex_.spec.num_modules()) {}
+
+  TaintAnalyzer make(TaintOptions opt = {}) const {
+    return TaintAnalyzer(ex_.circuit, ex_.doc.network, ex_.spec, tokens_,
+                         opt);
+  }
+
+  /// Taint circuit index of a netlist flip-flop.
+  std::size_t tidx(const TaintAnalyzer& t, netlist::NodeId ff) const {
+    for (std::size_t i = 0; i < t.num_circuit_ffs(); ++i)
+      if (t.circuit_ff(i) == ff) return i;
+    ADD_FAILURE() << "flip-flop not in taint graph";
+    return 0;
+  }
+
+  RunningExample ex_;
+  TokenTable tokens_;
+};
+
+TEST_F(TaintRunningExample, NodeLayoutCoversScanAndCircuit) {
+  TaintAnalyzer t = make();
+  EXPECT_EQ(t.stats().scan_nodes, ex_.doc.network.num_scan_ffs());
+  EXPECT_EQ(t.num_circuit_ffs(), ex_.circuit.ffs().size());
+  EXPECT_EQ(t.num_nodes(), t.stats().scan_nodes + t.num_circuit_ffs());
+  // Scan nodes carry the owning register's module; SF1 belongs to R1
+  // (crypto).
+  EXPECT_EQ(t.owner_module(t.scan_node(ex_.r1, 0)), ex_.crypto);
+  // Circuit nodes occupy the tail of the layout.
+  for (std::size_t i = 0; i < t.num_circuit_ffs(); ++i) {
+    EXPECT_EQ(t.circuit_node(i), t.num_nodes() - t.num_circuit_ffs() + i);
+    EXPECT_EQ(t.circuit_ff(tidx(t, t.circuit_ff(i))), t.circuit_ff(i));
+  }
+}
+
+TEST_F(TaintRunningExample, InternalClassificationMatchesDepAnalyzer) {
+  TaintAnalyzer t = make();
+  dep::DependencyAnalyzer deps(ex_.circuit, ex_.doc.network, {});
+  deps.run();
+  for (std::size_t i = 0; i < t.num_circuit_ffs(); ++i)
+    EXPECT_EQ(t.is_internal(i),
+              deps.is_internal(deps.circuit_index(t.circuit_ff(i))))
+        << "ff " << i;
+  EXPECT_EQ(t.stats().internal_ffs, 2u);  // IF1, IF2
+  // Internal FFs are transit nodes: never violation victims.
+  EXPECT_FALSE(t.is_victim(t.circuit_node(tidx(t, ex_.if1))));
+  EXPECT_FALSE(t.is_victim(t.circuit_node(tidx(t, ex_.if2))));
+  EXPECT_TRUE(t.is_victim(t.circuit_node(tidx(t, ex_.f7))));
+}
+
+TEST_F(TaintRunningExample, TiersAreNested) {
+  TaintAnalyzer t = make();
+  std::vector<TokenSet> circ = t.propagate(TaintTier::CircuitOnly);
+  std::vector<TokenSet> stat = t.propagate(TaintTier::Static);
+  std::vector<TokenSet> full = t.propagate(TaintTier::Full);
+  ASSERT_EQ(circ.size(), t.num_nodes());
+  for (std::size_t n = 0; n < t.num_nodes(); ++n) {
+    EXPECT_TRUE(stat[n].contains(circ[n])) << "node " << n;
+    EXPECT_TRUE(full[n].contains(stat[n])) << "node " << n;
+  }
+}
+
+TEST_F(TaintRunningExample, DetectsThePaperThreats) {
+  TaintAnalyzer t = make();
+  int crypto_token = tokens_.token_of(ex_.crypto);
+  ASSERT_GE(crypto_token, 0);
+  std::vector<TokenSet> full = t.propagate(TaintTier::Full);
+  // Pure path: F2 -capture-> SF2 -shift/RSN-> SF7 -update-> F7, and the
+  // hybrid path through F5/IF1/IF2: crypto's token reaches both the
+  // untrusted register's scan FFs and the untrusted circuit FF.
+  std::size_t sf7 = t.scan_node(ex_.r4, 0);
+  std::size_t f7 = t.circuit_node(tidx(t, ex_.f7));
+  EXPECT_TRUE(full[sf7].test(static_cast<std::size_t>(crypto_token)));
+  EXPECT_TRUE(full[f7].test(static_cast<std::size_t>(crypto_token)));
+  // And it is a violation: crypto data is bad at the untrusted trust
+  // category.
+  security::TrustCategory ut = ex_.spec.policy(ex_.untrusted).trust;
+  EXPECT_TRUE(tokens_.bad(ut).test(static_cast<std::size_t>(crypto_token)));
+  // Neither tier-A cut detects it: the flow needs the RSN.
+  std::vector<TokenSet> circ = t.propagate(TaintTier::CircuitOnly);
+  EXPECT_FALSE(circ[f7].test(static_cast<std::size_t>(crypto_token)));
+}
+
+TEST_F(TaintRunningExample, TernaryRefinementDischargesTheReconvergence) {
+  TaintOptions coarse;
+  coarse.ternary_refine = false;
+  TaintAnalyzer refined = make();
+  TaintAnalyzer unrefined = make(coarse);
+  // The XOR(F6, F6) reconvergence (Fig. 5) is exactly what the pair-
+  // ternary domain can prove away.
+  EXPECT_GT(refined.stats().ternary_discharged, 0u);
+  EXPECT_EQ(unrefined.stats().ternary_discharged, 0u);
+  // Refinement only removes edges: the refined fixpoint is contained in
+  // the unrefined one at every node and tier.
+  for (TaintTier tier :
+       {TaintTier::CircuitOnly, TaintTier::Static, TaintTier::Full}) {
+    std::vector<TokenSet> r = refined.propagate(tier);
+    std::vector<TokenSet> u = unrefined.propagate(tier);
+    for (std::size_t n = 0; n < refined.num_nodes(); ++n)
+      EXPECT_TRUE(u[n].contains(r[n]))
+          << "tier " << static_cast<int>(tier) << " node " << n;
+  }
+}
+
+TEST_F(TaintRunningExample, SoundnessLadderAgainstDepClosure) {
+  // Unrefined reach over-approximates the StructuralOnly closure (and
+  // thereby every exact dependency of either kind); refined reach drops
+  // only SAT-provably-dead edges, so it still over-approximates the
+  // functional (Path) relation of the exact closure — which is what the
+  // pipeline's hybrid stage propagates over. Restricted to non-internal
+  // pairs, where the bridged closure is defined.
+  TaintOptions coarse;
+  coarse.ternary_refine = false;
+  TaintAnalyzer refined = make();
+  TaintAnalyzer unrefined = make(coarse);
+  std::vector<std::vector<bool>> r_reach = refined.circuit_reachability();
+  std::vector<std::vector<bool>> u_reach = unrefined.circuit_reachability();
+
+  dep::DepOptions exact_opt;
+  dep::DepOptions struct_opt;
+  struct_opt.mode = dep::DepMode::StructuralOnly;
+  dep::DependencyAnalyzer exact(ex_.circuit, ex_.doc.network, exact_opt);
+  dep::DependencyAnalyzer structural(ex_.circuit, ex_.doc.network,
+                                     struct_opt);
+  exact.run();
+  structural.run();
+
+  for (std::size_t i = 0; i < refined.num_circuit_ffs(); ++i) {
+    if (refined.is_internal(i)) continue;
+    std::size_t ei = exact.circuit_index(refined.circuit_ff(i));
+    for (std::size_t j = 0; j < refined.num_circuit_ffs(); ++j) {
+      if (refined.is_internal(j) || i == j) continue;
+      std::size_t ej = exact.circuit_index(refined.circuit_ff(j));
+      if (structural.circuit_closure().get(ei, ej) != DepKind::None) {
+        EXPECT_TRUE(u_reach[i][j]) << i << " -> " << j;
+      }
+      if (exact.circuit_closure().get(ei, ej) != DepKind::None) {
+        EXPECT_TRUE(u_reach[i][j]) << i << " -> " << j;
+      }
+      if (exact.circuit_closure().get(ei, ej) == DepKind::Path) {
+        EXPECT_TRUE(r_reach[i][j]) << i << " -> " << j;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rsnsec::flow

@@ -278,5 +278,109 @@ TEST_F(CliTest, SecureWithTraceEmbedsObservabilityInReport) {
   EXPECT_TRUE(testsupport::is_valid_json(trace.str()));
 }
 
+TEST_F(CliTest, CertifyWorkflowOnDeterministicWorkload) {
+  // Same hand-written workload as SecureFindsAndFixesViolations: a
+  // confidential register whose data reaches an untrusted register over
+  // the RSN and over an update/circuit relay.
+  std::ofstream(path("net.rsn")) <<
+      "rsn demo\n"
+      "module 0 conf\n"
+      "module 1 relay\n"
+      "module 2 untrusted\n"
+      "register rc ffs 1 module 0\n"
+      "register rr ffs 1 module 1\n"
+      "register ru ffs 1 module 2\n"
+      "connect scan_in ru 0\n"
+      "connect ru rc 0\n"
+      "connect rc rr 0\n"
+      "connect rr scan_out 0\n"
+      "capture rc 0 cf\n"
+      "update rr 0 rf\n"
+      "capture ru 0 uf\n";
+  std::ofstream(path("ckt.v")) <<
+      "module demo(input a);\n"
+      "  (* instrument = \"conf\" *) dff (cf, cf);\n"
+      "  (* instrument = \"relay\" *) dff (rf, rf);\n"
+      "  (* instrument = \"untrusted\" *) dff (uf, rf);\n"
+      "endmodule\n";
+  std::ofstream(path("policy.spec")) <<
+      "categories 2\n"
+      "module conf trust 1 accepts 1\n"
+      "module untrusted trust 0 accepts 0,1\n";
+
+  // Unsecured: certification fails with CERT diagnostics, exit 2.
+  int rc = run_cli({"certify", "--rsn", path("net.rsn"), "--verilog",
+                    path("ckt.v"), "--spec", path("policy.spec")});
+  EXPECT_EQ(rc, 2) << out_.str() << err_.str();
+  EXPECT_NE(out_.str().find("CERT"), std::string::npos);
+  EXPECT_NE(out_.str().find("certified: NO"), std::string::npos);
+
+  ASSERT_EQ(run_cli({"secure", "--rsn", path("net.rsn"), "--verilog",
+                     path("ckt.v"), "--spec", path("policy.spec"), "--out",
+                     path("fixed.rsn"), "--verify"}),
+            0)
+      << err_.str();
+
+  // Secured: certification passes, exit 0; --json is machine-readable.
+  rc = run_cli({"certify", "--rsn", path("fixed.rsn"), "--verilog",
+                path("ckt.v"), "--spec", path("policy.spec")});
+  EXPECT_EQ(rc, 0) << out_.str() << err_.str();
+  EXPECT_NE(out_.str().find("certified: yes"), std::string::npos);
+
+  rc = run_cli({"certify", "--rsn", path("fixed.rsn"), "--verilog",
+                path("ckt.v"), "--spec", path("policy.spec"), "--json"});
+  EXPECT_EQ(rc, 0) << err_.str();
+  EXPECT_TRUE(testsupport::is_valid_json(out_.str())) << out_.str();
+  EXPECT_NE(out_.str().find("\"certified\": true"), std::string::npos);
+  EXPECT_NE(out_.str().find("\"violating_pairs\": 0"), std::string::npos);
+}
+
+TEST_F(CliTest, AnalyzeJsonEchoesDependencyConfiguration) {
+  ASSERT_EQ(run_cli({"generate", "--benchmark", "BasicSCB", "--scale", "1",
+                     "--seed", "3", "--out-rsn", path("n.rsn"),
+                     "--out-verilog", path("c.v"), "--out-spec",
+                     path("s.spec")}),
+            0)
+      << err_.str();
+  int rc = run_cli({"analyze", "--rsn", path("n.rsn"), "--verilog",
+                    path("c.v"), "--spec", path("s.spec"), "--json"});
+  ASSERT_TRUE(rc == 0 || rc == 2) << err_.str();
+  EXPECT_NE(out_.str().find("\"dep_mode\": \"exact\""), std::string::npos);
+  EXPECT_NE(out_.str().find("\"dep_ternary_prefilter\": true"),
+            std::string::npos);
+
+  rc = run_cli({"analyze", "--rsn", path("n.rsn"), "--verilog",
+                path("c.v"), "--spec", path("s.spec"), "--json",
+                "--structural", "--no-ternary"});
+  ASSERT_TRUE(rc == 0 || rc == 2) << err_.str();
+  EXPECT_NE(out_.str().find("\"dep_mode\": \"structural\""),
+            std::string::npos);
+  EXPECT_NE(out_.str().find("\"dep_ternary_prefilter\": false"),
+            std::string::npos);
+  EXPECT_NE(out_.str().find("\"dep_ternary_resolved\": 0"),
+            std::string::npos);
+}
+
+TEST_F(CliTest, UnknownModeIsUsageError) {
+  ASSERT_EQ(run_cli({"generate", "--benchmark", "BasicSCB", "--seed", "3",
+                     "--out-rsn", path("n.rsn"), "--out-verilog",
+                     path("c.v"), "--out-spec", path("s.spec")}),
+            0)
+      << err_.str();
+  int rc = run_cli({"analyze", "--rsn", path("n.rsn"), "--verilog",
+                    path("c.v"), "--spec", path("s.spec"), "--mode",
+                    "bogus"});
+  EXPECT_EQ(rc, 2);
+  EXPECT_NE(err_.str().find("unknown --mode 'bogus'"), std::string::npos);
+  EXPECT_NE(err_.str().find("exact"), std::string::npos);
+}
+
+TEST_F(CliTest, BenchRequiresKnownExperiment) {
+  EXPECT_EQ(run_cli({"bench"}), 2);
+  EXPECT_NE(err_.str().find("ablation"), std::string::npos);
+  EXPECT_EQ(run_cli({"bench", "bogus"}), 2);
+  EXPECT_NE(err_.str().find("bogus"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace rsnsec::cli

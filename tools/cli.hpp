@@ -16,18 +16,25 @@ namespace rsnsec::cli {
 ///   rsnsec analyze  --rsn F --verilog F --spec F [--structural] [--json]
 ///   rsnsec secure   --rsn F --verilog F --spec F --out F [--json]
 ///                   [--verify]
+///   rsnsec certify  --rsn F --verilog F --spec F [--json] [--no-ternary]
 ///   rsnsec lint     FILE... [--json] [--top NAME]
+///   rsnsec bench    ablation [--circuits N] [--specs N] [--json]
 ///
 /// `lint` statically checks the given files (.rsn/.icl network,
 /// .v circuit, .spec specification — any subset, cross-checked when
-/// combined) with the src/lint diagnostics passes. `secure --verify`
-/// additionally runs the lint invariant pass after every applied RSN
-/// change (PipelineOptions::verify_invariants).
+/// combined) with the src/lint diagnostics passes. `certify`
+/// independently re-verifies a (secured) design against its spec with
+/// the SAT-free abstract interpreter of src/flow (CERT0xx diagnostics).
+/// `secure --verify` additionally runs the lint invariant pass after
+/// every applied RSN change (PipelineOptions::verify_invariants) and the
+/// certifier on the final network (PipelineOptions::verify_certify).
+/// `bench ablation` reproduces the Sec. IV-C structural-vs-exact
+/// ablation with the benchmark harness's instance recipe.
 ///
 /// Returns the process exit code (0 = success; for `analyze`, 0 also
 /// means "no violations found" and 2 means "violations found"; for
-/// `lint`, 0 means "no error-severity diagnostics" and 2 means at least
-/// one error was reported).
+/// `lint` and `certify`, 0 means "no error-severity diagnostics" and 2
+/// means at least one error was reported).
 int run(const std::vector<std::string>& args, std::ostream& out,
         std::ostream& err);
 
