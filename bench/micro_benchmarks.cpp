@@ -55,6 +55,44 @@ void BM_SatPigeonhole(benchmark::State& state) {
 }
 BENCHMARK(BM_SatPigeonhole)->Arg(5)->Arg(7)->Arg(8);
 
+void BM_SatIncremental(benchmark::State& state) {
+  // The dep-engine query pattern: one wide cone CNF, every flip-flop leaf
+  // probed under assumptions. Arg toggles the incremental machinery
+  // (verdict cache, trail-prefix reuse, Unsat-core reuse, model rotation)
+  // so the committed JSON keeps both sides of the comparison.
+  const bool incremental = state.range(0) != 0;
+  constexpr std::size_t kWidth = 96;
+  netlist::Netlist nl;
+  std::vector<netlist::NodeId> ffs;
+  for (std::size_t i = 0; i < kWidth; ++i) {
+    netlist::NodeId f = nl.add_ff("f" + std::to_string(i));
+    nl.set_ff_input(f, f);
+    ffs.push_back(f);
+  }
+  netlist::NodeId acc = ffs[0];
+  for (std::size_t i = 1; i < kWidth; ++i) {
+    acc = nl.add_gate(i % 2 ? netlist::GateType::Xor
+                            : netlist::GateType::And,
+                      {acc, ffs[i]});
+  }
+  netlist::NodeId t = nl.add_ff("t");
+  nl.set_ff_input(t, acc);
+  netlist::Cone cone = nl.extract_next_state_cone(t);
+  netlist::ConeCheckOptions opts;
+  opts.incremental = incremental;
+  std::uint64_t solves = 0;
+  for (auto _ : state) {
+    netlist::ConeDependenceChecker chk(nl, cone, opts);
+    for (std::size_t i = 0; i < cone.leaves.size(); ++i)
+      benchmark::DoNotOptimize(chk.query(i));
+    solves = chk.solver_solves();
+  }
+  state.counters["solver_solves"] = static_cast<double>(solves);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kWidth));
+}
+BENCHMARK(BM_SatIncremental)->Arg(0)->Arg(1);
+
 void BM_ConeDependenceCheck(benchmark::State& state) {
   // A wide AND-XOR cone; every leaf requires a SAT query when the random
   // prefilter is bypassed.

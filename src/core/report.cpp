@@ -116,6 +116,22 @@ void write_json(std::ostream& os, const PipelineResult& r) {
      << "    \"sim_resolved\": " << r.dep_stats.sim_resolved << ",\n"
      << "    \"ternary_resolved\": " << r.dep_stats.ternary_resolved
      << ",\n"
+     << "    \"solver\": {\n"
+     << "      \"solves\": " << r.dep_stats.solver_solves << ",\n"
+     << "      \"conflicts\": " << r.dep_stats.solver_conflicts << ",\n"
+     << "      \"decisions\": " << r.dep_stats.solver_decisions << ",\n"
+     << "      \"propagations\": " << r.dep_stats.solver_propagations
+     << ",\n"
+     << "      \"restarts\": " << r.dep_stats.solver_restarts << ",\n"
+     << "      \"learned\": " << r.dep_stats.solver_learned << ",\n"
+     << "      \"lbd_protected\": " << r.dep_stats.lbd_protected << ",\n"
+     << "      \"inprocessing_rounds\": "
+     << r.dep_stats.inprocessing_rounds << ",\n"
+     << "      \"cores_reused\": " << r.dep_stats.cores_reused << ",\n"
+     << "      \"rotation_witnesses\": " << r.dep_stats.rotation_witnesses
+     << ",\n"
+     << "      \"shared_clauses\": " << r.dep_stats.shared_clauses << "\n"
+     << "    },\n"
      << "    \"threads\": " << r.dep_stats.threads_used << ",\n"
      << "    \"phase_seconds\": {\"one_cycle\": " << r.dep_stats.t_one_cycle
      << ", \"bridge\": " << r.dep_stats.t_bridge

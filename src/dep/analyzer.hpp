@@ -5,6 +5,7 @@
 
 #include "netlist/netlist.hpp"
 #include "rsn/rsn.hpp"
+#include "sat/literal.hpp"
 #include "util/dep_matrix.hpp"
 #include "util/rng.hpp"
 
@@ -32,7 +33,8 @@ struct DepOptions {
   /// multi-cycle closure is cubic in the number of participating
   /// flip-flops, so bridging is what makes large circuits feasible.
   bool bridge_internal = true;
-  /// Rounds of 64-pattern random simulation per cone before SAT.
+  /// Rounds of 256-pattern random simulation per cone before SAT (each
+  /// round evaluates a 4x64-bit SIMD pattern block per leaf).
   int sim_rounds = 4;
   /// After the simulation prefilter, try to *prove* the remaining
   /// undecided leaves only-structural with the pair-ternary abstract
@@ -45,6 +47,19 @@ struct DepOptions {
   /// Per-query SAT conflict limit; on Unknown the dependency is
   /// conservatively classified as functional (sound for security).
   std::uint64_t sat_conflict_limit = 200000;
+  /// Incremental SAT queries inside a cone: verdict caching, Unsat-core
+  /// reuse across leaves, model rotation and periodic solver
+  /// inprocessing (see ConeCheckOptions). Matrices and classification
+  /// counters are identical with this off; with a finite
+  /// sat_conflict_limit the incremental path can only be strictly more
+  /// precise (fewer sat_unknown), never less.
+  bool sat_incremental = true;
+  /// Share learned SAT clauses between isomorphic-modulo-leaf-permutation
+  /// cones (translated through the canonical leaf permutation, see
+  /// dep/clause_share.hpp). Only active in DepMode::Exact with
+  /// sat_incremental and cone_cache on. Affects solver work counters
+  /// only, never verdicts.
+  bool share_clauses = true;
   /// Bound on the number of clock cycles the multi-cycle dependency may
   /// span (0 = unbounded fixpoint, the paper's setting). A bound
   /// under-approximates the attacker (who can wait arbitrarily many
@@ -97,6 +112,21 @@ struct DepStats {
   /// logical work — a cache hit replicates the representative's sim/SAT
   /// counters — so they match a cache-off run bit for bit.
   std::uint64_t cone_cache_hits = 0;
+  /// Solver work counters. Unlike the classification counters above,
+  /// these measure *actual* work: they are aggregated once per
+  /// isomorphism-group representative, not replicated per cache member,
+  /// so they shrink as the cone cache and the incremental machinery bite.
+  std::uint64_t solver_solves = 0;    ///< solver solve() calls issued
+  std::uint64_t solver_conflicts = 0;
+  std::uint64_t solver_decisions = 0;
+  std::uint64_t solver_propagations = 0;
+  std::uint64_t solver_restarts = 0;
+  std::uint64_t solver_learned = 0;
+  std::uint64_t lbd_protected = 0;       ///< glue clauses (LBD <= 2) learned
+  std::uint64_t inprocessing_rounds = 0;
+  std::uint64_t cores_reused = 0;        ///< leaves discharged by Unsat cores
+  std::uint64_t rotation_witnesses = 0;  ///< leaves discharged by rotation
+  std::uint64_t shared_clauses = 0;      ///< clauses imported from iso cones
   std::size_t threads_used = 0;  ///< resolved parallelism of the run
   /// Per-phase wall-clock seconds (cone classification incl. the
   /// simulation prefilter and SAT, internal-FF bridging, multi-cycle
@@ -230,6 +260,17 @@ class DependencyAnalyzer {
     DepKind kind;
   };
 
+  /// Clause-sharing hookup of one cone_deps call. `leaf_to_canon` is the
+  /// cone's canonical leaf permutation (dep/clause_share.hpp); `import`
+  /// holds clauses (in canonical numbering) from an isomorphic cone's
+  /// checker to install before querying; `export_to`, when non-null, is
+  /// filled with this checker's learned clauses after querying.
+  struct ShareInfo {
+    const std::vector<std::uint32_t>* leaf_to_canon = nullptr;
+    const std::vector<sat::Clause>* import = nullptr;
+    std::vector<sat::Clause>* export_to = nullptr;
+  };
+
   void build_index();
   void extract_capture_cones();
   void classify_internal();
@@ -238,7 +279,8 @@ class DependencyAnalyzer {
   /// from the caller-provided RNG stream and accumulates the sim/SAT
   /// counters into `stats` (a per-task instance when run in parallel).
   std::vector<LeafDep> cone_deps(const netlist::Cone& cone, Rng& rng,
-                                 DepStats& stats) const;
+                                 DepStats& stats,
+                                 const ShareInfo* share = nullptr) const;
   void compute_one_cycle();
   void bridge_internal();
   void compute_closure();

@@ -1,0 +1,102 @@
+#include "dep/clause_share.hpp"
+
+#include <unordered_map>
+
+namespace rsnsec::dep {
+
+using netlist::Cone;
+using netlist::NodeId;
+
+CanonicalCone cone_canonical(const netlist::Netlist& nl, const Cone& cone) {
+  CanonicalCone canon;
+  const std::size_t num_leaves = cone.leaves.size();
+
+  // Own leaf index of every leaf node, and gate codes (L + gate position,
+  // matching the exact signature's local coordinates).
+  std::unordered_map<NodeId, std::uint32_t> leaf_idx;
+  leaf_idx.reserve(num_leaves);
+  for (std::size_t i = 0; i < num_leaves; ++i)
+    leaf_idx.emplace(cone.leaves[i], static_cast<std::uint32_t>(i));
+  std::unordered_map<NodeId, std::uint32_t> gate_code;
+  gate_code.reserve(cone.gates.size());
+  for (std::size_t g = 0; g < cone.gates.size(); ++g)
+    gate_code.emplace(cone.gates[g],
+                      static_cast<std::uint32_t>(num_leaves + g));
+
+  // Canonical leaf numbering: first occurrence in the gate fanin
+  // traversal, then the root if it is a leaf, then the rest in original
+  // order.
+  constexpr std::uint32_t kUnassigned = 0xffffffffu;
+  canon.leaf_to_canon.assign(num_leaves, kUnassigned);
+  std::uint32_t next = 0;
+  auto visit_leaf = [&](NodeId id) {
+    auto it = leaf_idx.find(id);
+    if (it == leaf_idx.end()) return;
+    if (canon.leaf_to_canon[it->second] == kUnassigned)
+      canon.leaf_to_canon[it->second] = next++;
+  };
+  for (NodeId g : cone.gates) {
+    for (NodeId f : nl.node(g).fanins) visit_leaf(f);
+  }
+  if (cone.root != netlist::no_node) visit_leaf(cone.root);
+  for (std::size_t i = 0; i < num_leaves; ++i) {
+    if (canon.leaf_to_canon[i] == kUnassigned)
+      canon.leaf_to_canon[i] = next++;
+  }
+
+  // Encode the structure in canonical coordinates: leaf count, leaf node
+  // types in canonical order, gates (type, fanin count, fanin codes) in
+  // topological order, root code. This mirrors the exact signature with
+  // leaf codes renumbered, so equal encodings imply identical two-copy
+  // CNFs modulo the per-leaf variable-triple permutation.
+  canon.data.reserve(2 + num_leaves + 2 * cone.gates.size() + 8);
+  canon.data.push_back(static_cast<std::uint32_t>(num_leaves));
+  // Leaf kind in canonical coordinates. FF and Input leaves collapse to
+  // one code: the two-copy CNF gives every non-constant leaf the same
+  // variable triple and equality clauses regardless of node type, so a
+  // cone fed by primary inputs builds the same solver instance as a
+  // same-shaped cone fed by flip-flops and may share its clauses. Only
+  // the constants stay distinct — they pin unit clauses into the CNF.
+  // (The *exact* signature must keep FF and Input apart because it also
+  // reuses verdicts, and only FF leaves are ever queried.)
+  auto leaf_kind = [&](NodeId id) -> std::uint32_t {
+    switch (nl.node(id).type) {
+      case netlist::GateType::Const0: return 1;
+      case netlist::GateType::Const1: return 2;
+      default: return 0;  // FF or Input: same CNF shape
+    }
+  };
+  std::vector<std::uint32_t> type_of_canon(num_leaves, 0);
+  for (std::size_t i = 0; i < num_leaves; ++i) {
+    type_of_canon[canon.leaf_to_canon[i]] = leaf_kind(cone.leaves[i]);
+  }
+  canon.data.insert(canon.data.end(), type_of_canon.begin(),
+                    type_of_canon.end());
+  auto canon_code = [&](NodeId id) -> std::uint32_t {
+    auto lit = leaf_idx.find(id);
+    if (lit != leaf_idx.end()) return canon.leaf_to_canon[lit->second];
+    auto git = gate_code.find(id);
+    return git == gate_code.end() ? kUnassigned : git->second;
+  };
+  canon.data.push_back(static_cast<std::uint32_t>(cone.gates.size()));
+  for (NodeId g : cone.gates) {
+    const netlist::Node& n = nl.node(g);
+    canon.data.push_back(static_cast<std::uint32_t>(n.type));
+    canon.data.push_back(static_cast<std::uint32_t>(n.fanins.size()));
+    for (NodeId f : n.fanins) canon.data.push_back(canon_code(f));
+  }
+  canon.data.push_back(cone.root == netlist::no_node ? 0xfffffffeu
+                                                     : canon_code(cone.root));
+
+  std::uint64_t h = 0x452821e638d01377ULL;  // distinct basis from the
+                                            // exact signature's
+  for (std::uint32_t w : canon.data) {
+    h ^= w;
+    h *= 0x100000001b3ULL;
+    h ^= h >> 29;
+  }
+  canon.hash = h;
+  return canon;
+}
+
+}  // namespace rsnsec::dep

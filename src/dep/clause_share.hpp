@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace rsnsec::dep {
+
+/// Leaf-permutation-invariant canonical form of a combinational cone,
+/// used to decide which cones may exchange learned SAT clauses.
+///
+/// The exact cone signature (dep/analyzer.cpp) distinguishes cones whose
+/// leaves arrive in a different order even when the logic is identical,
+/// and cones whose leaves differ in node type (FF vs. primary input) —
+/// both necessary for verdict reuse, which is positional and applies
+/// only to FF leaves. Clause sharing is weaker: it only needs the
+/// two-copy CNFs to be identical *modulo a permutation of the per-leaf
+/// variable triples*, which holds whenever the canonical forms are
+/// equal. The canonical form therefore collapses FF and Input leaves to
+/// one kind (the CNF treats them identically; only constants pin unit
+/// clauses), making it strictly coarser than the exact signature: two
+/// cones in different exact groups — and hence with independent solver
+/// instances — can still exchange learned clauses. `leaf_to_canon` is
+/// the permutation (own leaf index → canonical leaf index);
+/// ConeDependenceChecker translates clauses through it on export and
+/// import.
+struct CanonicalCone {
+  /// Canonical structure encoding; equality (not hash equality) is the
+  /// sharing criterion.
+  std::vector<std::uint32_t> data;
+  std::uint64_t hash = 0;
+  /// Permutation: own leaf index → canonical leaf index.
+  std::vector<std::uint32_t> leaf_to_canon;
+
+  friend bool operator==(const CanonicalCone& a, const CanonicalCone& b) {
+    return a.hash == b.hash && a.data == b.data;
+  }
+};
+
+/// Computes the canonical form of `cone`. Canonical leaf numbering is by
+/// first occurrence in the gate fanin traversal (gates in topological
+/// order, fanins in order), then the root if it is itself a leaf, then
+/// any remaining leaves in original order — a deterministic rule that
+/// maps isomorphic cones with permuted leaf lists to equal encodings.
+CanonicalCone cone_canonical(const netlist::Netlist& nl,
+                             const netlist::Cone& cone);
+
+}  // namespace rsnsec::dep

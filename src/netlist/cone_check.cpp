@@ -13,10 +13,15 @@ using sat::mk_lit;
 
 ConeDependenceChecker::ConeDependenceChecker(const Netlist& nl,
                                              const Cone& cone,
-                                             std::uint64_t conflict_limit)
-    : nl_(nl), cone_(cone) {
-  solver_.set_conflict_limit(conflict_limit);
-  // Literals for the leaves of both copies.
+                                             const ConeCheckOptions& options)
+    : nl_(nl), cone_(cone), opts_(options) {
+  solver_.set_conflict_limit(opts_.conflict_limit);
+  // Literals for the leaves of both copies. The variable layout is part
+  // of the clause-sharing contract: leaf i owns the triple
+  // (3i = a, 3i+1 = b, 3i+2 = eq); gate and diff variables follow and
+  // depend only on the gate structure, so two cones with the same
+  // canonical signature have identical CNFs modulo a permutation of the
+  // leaf triples.
   a_leaf_.reserve(cone_.leaves.size());
   b_leaf_.reserve(cone_.leaves.size());
   eq_sel_.reserve(cone_.leaves.size());
@@ -49,6 +54,8 @@ ConeDependenceChecker::ConeDependenceChecker(const Netlist& nl,
   // diff -> (out_a != out_b)
   solver_.add_clause(~diff_, out_a, out_b);
   solver_.add_clause(~diff_, ~out_a, ~out_b);
+
+  verdict_.assign(cone_.leaves.size(), 0);
 }
 
 Lit ConeDependenceChecker::encode_copy(
@@ -109,22 +116,151 @@ Lit ConeDependenceChecker::encode_copy(
 sat::Result ConeDependenceChecker::query(std::size_t leaf_idx) {
   assert(leaf_idx < cone_.leaves.size());
   if (leaf_is_const_[leaf_idx]) return sat::Result::Unsat;
-  std::vector<Lit> assumptions;
-  assumptions.reserve(cone_.leaves.size() + 3);
-  for (std::size_t i = 0; i < cone_.leaves.size(); ++i) {
-    if (i != leaf_idx) assumptions.push_back(eq_sel_[i]);
-  }
-  // WLOG fix the flipped leaf to 1 in copy A and 0 in copy B.
-  assumptions.push_back(a_leaf_[leaf_idx]);
-  assumptions.push_back(~b_leaf_[leaf_idx]);
-  assumptions.push_back(diff_);
   ++sat_calls_;
   if (obs::TraceSession* trace = obs::TraceSession::active()) {
     trace->counter("cone.sat_queries").add(1);
     trace->histogram("cone.leaves_per_query")
         .record(cone_.leaves.size());
   }
-  return solver_.solve(assumptions);
+  if (opts_.incremental && verdict_[leaf_idx] != 0) {
+    return verdict_[leaf_idx] == 1 ? sat::Result::Sat : sat::Result::Unsat;
+  }
+
+  if (opts_.incremental && opts_.inprocess_interval != 0 &&
+      solver_solves_ - last_inprocess_solves_ >= opts_.inprocess_interval) {
+    solver_.inprocess();
+    last_inprocess_solves_ = solver_solves_;
+  }
+
+  // Canonical assumption order: diff first, then the eq selectors in
+  // ascending leaf order, then the flipped leaf's polarity literals.
+  // Consecutive queries j, j' thus share an assumption prefix of length
+  // 1 + min(j, j'), which the solver keeps on its trail verbatim.
+  std::vector<Lit> assumptions;
+  assumptions.reserve(cone_.leaves.size() + 3);
+  assumptions.push_back(diff_);
+  for (std::size_t i = 0; i < cone_.leaves.size(); ++i) {
+    if (i != leaf_idx) assumptions.push_back(eq_sel_[i]);
+  }
+  // WLOG fix the flipped leaf to 1 in copy A and 0 in copy B.
+  assumptions.push_back(a_leaf_[leaf_idx]);
+  assumptions.push_back(~b_leaf_[leaf_idx]);
+
+  sat::Result r = solver_.solve(assumptions);
+  ++solver_solves_;
+  if (!opts_.incremental) return r;
+  if (r == sat::Result::Sat) {
+    verdict_[leaf_idx] = 1;
+    rotate_model();
+  } else if (r == sat::Result::Unsat) {
+    verdict_[leaf_idx] = 2;
+    reuse_core(leaf_idx);
+  }
+  return r;
+}
+
+void ConeDependenceChecker::reuse_core(std::size_t leaf_idx) {
+  // The core is a subset of {diff} ∪ {eq_i : i != j} ∪ {a_j, ~b_j} whose
+  // conjunction is already unsatisfiable with the CNF. Leaf k's
+  // assumption set contains diff, every eq_i with i != k, a_k and ~b_k —
+  // so the core is a subset of it (making k Unsat by the same proof) iff
+  // it avoids a_j, ~b_j and eq_k. An empty core means the CNF is
+  // unsatisfiable under no assumptions, discharging every leaf.
+  const std::size_t num_leaves = cone_.leaves.size();
+  const std::vector<Lit>& core = solver_.conflict_core();
+  std::vector<bool> eq_in_core(num_leaves, false);
+  for (Lit l : core) {
+    if (l == a_leaf_[leaf_idx] || l == ~b_leaf_[leaf_idx]) return;
+    auto v = static_cast<std::uint32_t>(sat::var(l));
+    if (v < 3 * num_leaves && v % 3 == 2) eq_in_core[v / 3] = true;
+  }
+  for (std::size_t k = 0; k < num_leaves; ++k) {
+    if (k == leaf_idx || leaf_is_const_[k] || verdict_[k] != 0) continue;
+    if (!eq_in_core[k]) {
+      verdict_[k] = 2;
+      ++cores_reused_;
+    }
+  }
+}
+
+void ConeDependenceChecker::rotate_model() {
+  // Model rotation: the satisfying model assigns every leaf of copy A.
+  // Flipping a single undecided leaf u from that assignment and
+  // re-evaluating the cone is a direct dependence test — if the root
+  // flips, u is a Sat witness (∃ assignment of the other leaves such
+  // that toggling u toggles the root). 255 candidate flips ride in one
+  // 256-pattern evaluation: bit 0 keeps the unflipped base, bit p >= 1
+  // flips exactly candidate p-1.
+  const std::size_t num_leaves = cone_.leaves.size();
+  rot_cand_.clear();
+  for (std::size_t k = 0; k < num_leaves; ++k) {
+    if (!leaf_is_const_[k] && verdict_[k] == 0) rot_cand_.push_back(k);
+  }
+  if (rot_cand_.empty()) return;
+
+  rot_vals_.resize(num_leaves);
+  for (std::size_t i = 0; i < num_leaves; ++i)
+    rot_vals_[i] = Word256::broadcast(solver_.model_value(a_leaf_[i]));
+
+  for (std::size_t start = 0; start < rot_cand_.size(); start += 255) {
+    std::size_t m = std::min<std::size_t>(255, rot_cand_.size() - start);
+    for (std::size_t p = 0; p < m; ++p)
+      rot_vals_[rot_cand_[start + p]].flip_bit(p + 1);
+    Word256 f = eval_cone(nl_, cone_, rot_vals_, rot_scratch_);
+    bool base = f.bit(0);
+    for (std::size_t p = 0; p < m; ++p) {
+      rot_vals_[rot_cand_[start + p]].flip_bit(p + 1);  // restore
+      if (f.bit(p + 1) != base) {
+        verdict_[rot_cand_[start + p]] = 1;
+        ++rotation_witnesses_;
+      }
+    }
+  }
+}
+
+std::vector<sat::Clause> ConeDependenceChecker::export_clauses(
+    const std::vector<std::uint32_t>& leaf_to_canon, std::size_t max_size,
+    std::uint32_t max_lbd) const {
+  assert(leaf_to_canon.size() == cone_.leaves.size());
+  const auto num_leaf_vars =
+      static_cast<std::uint32_t>(3 * cone_.leaves.size());
+  std::vector<sat::Clause> out =
+      solver_.export_learnts(max_size, max_lbd);
+  for (sat::Clause& cl : out) {
+    for (Lit& l : cl) {
+      auto v = static_cast<std::uint32_t>(sat::var(l));
+      if (v < num_leaf_vars) {
+        std::uint32_t canon_v = 3 * leaf_to_canon[v / 3] + v % 3;
+        l = mk_lit(static_cast<sat::Var>(canon_v), sat::sign(l));
+      }
+    }
+  }
+  return out;
+}
+
+std::size_t ConeDependenceChecker::import_clauses(
+    const std::vector<sat::Clause>& clauses,
+    const std::vector<std::uint32_t>& leaf_to_canon) {
+  assert(leaf_to_canon.size() == cone_.leaves.size());
+  const std::size_t num_leaves = cone_.leaves.size();
+  std::vector<std::uint32_t> canon_to_own(num_leaves);
+  for (std::size_t i = 0; i < num_leaves; ++i)
+    canon_to_own[leaf_to_canon[i]] = static_cast<std::uint32_t>(i);
+  const auto num_leaf_vars = static_cast<std::uint32_t>(3 * num_leaves);
+  std::size_t installed = 0;
+  sat::Clause translated;
+  for (const sat::Clause& cl : clauses) {
+    translated = cl;
+    for (Lit& l : translated) {
+      auto v = static_cast<std::uint32_t>(sat::var(l));
+      if (v < num_leaf_vars) {
+        std::uint32_t own_v = 3 * canon_to_own[v / 3] + v % 3;
+        l = mk_lit(static_cast<sat::Var>(own_v), sat::sign(l));
+      }
+    }
+    if (solver_.import_clause(translated)) ++installed;
+  }
+  return installed;
 }
 
 }  // namespace rsnsec::netlist

@@ -3,9 +3,30 @@
 #include <vector>
 
 #include "netlist/netlist.hpp"
+#include "netlist/sim.hpp"
 #include "sat/solver.hpp"
 
 namespace rsnsec::netlist {
+
+/// Tuning knobs for ConeDependenceChecker.
+struct ConeCheckOptions {
+  /// Per-query SAT conflict budget (0 = unlimited); an exceeded budget
+  /// makes query() return sat::Result::Unknown.
+  std::uint64_t conflict_limit = 0;
+
+  /// Enables the incremental query machinery: verdict caching, Unsat-core
+  /// reuse across leaves, model rotation (a Sat model is perturbed one
+  /// leaf at a time to witness other dependencies for free) and periodic
+  /// solver inprocessing. Verdicts are identical to the non-incremental
+  /// path except that with a finite conflict_limit the incremental path
+  /// can be strictly more precise (a leaf another query already decided
+  /// cannot come back Unknown).
+  bool incremental = true;
+
+  /// Solver solve() calls between bounded inprocess() rounds on the cone
+  /// CNF (0 = never). Only active when `incremental` is set.
+  std::size_t inprocess_interval = 64;
+};
 
 /// SAT-based exact functional-dependence check for one combinational cone
 /// (the method of [18], Sec. III-A of the paper).
@@ -14,20 +35,36 @@ namespace rsnsec::netlist {
 /// leaf i gets an equality selector eq_i (eq_i -> a_i == b_i) and a `diff`
 /// literal asserts that the two root values differ. Whether the root
 /// functionally depends on leaf j is then a single incremental SAT call
-/// under assumptions {eq_i : i != j} ∪ {a_j, ¬b_j, diff}: satisfiable iff
-/// some assignment of the remaining leaves lets a flip of leaf j flip the
-/// root — i.e. data can propagate. UNSAT means the structural connection
-/// is "only structural" (e.g. cancelled by reconvergence, as the XOR in
-/// Fig. 5 of the paper).
+/// under assumptions {diff} ∪ {eq_i : i != j} ∪ {a_j, ¬b_j}: satisfiable
+/// iff some assignment of the remaining leaves lets a flip of leaf j flip
+/// the root — i.e. data can propagate. UNSAT means the structural
+/// connection is "only structural" (e.g. cancelled by reconvergence, as
+/// the XOR in Fig. 5 of the paper).
+///
+/// Queries are incremental three ways. The assumption vector is ordered
+/// canonically (diff first, then the eq selectors ascending) so
+/// consecutive queries share a maximal trail prefix inside the solver and
+/// skip re-propagating it. A Sat model is rotated: flipping one undecided
+/// leaf at a time from the model assignment (up to 255 leaves per
+/// 256-pattern cone evaluation) witnesses further functional dependencies
+/// without any solver call. An Unsat answer yields an assumption core; when the core
+/// avoids the flipped leaf's literals, every other leaf whose eq selector
+/// is outside the core is Unsat by the same proof and is discharged
+/// without a solve.
 class ConeDependenceChecker {
  public:
   /// Builds the two-copy CNF for `cone` of netlist `nl`. The cone must
   /// have been produced by Netlist::extract_signal_cone or
-  /// Netlist::extract_next_state_cone. `conflict_limit` bounds every
-  /// query's SAT conflicts (0 = unlimited); an exceeded budget makes
-  /// query() return sat::Result::Unknown.
+  /// Netlist::extract_next_state_cone.
   ConeDependenceChecker(const Netlist& nl, const Cone& cone,
-                        std::uint64_t conflict_limit = 0);
+                        const ConeCheckOptions& options);
+
+  /// Back-compat convenience: default options with the given per-query
+  /// conflict limit.
+  ConeDependenceChecker(const Netlist& nl, const Cone& cone,
+                        std::uint64_t conflict_limit = 0)
+      : ConeDependenceChecker(nl, cone,
+                              ConeCheckOptions{conflict_limit, true, 64}) {}
 
   /// Exact query for cone.leaves[leaf_idx]: Sat means the root
   /// functionally depends on the leaf, Unsat means the connection is
@@ -43,23 +80,64 @@ class ConeDependenceChecker {
     return query(leaf_idx) == sat::Result::Sat;
   }
 
-  /// Number of SAT calls issued so far.
+  /// Number of logical SAT queries so far. Cached verdicts (from core
+  /// reuse or model rotation) still count: the number is identical to the
+  /// non-incremental path's and measures classification work, not solver
+  /// invocations (see solver_solves()).
   std::uint64_t sat_calls() const { return sat_calls_; }
+
+  /// Number of actual solver solve() calls issued.
+  std::uint64_t solver_solves() const { return solver_solves_; }
+
+  /// Leaves discharged as Unsat by assumption-core reuse.
+  std::uint64_t cores_reused() const { return cores_reused_; }
+
+  /// Leaves discharged as Sat by model rotation.
+  std::uint64_t rotation_witnesses() const { return rotation_witnesses_; }
 
   /// Access to the underlying solver statistics.
   const sat::SolverStats& solver_stats() const { return solver_.stats(); }
 
+  /// Learned clauses of the underlying solver, translated into the
+  /// canonical leaf numbering given by `leaf_to_canon` (own leaf index →
+  /// canonical leaf index; a permutation of 0..num_leaves-1). Clauses of
+  /// size <= max_size and LBD <= max_lbd plus all root-implied units are
+  /// returned. Any checker whose cone has the same canonical signature
+  /// (identical CNF modulo the leaf permutation) may import them.
+  std::vector<sat::Clause> export_clauses(
+      const std::vector<std::uint32_t>& leaf_to_canon, std::size_t max_size,
+      std::uint32_t max_lbd) const;
+
+  /// Imports clauses previously exported by an isomorphic cone's checker
+  /// (in canonical leaf numbering), translating them through this cone's
+  /// own `leaf_to_canon` permutation. Returns the number of clauses
+  /// installed.
+  std::size_t import_clauses(const std::vector<sat::Clause>& clauses,
+                             const std::vector<std::uint32_t>& leaf_to_canon);
+
  private:
   const Netlist& nl_;
   const Cone& cone_;
+  ConeCheckOptions opts_;
   sat::Solver solver_;
   std::vector<sat::Lit> a_leaf_, b_leaf_, eq_sel_;
   std::vector<bool> leaf_is_const_;
   sat::Lit diff_{};
   std::uint64_t sat_calls_ = 0;
+  std::uint64_t solver_solves_ = 0;
+  std::uint64_t cores_reused_ = 0;
+  std::uint64_t rotation_witnesses_ = 0;
+  std::uint64_t last_inprocess_solves_ = 0;
+  // Cached verdicts per leaf: 0 = undecided, 1 = Sat, 2 = Unsat.
+  std::vector<std::uint8_t> verdict_;
+  // Scratch for model rotation.
+  std::vector<Word256> rot_vals_, rot_scratch_;
+  std::vector<std::size_t> rot_cand_;
 
   sat::Lit encode_copy(std::vector<sat::Lit>& node_lit,
                        const std::vector<sat::Lit>& leaf_lits);
+  void reuse_core(std::size_t leaf_idx);
+  void rotate_model();
 };
 
 }  // namespace rsnsec::netlist

@@ -98,4 +98,33 @@ std::uint64_t eval_cone(const Netlist& nl, const Cone& cone,
   return scratch[cone.root];
 }
 
+Word256 eval_cone(const Netlist& nl, const Cone& cone,
+                  const std::vector<Word256>& leaf_values,
+                  std::vector<Word256>& scratch) {
+  assert(leaf_values.size() == cone.leaves.size());
+  scratch.resize(nl.num_nodes());
+  for (std::size_t i = 0; i < cone.leaves.size(); ++i)
+    scratch[cone.leaves[i]] = leaf_values[i];
+  std::uint64_t fanin_vals[64];
+  for (NodeId id : cone.gates) {
+    const Node& n = nl.node(id);
+    std::size_t k = n.fanins.size();
+    if (k <= 64) {
+      for (std::size_t lane = 0; lane < 4; ++lane) {
+        for (std::size_t i = 0; i < k; ++i)
+          fanin_vals[i] = scratch[n.fanins[i]].lane[lane];
+        scratch[id].lane[lane] = eval_gate(n.type, fanin_vals, k);
+      }
+    } else {
+      std::vector<std::uint64_t> big(k);
+      for (std::size_t lane = 0; lane < 4; ++lane) {
+        for (std::size_t i = 0; i < k; ++i)
+          big[i] = scratch[n.fanins[i]].lane[lane];
+        scratch[id].lane[lane] = eval_gate(n.type, big.data(), k);
+      }
+    }
+  }
+  return scratch[cone.root];
+}
+
 }  // namespace rsnsec::netlist

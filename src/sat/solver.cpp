@@ -8,6 +8,18 @@
 
 namespace rsnsec::sat {
 
+namespace {
+
+// Inprocessing budgets. Each inprocess() round is bounded so a round costs
+// a fixed amount of work regardless of formula size; callers control the
+// total effort through how often they call it.
+constexpr std::size_t kProbeMaxLits = 4096;
+constexpr std::uint64_t kProbePropBudget = 300000;
+constexpr std::uint32_t kSubsumeMaxSize = 16;
+constexpr std::int64_t kSubsumeTickBudget = 200000;
+
+}  // namespace
+
 std::uint64_t luby(std::uint64_t i) {
   // Find the finite subsequence that contains index i, then index into it.
   std::uint64_t size = 1;
@@ -24,7 +36,7 @@ std::uint64_t luby(std::uint64_t i) {
   return 1ULL << seq;
 }
 
-Solver::Solver() = default;
+Solver::Solver() { lbd_stamp_.push_back(0); }
 
 Var Solver::new_var() {
   auto v = static_cast<Var>(assigns_.size());
@@ -34,6 +46,9 @@ Var Solver::new_var() {
   activity_.push_back(0.0);
   heap_pos_.push_back(-1);
   seen_.push_back(false);
+  lbd_stamp_.push_back(0);
+  bin_stamp_.push_back(0);
+  bin_lit_.push_back(0);
   watches_.emplace_back();
   watches_.emplace_back();
   model_.push_back(false);
@@ -41,16 +56,22 @@ Var Solver::new_var() {
   return v;
 }
 
-Solver::CRef Solver::alloc_clause(const Clause& lits, bool learnt) {
+Solver::CRef Solver::alloc_clause(const Clause& lits, bool learnt,
+                                  std::uint32_t lbd) {
   auto c = static_cast<CRef>(arena_.size());
   arena_.push_back((static_cast<std::uint32_t>(lits.size()) << 2) |
                    (learnt ? 2u : 0u));
-  if (learnt) arena_.push_back(0);  // activity slot
+  if (learnt) {
+    arena_.push_back(0);  // activity slot
+    arena_.push_back(lbd);
+  }
   for (Lit l : lits) arena_.push_back(static_cast<std::uint32_t>(l.x));
   if (learnt) {
     clause_activity(c) = 0.0f;
     learnts_.push_back(c);
     ++stats_.learned_clauses;
+  } else {
+    clauses_.push_back(c);
   }
   return c;
 }
@@ -64,8 +85,27 @@ void Solver::attach_clause(CRef c) {
       {c, lits[0]});
 }
 
+void Solver::detach_clause(CRef c) {
+  for (int w = 0; w < 2; ++w) {
+    Lit watched = clause_lits(c)[w];
+    auto& ws = watches_[static_cast<std::size_t>((~watched).x)];
+    for (std::size_t k = 0; k < ws.size(); ++k) {
+      if (ws[k].cref == c) {
+        ws[k] = ws.back();
+        ws.pop_back();
+        break;
+      }
+    }
+  }
+}
+
+void Solver::remove_clause(CRef c) {
+  detach_clause(c);
+  mark_deleted(c);
+}
+
 bool Solver::add_clause(Clause lits) {
-  assert(decision_level() == 0);
+  backtrack_to_root();
   if (!ok_) return false;
 
   // Normalize: sort, drop duplicates and level-0-false literals, detect
@@ -91,7 +131,7 @@ bool Solver::add_clause(Clause lits) {
     ok_ = (propagate() == cref_undef);
     return ok_;
   }
-  attach_clause(alloc_clause(out, /*learnt=*/false));
+  attach_clause(alloc_clause(out, /*learnt=*/false, /*lbd=*/0));
   return true;
 }
 
@@ -173,19 +213,28 @@ void Solver::cancel_until(std::int32_t lvl) {
   qhead_ = trail_.size();
 }
 
+void Solver::backtrack_to_root() {
+  cancel_until(0);
+  prev_assumptions_.clear();
+}
+
 bool Solver::lit_redundant(Lit l, std::uint32_t abstract_levels) {
   // A literal is redundant in the learnt clause if it is implied by other
   // clause literals (standard recursive minimization with an explicit
-  // stack; `seen_` marks clause literals and proven-redundant ones).
+  // stack; `seen_` marks clause literals and proven-redundant ones). On
+  // success the marks stay set — they memoize the proof for the remaining
+  // candidates — and analyze() clears them through analyze_toclear_; on
+  // failure only this call's own marks are rolled back.
   analyze_stack_.clear();
   analyze_stack_.push_back(l);
   std::size_t top = 0;
-  std::vector<Var> to_unmark;
+  redundant_marked_.clear();
   while (top < analyze_stack_.size()) {
     Lit q = analyze_stack_[top++];
     CRef reason = var_data_[static_cast<std::size_t>(var(q))].reason;
     if (reason == cref_undef) {
-      for (Var v : to_unmark) seen_[static_cast<std::size_t>(v)] = false;
+      for (Var v : redundant_marked_)
+        seen_[static_cast<std::size_t>(v)] = false;
       return false;
     }
     const Lit* lits = clause_lits(reason);
@@ -197,25 +246,82 @@ bool Solver::lit_redundant(Lit l, std::uint32_t abstract_levels) {
       if (seen_[static_cast<std::size_t>(v)] || level(v) == 0) continue;
       std::uint32_t lv_abs = 1u << (level(v) & 31);
       if ((lv_abs & abstract_levels) == 0) {
-        for (Var u : to_unmark) seen_[static_cast<std::size_t>(u)] = false;
+        for (Var u : redundant_marked_)
+          seen_[static_cast<std::size_t>(u)] = false;
         return false;
       }
       seen_[static_cast<std::size_t>(v)] = true;
-      to_unmark.push_back(v);
+      redundant_marked_.push_back(v);
       analyze_stack_.push_back(r);
     }
   }
+  for (Var v : redundant_marked_) analyze_toclear_.push_back(v);
   return true;
 }
 
+void Solver::strengthen_with_binaries(Clause& out_learnt) {
+  // On-the-fly strengthening (binary self-subsuming resolution): for the
+  // asserting literal l0, a binary clause (l0 v q) lets us drop ~q from
+  // the learnt clause — the resolvent on ~q is the strengthened clause
+  // itself. Binaries containing l0 as a watched literal live in the watch
+  // list of ~l0.
+  if (out_learnt.size() < 3 || out_learnt.size() > 30) return;
+  ++bin_counter_;
+  for (std::size_t i = 1; i < out_learnt.size(); ++i) {
+    auto v = static_cast<std::size_t>(var(out_learnt[i]));
+    bin_stamp_[v] = bin_counter_;
+    bin_lit_[v] = out_learnt[i].x;
+  }
+  const Lit l0 = out_learnt[0];
+  bool any = false;
+  const auto& ws = watches_[static_cast<std::size_t>((~l0).x)];
+  for (const Watcher& w : ws) {
+    if (clause_size(w.cref) != 2) continue;
+    const Lit q = w.blocker;
+    auto v = static_cast<std::size_t>(var(q));
+    if (bin_stamp_[v] == bin_counter_ && bin_lit_[v] == (~q).x) {
+      bin_lit_[v] = lit_undef.x;  // mark ~q for removal
+      any = true;
+    }
+  }
+  if (!any) return;
+  std::size_t keep = 1;
+  for (std::size_t i = 1; i < out_learnt.size(); ++i) {
+    auto v = static_cast<std::size_t>(var(out_learnt[i]));
+    if (bin_stamp_[v] == bin_counter_ && bin_lit_[v] == lit_undef.x) {
+      ++stats_.strengthened_lits;
+      continue;
+    }
+    out_learnt[keep++] = out_learnt[i];
+  }
+  out_learnt.resize(keep);
+}
+
+std::uint32_t Solver::compute_lbd(const Clause& lits) {
+  // Literal block distance: number of distinct decision levels in the
+  // clause (Glucose). Low LBD predicts a clause that keeps propagating.
+  ++lbd_counter_;
+  std::uint32_t lbd = 0;
+  for (Lit l : lits) {
+    auto lv = static_cast<std::size_t>(level(var(l)));
+    if (lv == 0) continue;
+    if (lbd_stamp_[lv] != lbd_counter_) {
+      lbd_stamp_[lv] = lbd_counter_;
+      ++lbd;
+    }
+  }
+  return lbd;
+}
+
 void Solver::analyze(CRef confl, Clause& out_learnt,
-                     std::int32_t& out_btlevel) {
+                     std::int32_t& out_btlevel, std::uint32_t& out_lbd) {
   // First-UIP conflict analysis.
   out_learnt.clear();
   out_learnt.push_back(lit_undef);  // placeholder for the asserting literal
   std::int32_t path_count = 0;
   Lit p = lit_undef;
   std::size_t index = trail_.size();
+  assert(analyze_toclear_.empty());
 
   do {
     assert(confl != cref_undef);
@@ -229,6 +335,7 @@ void Solver::analyze(CRef confl, Clause& out_learnt,
       Var v = var(q);
       if (seen_[static_cast<std::size_t>(v)] || level(v) == 0) continue;
       seen_[static_cast<std::size_t>(v)] = true;
+      analyze_toclear_.push_back(v);
       var_bump(v);
       if (level(v) >= decision_level()) {
         ++path_count;
@@ -259,6 +366,9 @@ void Solver::analyze(CRef confl, Clause& out_learnt,
   }
   out_learnt.resize(keep);
 
+  strengthen_with_binaries(out_learnt);
+  out_lbd = compute_lbd(out_learnt);
+
   // Compute the backtrack level and put a literal of that level at index 1.
   if (out_learnt.size() == 1) {
     out_btlevel = 0;
@@ -272,7 +382,41 @@ void Solver::analyze(CRef confl, Clause& out_learnt,
     out_btlevel = level(var(out_learnt[1]));
   }
 
-  for (Lit l : out_learnt) seen_[static_cast<std::size_t>(var(l))] = false;
+  // Clear every mark this analysis planted (clause literals, resolved-away
+  // literals, and successful redundancy proofs). Leaking any of them would
+  // silently drop literals from later learnt clauses — an unsound,
+  // over-strong clause database.
+  for (Var v : analyze_toclear_) seen_[static_cast<std::size_t>(v)] = false;
+  analyze_toclear_.clear();
+}
+
+void Solver::analyze_final(Lit p) {
+  // Assumption-failure analysis: `p` is an assumption found false during
+  // assumption re-establishment. Walks the implication trail backwards and
+  // collects the assumptions (the only decisions on the trail at this
+  // point) that support the failure. The returned core is a subset of the
+  // passed assumptions that is unsatisfiable with the formula on its own.
+  core_.clear();
+  core_.push_back(p);
+  if (decision_level() == 0 || level(var(p)) == 0) return;
+  seen_[static_cast<std::size_t>(var(p))] = true;
+  for (std::size_t i = trail_.size(); i-- > trail_lim_[0];) {
+    auto x = static_cast<std::size_t>(var(trail_[i]));
+    if (!seen_[x]) continue;
+    seen_[x] = false;
+    CRef reason = var_data_[x].reason;
+    if (reason == cref_undef) {
+      core_.push_back(trail_[i]);
+    } else {
+      const Lit* lits = clause_lits(reason);
+      std::uint32_t size = clause_size(reason);
+      for (std::uint32_t k = 1; k < size; ++k) {
+        Var v = var(lits[k]);
+        if (level(v) > 0) seen_[static_cast<std::size_t>(v)] = true;
+      }
+    }
+  }
+  seen_[static_cast<std::size_t>(var(p))] = false;
 }
 
 void Solver::var_bump(Var v) {
@@ -361,9 +505,14 @@ Lit Solver::pick_branch_lit() {
 }
 
 void Solver::reduce_db() {
-  // Remove the least active half of the learnt clauses, keeping clauses
-  // that are currently a propagation reason.
+  // LBD/activity hybrid reduction: remove the worst half of the learnt
+  // clauses — highest LBD first, ties broken by lowest activity — keeping
+  // glue clauses (LBD <= 2), binaries and clauses that are currently a
+  // propagation reason.
   std::sort(learnts_.begin(), learnts_.end(), [this](CRef a, CRef b) {
+    std::uint32_t la = clause_lbd(a);
+    std::uint32_t lb = clause_lbd(b);
+    if (la != lb) return la > lb;
     return clause_activity(a) < clause_activity(b);
   });
   std::size_t removed = 0;
@@ -376,20 +525,9 @@ void Solver::reduce_db() {
     bool locked =
         value(first) == LBool::True &&
         var_data_[static_cast<std::size_t>(var(first))].reason == c;
-    if (removed < half && !locked && clause_size(c) > 2) {
-      // Detach from both watch lists, then mark deleted.
-      for (int w = 0; w < 2; ++w) {
-        Lit watched = clause_lits(c)[w];
-        auto& ws = watches_[static_cast<std::size_t>((~watched).x)];
-        for (std::size_t k = 0; k < ws.size(); ++k) {
-          if (ws[k].cref == c) {
-            ws[k] = ws.back();
-            ws.pop_back();
-            break;
-          }
-        }
-      }
-      mark_deleted(c);
+    if (removed < half && !locked && clause_size(c) > 2 &&
+        clause_lbd(c) > 2) {
+      remove_clause(c);
       ++removed;
     } else {
       kept.push_back(c);
@@ -412,25 +550,30 @@ Result Solver::search(std::uint64_t conflicts_budget,
         return Result::Unsat;
       }
       std::int32_t bt = 0;
-      analyze(confl, learnt, bt);
+      std::uint32_t lbd = 0;
+      analyze(confl, learnt, bt, lbd);
       cancel_until(bt);
       if (learnt.size() == 1) {
         enqueue(learnt[0], cref_undef);
       } else {
-        CRef c = alloc_clause(learnt, /*learnt=*/true);
+        CRef c = alloc_clause(learnt, /*learnt=*/true, lbd);
         attach_clause(c);
         cla_bump(c);
         enqueue(learnt[0], c);
+        if (lbd <= 2) ++stats_.lbd_protected;
       }
       var_decay();
       cla_decay();
-      if (conflict_limit_ != 0 && stats_.conflicts >= conflict_limit_)
+      if (conflict_limit_ != 0 &&
+          stats_.conflicts - solve_start_conflicts_ >= conflict_limit_)
         return Result::Unknown;
       if (conflicts_here >= conflicts_budget) {
         cancel_until(0);
         return Result::Unknown;  // restart
       }
-      if (learnts_.size() > 4000 + 8 * num_vars()) reduce_db();
+      std::size_t limit =
+          max_learnts_ != 0 ? max_learnts_ : 4000 + 8 * num_vars();
+      if (learnts_.size() > limit) reduce_db();
     } else {
       // Re-establish assumptions, then decide.
       Lit next = lit_undef;
@@ -440,6 +583,7 @@ Result Solver::search(std::uint64_t conflicts_budget,
         if (value(a) == LBool::True) {
           new_decision_level();  // already implied; dummy level
         } else if (value(a) == LBool::False) {
+          analyze_final(a);
           return Result::Unsat;  // conflicts with the formula
         } else {
           next = a;
@@ -482,22 +626,310 @@ Result Solver::solve(const std::vector<Lit>& assumptions) {
 }
 
 Result Solver::solve_impl(const std::vector<Lit>& assumptions) {
-  if (!ok_) return Result::Unsat;
-  cancel_until(0);
+  core_.clear();
+  if (!ok_) return Result::Unsat;  // empty core: unsat without assumptions
+  solve_start_conflicts_ = stats_.conflicts;
+
+  // Incremental trail reuse: decision level i+1 holds assumption i (as a
+  // dummy level when it was already implied), so the longest prefix the
+  // new assumption vector shares with the previous one is a trail prefix
+  // whose propagation can be kept verbatim. Only backtrack to the first
+  // differing assumption instead of to the root.
+  std::size_t established = std::min(
+      static_cast<std::size_t>(decision_level()), prev_assumptions_.size());
+  std::size_t keep = 0;
+  while (keep < established && keep < assumptions.size() &&
+         prev_assumptions_[keep] == assumptions[keep])
+    ++keep;
+  cancel_until(static_cast<std::int32_t>(keep));
+  prev_assumptions_ = assumptions;
+
   std::uint64_t restart = 0;
   for (;;) {
     Result r = search(luby(restart) * 100, assumptions);
-    if (r != Result::Unknown) {
-      cancel_until(0);
-      return r;
+    if (r == Result::Sat) return r;  // trail kept for the next solve
+    if (r == Result::Unsat) {
+      if (!ok_) core_.clear();
+      return r;  // assumption-failure trail kept for the next solve
     }
-    if (conflict_limit_ != 0 && stats_.conflicts >= conflict_limit_) {
-      cancel_until(0);
+    if (conflict_limit_ != 0 &&
+        stats_.conflicts - solve_start_conflicts_ >= conflict_limit_) {
+      // The budget can run out with an un-propagated asserting literal on
+      // the trail; a clean root state is the only safe thing to hand to
+      // the next solve.
+      backtrack_to_root();
       return Result::Unknown;
     }
     ++restart;
     ++stats_.restarts;
   }
+}
+
+// --- inprocessing -----------------------------------------------------
+
+bool Solver::simplify_clause_db(std::vector<CRef>& db) {
+  std::vector<CRef> kept;
+  kept.reserve(db.size());
+  for (CRef c : db) {
+    if (clause_deleted(c)) continue;
+    Lit* lits = clause_lits(c);
+    std::uint32_t n = clause_size(c);
+    bool satisfied = false;
+    std::uint32_t nfalse = 0;
+    for (std::uint32_t i = 0; i < n && !satisfied; ++i) {
+      LBool v = value(lits[i]);
+      if (v == LBool::True) satisfied = true;
+      if (v == LBool::False) ++nfalse;
+    }
+    if (satisfied) {
+      remove_clause(c);
+      continue;
+    }
+    if (nfalse == 0) {
+      kept.push_back(c);
+      continue;
+    }
+    // Strip root-level-false literals.
+    detach_clause(c);
+    std::uint32_t m = 0;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (value(lits[i]) != LBool::False) lits[m++] = lits[i];
+    }
+    set_clause_size(c, m);
+    if (m == 0) {
+      mark_deleted(c);
+      ok_ = false;
+      return false;
+    }
+    if (m == 1) {
+      mark_deleted(c);
+      enqueue(lits[0], cref_undef);
+      if (propagate() != cref_undef) {
+        ok_ = false;
+        return false;
+      }
+      continue;
+    }
+    attach_clause(c);
+    kept.push_back(c);
+  }
+  db = std::move(kept);
+  return true;
+}
+
+bool Solver::strengthen_clause(CRef c, Lit l) {
+  // Removes `l` from clause `c` at the root level (self-subsuming
+  // resolution proved the rest of the clause implied without it), fixing
+  // up watches and absorbing the clause when it degenerates.
+  ++stats_.strengthened_lits;
+  detach_clause(c);
+  Lit* lits = clause_lits(c);
+  std::uint32_t n = clause_size(c);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (lits[i] == l) {
+      lits[i] = lits[n - 1];
+      break;
+    }
+  }
+  set_clause_size(c, --n);
+  bool satisfied = false;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (value(lits[i]) == LBool::True) satisfied = true;
+  }
+  if (satisfied) {
+    mark_deleted(c);
+    return true;
+  }
+  std::uint32_t m = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (value(lits[i]) != LBool::False) lits[m++] = lits[i];
+  }
+  set_clause_size(c, m);
+  if (m == 0) {
+    mark_deleted(c);
+    ok_ = false;
+    return false;
+  }
+  if (m == 1) {
+    mark_deleted(c);
+    enqueue(lits[0], cref_undef);
+    if (propagate() != cref_undef) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+  attach_clause(c);
+  return true;
+}
+
+void Solver::probe_failed_literals() {
+  // Failed-literal probing: assume a literal, propagate; a conflict means
+  // its negation is a root-level unit. Bounded by a probe count and a
+  // propagation budget so a round's cost is independent of formula size.
+  const std::uint64_t prop_budget = stats_.propagations + kProbePropBudget;
+  std::size_t probes = 0;
+  for (std::size_t v = 0;
+       v < num_vars() && probes < kProbeMaxLits &&
+       stats_.propagations < prop_budget && ok_;
+       ++v) {
+    if (value(static_cast<Var>(v)) != LBool::Undef) continue;
+    for (int s = 0; s < 2; ++s) {
+      Lit l = mk_lit(static_cast<Var>(v), s == 1);
+      if (value(l) != LBool::Undef) break;  // assigned by a failed probe
+      ++probes;
+      new_decision_level();
+      enqueue(l, cref_undef);
+      CRef confl = propagate();
+      cancel_until(0);
+      if (confl != cref_undef) {
+        ++stats_.failed_literals;
+        enqueue(~l, cref_undef);
+        if (propagate() != cref_undef) {
+          ok_ = false;
+          return;
+        }
+      }
+    }
+  }
+}
+
+void Solver::subsumption_pass() {
+  // Budgeted backward subsumption and self-subsumption over the original
+  // clauses: if lits(c) ⊆ lits(d), d is redundant; if the inclusion holds
+  // with exactly one literal flipped, the flipped literal can be removed
+  // from d (self-subsuming resolution).
+  std::vector<CRef> cs;
+  cs.reserve(clauses_.size());
+  for (CRef c : clauses_) {
+    if (!clause_deleted(c) && clause_size(c) <= kSubsumeMaxSize)
+      cs.push_back(c);
+  }
+  std::vector<std::vector<std::uint32_t>> occ(num_vars());
+  for (std::uint32_t i = 0; i < cs.size(); ++i) {
+    const Lit* lits = clause_lits(cs[i]);
+    std::uint32_t n = clause_size(cs[i]);
+    for (std::uint32_t k = 0; k < n; ++k)
+      occ[static_cast<std::size_t>(var(lits[k]))].push_back(i);
+  }
+  std::int64_t budget = kSubsumeTickBudget;
+  for (CRef c : cs) {
+    if (budget <= 0 || !ok_) return;
+    if (clause_deleted(c)) continue;
+    const Lit* clits = clause_lits(c);
+    std::uint32_t cn = clause_size(c);
+    // Scan the occurrence list of the least-occurring variable of c.
+    std::size_t best_var = static_cast<std::size_t>(var(clits[0]));
+    for (std::uint32_t k = 1; k < cn; ++k) {
+      auto v = static_cast<std::size_t>(var(clits[k]));
+      if (occ[v].size() < occ[best_var].size()) best_var = v;
+    }
+    for (std::uint32_t di : occ[best_var]) {
+      CRef d = cs[di];
+      if (d == c || clause_deleted(d) || clause_size(d) < cn) continue;
+      budget -= static_cast<std::int64_t>(cn + clause_size(d));
+      if (budget <= 0) return;
+      // Inclusion check with at most one flipped literal.
+      const Lit* dlits = clause_lits(d);
+      std::uint32_t dn = clause_size(d);
+      Lit flip = lit_undef;
+      bool fail = false;
+      for (std::uint32_t k = 0; k < cn && !fail; ++k) {
+        Lit lc = clits[k];
+        bool found = false;
+        for (std::uint32_t j = 0; j < dn; ++j) {
+          if (dlits[j] == lc) {
+            found = true;
+            break;
+          }
+          if (dlits[j] == ~lc) {
+            if (flip != lit_undef) {
+              fail = true;
+            } else {
+              flip = ~lc;
+              found = true;
+            }
+            break;
+          }
+        }
+        if (!found) fail = true;
+      }
+      if (fail) continue;
+      if (flip == lit_undef) {
+        remove_clause(d);
+        ++stats_.subsumed_clauses;
+      } else {
+        if (!strengthen_clause(d, flip)) return;
+        // c may itself have been absorbed by unit propagation.
+        if (clause_deleted(c)) break;
+      }
+    }
+  }
+}
+
+void Solver::inprocess() {
+  if (!ok_) return;
+  backtrack_to_root();
+  if (propagate() != cref_undef) {
+    ok_ = false;
+    return;
+  }
+  ++stats_.inprocessing_rounds;
+  if (!simplify_clause_db(clauses_)) return;
+  if (!simplify_clause_db(learnts_)) return;
+  probe_failed_literals();
+  if (!ok_) return;
+  subsumption_pass();
+}
+
+// --- clause sharing ---------------------------------------------------
+
+std::vector<Clause> Solver::export_learnts(std::size_t max_size,
+                                           std::uint32_t max_lbd) const {
+  std::vector<Clause> out;
+  // Root-level implied units first: they are the strongest shareable
+  // facts and always satisfy any size/LBD filter.
+  std::size_t root_end = trail_lim_.empty() ? trail_.size() : trail_lim_[0];
+  for (std::size_t i = 0; i < root_end; ++i)
+    out.push_back(Clause{trail_[i]});
+  for (CRef c : learnts_) {
+    if (clause_deleted(c)) continue;
+    if (clause_size(c) > max_size || clause_lbd(c) > max_lbd) continue;
+    const Lit* lits = clause_lits(c);
+    out.emplace_back(lits, lits + clause_size(c));
+  }
+  return out;
+}
+
+bool Solver::import_clause(Clause lits) {
+  if (!ok_) return false;
+  backtrack_to_root();
+  // Normalize exactly like add_clause; dropping root-false literals keeps
+  // the clause implied because the root assignment itself is implied.
+  std::sort(lits.begin(), lits.end(),
+            [](Lit a, Lit b) { return a.x < b.x; });
+  Clause out;
+  Lit prev = lit_undef;
+  for (Lit l : lits) {
+    if (value(l) == LBool::True || (prev != lit_undef && l == ~prev))
+      return true;
+    if (value(l) == LBool::False || l == prev) continue;
+    out.push_back(l);
+    prev = l;
+  }
+  if (out.empty()) {
+    ok_ = false;
+    return false;
+  }
+  if (out.size() == 1) {
+    enqueue(out[0], cref_undef);
+    ok_ = (propagate() == cref_undef);
+    return ok_;
+  }
+  CRef c = alloc_clause(out, /*learnt=*/true,
+                        static_cast<std::uint32_t>(out.size()));
+  attach_clause(c);
+  return true;
 }
 
 }  // namespace rsnsec::sat

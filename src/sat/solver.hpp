@@ -10,24 +10,54 @@ namespace rsnsec::sat {
 /// Outcome of a solve() call.
 enum class Result : std::uint8_t { Sat, Unsat, Unknown };
 
-/// Aggregate solver statistics, exposed for the micro-benchmarks.
+/// Aggregate solver statistics, exposed for the micro-benchmarks and
+/// aggregated into dep::DepStats / the --json report.
 struct SolverStats {
   std::uint64_t conflicts = 0;
   std::uint64_t decisions = 0;
   std::uint64_t propagations = 0;
   std::uint64_t restarts = 0;
   std::uint64_t learned_clauses = 0;
+  /// Glue clauses (LBD <= 2) learned; these are exempt from database
+  /// reduction.
+  std::uint64_t lbd_protected = 0;
+  /// Literals removed from learnt clauses by on-the-fly strengthening
+  /// (binary self-subsuming resolution) and by inprocessing
+  /// self-subsumption.
+  std::uint64_t strengthened_lits = 0;
+  /// Completed inprocess() rounds.
+  std::uint64_t inprocessing_rounds = 0;
+  /// Root-level units learned by failed-literal probing.
+  std::uint64_t failed_literals = 0;
+  /// Clauses removed by inprocessing backward subsumption.
+  std::uint64_t subsumed_clauses = 0;
 };
 
 /// Conflict-driven clause-learning (CDCL) SAT solver.
 ///
 /// Implements the standard architecture: two-watched-literal propagation,
-/// first-UIP conflict analysis with clause minimization, VSIDS-style
+/// first-UIP conflict analysis with recursive clause minimization and
+/// on-the-fly strengthening through binary clauses, VSIDS-style
 /// activity-ordered decisions, phase saving, Luby-sequence restarts and
-/// activity-based learned-clause database reduction. Supports solving under
-/// assumptions, which the dependency engine (src/dep) uses to reuse one CNF
-/// encoding of a flip-flop's input cone across all candidate source
-/// flip-flops (Sec. III-A; method of [18]).
+/// LBD/activity hybrid learned-clause database reduction with glue-clause
+/// protection (LBD <= 2). Supports solving under assumptions, which the
+/// dependency engine (src/dep) uses to reuse one CNF encoding of a
+/// flip-flop's input cone across all candidate source flip-flops
+/// (Sec. III-A; method of [18]).
+///
+/// Incremental use. Consecutive solve() calls whose assumption vectors
+/// share a common prefix reuse the corresponding trail prefix: the solver
+/// only backtracks to the first differing assumption instead of to the
+/// root, skipping the re-propagation of everything implied by the shared
+/// prefix. When a solve returns Unsat because an assumption failed,
+/// conflict_core() exposes the subset of assumptions the proof used, so a
+/// caller can discharge other queries whose assumption sets contain that
+/// core without further solves. Between solves, inprocess() runs bounded,
+/// equivalence-preserving formula simplification (satisfied-clause and
+/// false-literal removal, failed-literal probing, backward subsumption and
+/// self-subsumption), and learned clauses can be exported to / imported
+/// from solvers holding an identical CNF modulo variable renaming (the
+/// dep engine's isomorphic-cone clause sharing).
 ///
 /// Thread compatibility: a Solver is share-nothing — all state (arena,
 /// trail, heap, statistics) lives in instance members and nothing is
@@ -63,9 +93,42 @@ class Solver {
   /// Model value of a literal; valid only after solve() returned Sat.
   bool model_value(Lit l) const { return model_value(var(l)) != sign(l); }
 
-  /// Limits the number of conflicts per solve() call (0 = unlimited);
-  /// exceeding the limit makes solve() return Unknown.
+  /// Limits the number of conflicts of each individual solve() call
+  /// (0 = unlimited); exceeding the limit makes that solve() return
+  /// Unknown. The budget is per solve — a reused solver gets the full
+  /// budget for every call, regardless of how many conflicts earlier
+  /// calls consumed.
   void set_conflict_limit(std::uint64_t limit) { conflict_limit_ = limit; }
+
+  /// Assumption core of the last solve() that returned Unsat: a subset of
+  /// the passed assumptions whose conjunction is already unsatisfiable
+  /// with the formula. Empty when the formula is unsatisfiable regardless
+  /// of assumptions. Any assumption superset of the core is Unsat too.
+  const std::vector<Lit>& conflict_core() const { return core_; }
+
+  /// Bounded, equivalence-preserving inprocessing between solves:
+  /// removes satisfied clauses and false literals at the root level, runs
+  /// failed-literal probing (learning root-level units), and a budgeted
+  /// backward subsumption / self-subsumption pass over the original
+  /// clauses. Never changes satisfiability or models of the formula.
+  void inprocess();
+
+  /// Copies of the live learnt clauses with size <= `max_size` and
+  /// LBD <= `max_lbd`, plus all root-level implied units. Every returned
+  /// clause is implied by the original formula, so it can be imported
+  /// into any solver holding the same formula (modulo renaming).
+  std::vector<Clause> export_learnts(std::size_t max_size,
+                                     std::uint32_t max_lbd) const;
+
+  /// Installs a clause known to be implied by the formula (e.g. exported
+  /// from a solver of an isomorphic CNF) as a learnt clause. Returns
+  /// false if the formula became unsatisfiable at the root level.
+  bool import_clause(Clause lits);
+
+  /// Overrides the learnt-database size that triggers reduce_db()
+  /// (0 = automatic: 4000 + 8 * num_vars). Exposed for tests that force
+  /// heavy database reduction on small formulas.
+  void set_max_learnts(std::size_t n) { max_learnts_ = n; }
 
   /// Cumulative statistics across all solve() calls.
   const SolverStats& stats() const { return stats_; }
@@ -84,10 +147,11 @@ class Solver {
     std::int32_t level = 0;
   };
 
-  // Clause arena: header word (size << 2 | learnt << 1 | deleted), float
-  // activity word for learnt clauses, then literals.
+  // Clause arena: header word (size << 2 | learnt << 1 | deleted); learnt
+  // clauses carry a float activity word and an LBD word; then literals.
   std::vector<std::uint32_t> arena_;
   std::vector<CRef> learnts_;
+  std::vector<CRef> clauses_;  // original (problem) clauses
 
   std::vector<LBool> assigns_;
   std::vector<bool> phase_;
@@ -105,28 +169,51 @@ class Solver {
   double cla_inc_ = 1.0;
   std::vector<bool> seen_;
   std::vector<Lit> analyze_stack_;
+  std::vector<Var> analyze_toclear_;   // every seen_ mark of one analyze()
+  std::vector<Var> redundant_marked_;  // marks of one lit_redundant() call
+  std::vector<std::uint64_t> lbd_stamp_;  // per decision level
+  std::uint64_t lbd_counter_ = 0;
+  std::vector<std::uint64_t> bin_stamp_;  // per var, binary strengthening
+  std::vector<std::int32_t> bin_lit_;     // literal code behind bin_stamp_
+  std::uint64_t bin_counter_ = 0;
 
   std::vector<bool> model_;
+  std::vector<Lit> core_;
+  std::vector<Lit> prev_assumptions_;  // trail-prefix reuse across solves
   bool ok_ = true;
   std::uint64_t conflict_limit_ = 0;
+  std::uint64_t solve_start_conflicts_ = 0;
+  std::size_t max_learnts_ = 0;  // 0 = automatic
   SolverStats stats_;
 
   // --- clause arena helpers ---
-  CRef alloc_clause(const Clause& lits, bool learnt);
+  CRef alloc_clause(const Clause& lits, bool learnt, std::uint32_t lbd);
   std::uint32_t clause_size(CRef c) const { return arena_[c] >> 2; }
+  void set_clause_size(CRef c, std::uint32_t n) {
+    arena_[c] = (n << 2) | (arena_[c] & 3u);
+  }
   bool clause_learnt(CRef c) const { return (arena_[c] & 2) != 0; }
   bool clause_deleted(CRef c) const { return (arena_[c] & 1) != 0; }
   void mark_deleted(CRef c) { arena_[c] |= 1; }
   Lit* clause_lits(CRef c) {
-    return reinterpret_cast<Lit*>(&arena_[c + (clause_learnt(c) ? 2 : 1)]);
+    return reinterpret_cast<Lit*>(&arena_[c + (clause_learnt(c) ? 3 : 1)]);
   }
   const Lit* clause_lits(CRef c) const {
     return reinterpret_cast<const Lit*>(
-        &arena_[c + (clause_learnt(c) ? 2 : 1)]);
+        &arena_[c + (clause_learnt(c) ? 3 : 1)]);
   }
   float& clause_activity(CRef c) {
     return *reinterpret_cast<float*>(&arena_[c + 1]);
   }
+  float clause_activity(CRef c) const {
+    union {
+      std::uint32_t u;
+      float f;
+    } cast{arena_[c + 1]};
+    return cast.f;
+  }
+  std::uint32_t clause_lbd(CRef c) const { return arena_[c + 2]; }
+  void set_clause_lbd(CRef c, std::uint32_t lbd) { arena_[c + 2] = lbd; }
 
   // --- core CDCL ---
   LBool value(Lit l) const {
@@ -141,17 +228,30 @@ class Solver {
   }
 
   void attach_clause(CRef c);
+  void detach_clause(CRef c);
+  void remove_clause(CRef c);
   void enqueue(Lit l, CRef reason);
   CRef propagate();
   void new_decision_level() { trail_lim_.push_back(trail_.size()); }
   void cancel_until(std::int32_t lvl);
-  void analyze(CRef confl, Clause& out_learnt, std::int32_t& out_btlevel);
+  void backtrack_to_root();
+  void analyze(CRef confl, Clause& out_learnt, std::int32_t& out_btlevel,
+               std::uint32_t& out_lbd);
+  void analyze_final(Lit p);
   bool lit_redundant(Lit l, std::uint32_t abstract_levels);
+  void strengthen_with_binaries(Clause& out_learnt);
+  std::uint32_t compute_lbd(const Clause& lits);
   Lit pick_branch_lit();
   Result solve_impl(const std::vector<Lit>& assumptions);
   Result search(std::uint64_t conflicts_budget,
                 const std::vector<Lit>& assumptions);
   void reduce_db();
+
+  // --- inprocessing ---
+  bool simplify_clause_db(std::vector<CRef>& db);
+  bool strengthen_clause(CRef c, Lit l);
+  void probe_failed_literals();
+  void subsumption_pass();
 
   // --- VSIDS heap ---
   void var_bump(Var v);

@@ -9,7 +9,7 @@ namespace {
 /// Versioned domain label: any change to the key recipe or the snapshot
 /// payload format must bump this, so old blobs become unreachable rather
 /// than mis-decoded.
-constexpr std::string_view kDepKeyLabel = "rsnsec-dep-v2";
+constexpr std::string_view kDepKeyLabel = "rsnsec-dep-v3";
 
 void encode_options_fingerprint(ByteWriter& w,
                                 const dep::DepOptions& options) {
@@ -26,6 +26,11 @@ void encode_options_fingerprint(ByteWriter& w,
   // Like cone_cache: matrices are bit-identical either way, but the
   // ternary_resolved / sat_* counters the snapshot replays are not.
   w.u8(options.ternary_prefilter ? 1 : 0);
+  // Incremental SAT and clause sharing keep matrices and classification
+  // counters bit-identical, but the solver work counters the snapshot
+  // replays (solver_solves, cores_reused, ...) depend on both.
+  w.u8(options.sat_incremental ? 1 : 0);
+  w.u8(options.share_clauses ? 1 : 0);
   // NOT num_threads: bit-identical at any thread count.
 }
 
@@ -75,6 +80,17 @@ void encode_stats(ByteWriter& w, const dep::DepStats& s) {
   w.varint(s.sat_structural);
   w.varint(s.sat_unknown);
   w.varint(s.cone_cache_hits);
+  w.varint(s.solver_solves);
+  w.varint(s.solver_conflicts);
+  w.varint(s.solver_decisions);
+  w.varint(s.solver_propagations);
+  w.varint(s.solver_restarts);
+  w.varint(s.solver_learned);
+  w.varint(s.lbd_protected);
+  w.varint(s.inprocessing_rounds);
+  w.varint(s.cores_reused);
+  w.varint(s.rotation_witnesses);
+  w.varint(s.shared_clauses);
 }
 
 dep::DepStats decode_stats(ByteReader& r) {
@@ -94,6 +110,17 @@ dep::DepStats decode_stats(ByteReader& r) {
   s.sat_structural = r.varint();
   s.sat_unknown = r.varint();
   s.cone_cache_hits = r.varint();
+  s.solver_solves = r.varint();
+  s.solver_conflicts = r.varint();
+  s.solver_decisions = r.varint();
+  s.solver_propagations = r.varint();
+  s.solver_restarts = r.varint();
+  s.solver_learned = r.varint();
+  s.lbd_protected = r.varint();
+  s.inprocessing_rounds = r.varint();
+  s.cores_reused = r.varint();
+  s.rotation_witnesses = r.varint();
+  s.shared_clauses = r.varint();
   return s;
 }
 

@@ -1,0 +1,190 @@
+// Result-invariance of the incremental SAT hot path: enabling
+// incremental solving and cross-cone clause sharing must keep the
+// dependency matrices, capture dependencies and every classification
+// counter bit-identical to the plain query-every-leaf engine, at any
+// thread count — only the solver work counters may differ.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "benchgen/circuit.hpp"
+#include "benchgen/families.hpp"
+#include "dep/analyzer.hpp"
+
+namespace rsnsec::dep {
+
+static bool operator==(const CaptureDep& a, const CaptureDep& b) {
+  return a.circuit_ff == b.circuit_ff && a.kind == b.kind;
+}
+
+namespace {
+
+struct Workload {
+  rsn::RsnDocument doc;
+  netlist::Netlist circuit;
+
+  explicit Workload(const std::string& family, double target_ffs = 100) {
+    Rng rng(11);
+    const benchgen::BenchmarkProfile& p = benchgen::bastion_profile(family);
+    double scale = target_ffs / static_cast<double>(p.scan_ffs);
+    if (scale > 1.0) scale = 1.0;
+    doc = benchgen::generate_bastion(p, scale, rng);
+    circuit = benchgen::attach_random_circuit(doc, {}, rng);
+  }
+};
+
+/// Matrices, capture deps and classification counters must agree;
+/// solver work counters are intentionally NOT compared — incremental
+/// solving exists to change those.
+void expect_same_results(const Workload& w, const DependencyAnalyzer& a,
+                         const DependencyAnalyzer& b, const char* label) {
+  EXPECT_TRUE(a.one_cycle() == b.one_cycle()) << label;
+  EXPECT_TRUE(a.circuit_closure() == b.circuit_closure()) << label;
+  for (rsn::ElemId r : w.doc.network.registers()) {
+    const rsn::Element& e = w.doc.network.elem(r);
+    for (std::size_t f = 0; f < e.ffs.size(); ++f) {
+      EXPECT_TRUE(a.capture_deps(r, f) == b.capture_deps(r, f))
+          << label << " register " << r << " ff " << f;
+    }
+  }
+  const DepStats &sa = a.stats(), &sb = b.stats();
+  EXPECT_EQ(sa.deps_before_bridging, sb.deps_before_bridging) << label;
+  EXPECT_EQ(sa.deps_after_bridging, sb.deps_after_bridging) << label;
+  EXPECT_EQ(sa.closure_deps, sb.closure_deps) << label;
+  EXPECT_EQ(sa.closure_path_deps, sb.closure_path_deps) << label;
+  EXPECT_EQ(sa.sim_resolved, sb.sim_resolved) << label;
+  EXPECT_EQ(sa.ternary_resolved, sb.ternary_resolved) << label;
+  EXPECT_EQ(sa.sat_calls, sb.sat_calls) << label;
+  EXPECT_EQ(sa.sat_functional, sb.sat_functional) << label;
+  EXPECT_EQ(sa.sat_structural, sb.sat_structural) << label;
+  EXPECT_EQ(sa.sat_unknown, sb.sat_unknown) << label;
+  EXPECT_EQ(sa.cone_cache_hits, sb.cone_cache_hits) << label;
+}
+
+TEST(IncrementalDep, BitIdenticalToOracleOnAllBastionFamilies) {
+  std::uint64_t incremental_work = 0, oracle_work = 0, total_sat = 0;
+  for (const benchgen::BenchmarkProfile& p : benchgen::bastion_profiles()) {
+    Workload w(p.name);
+    DepOptions oracle;
+    oracle.num_threads = 1;
+    oracle.sat_incremental = false;
+    oracle.share_clauses = false;
+    DepOptions inc1;
+    inc1.num_threads = 1;
+    DepOptions incN = inc1;
+    incN.num_threads = 8;
+
+    DependencyAnalyzer a(w.circuit, w.doc.network, oracle);
+    a.run();
+    DependencyAnalyzer b(w.circuit, w.doc.network, inc1);
+    b.run();
+    DependencyAnalyzer c(w.circuit, w.doc.network, incN);
+    c.run();
+    expect_same_results(w, a, b, p.name.c_str());
+    expect_same_results(w, b, c, (p.name + " @8 threads").c_str());
+    // Incremental runs are also deterministic across thread counts in
+    // their *solver* counters (two-wave sharing, per-cone RNG streams).
+    EXPECT_EQ(b.stats().solver_solves, c.stats().solver_solves) << p.name;
+    EXPECT_EQ(b.stats().solver_conflicts, c.stats().solver_conflicts)
+        << p.name;
+    EXPECT_EQ(b.stats().cores_reused, c.stats().cores_reused) << p.name;
+    EXPECT_EQ(b.stats().rotation_witnesses, c.stats().rotation_witnesses)
+        << p.name;
+    EXPECT_EQ(b.stats().shared_clauses, c.stats().shared_clauses) << p.name;
+    // A query answered from the verdict cache, a reused core or a
+    // rotated model never reaches the solver, so the incremental engine
+    // can only solve less.
+    EXPECT_LE(b.stats().solver_solves, a.stats().solver_solves) << p.name;
+    incremental_work += b.stats().solver_solves;
+    oracle_work += a.stats().solver_solves;
+    total_sat += b.stats().sat_calls;
+  }
+  // Across the whole family sweep SAT work must exist and the
+  // incremental machinery must discharge a real share of it.
+  EXPECT_GT(total_sat, 0u);
+  EXPECT_LT(incremental_work, oracle_work);
+}
+
+/// Hand-built workload with two same-shape AND-of-XOR cones, one fed
+/// purely by flip-flops and one with a primary-input leaf. Their exact
+/// signatures differ (leaf node types are part of verdict identity), so
+/// the cone cache keeps them in separate groups — but their canonical
+/// forms collapse FF and Input leaves, so the clause-sharing wave links
+/// them.
+struct TwoConeWorkload {
+  netlist::Netlist nl;
+  rsn::Rsn net{"two_cones"};
+
+  explicit TwoConeWorkload(std::size_t width) {
+    using netlist::GateType;
+    using netlist::NodeId;
+    auto build = [&](const std::string& tag, bool input_leaf) {
+      std::vector<NodeId> xors;
+      for (std::size_t i = 0; i < width; ++i) {
+        NodeId a;
+        if (input_leaf && i == 0) {
+          a = nl.add_input(tag + "_in");
+        } else {
+          a = nl.add_ff(tag + "_a" + std::to_string(i));
+          nl.set_ff_input(a, a);
+        }
+        NodeId b = nl.add_ff(tag + "_b" + std::to_string(i));
+        nl.set_ff_input(b, b);
+        xors.push_back(nl.add_gate(GateType::Xor, {a, b}));
+      }
+      NodeId t = nl.add_ff(tag);
+      nl.set_ff_input(t, nl.add_gate(GateType::And, xors));
+      return t;
+    };
+    NodeId ta = build("ta", false);
+    NodeId tb = build("tb", true);
+    rsn::ElemId r = net.add_register("R", 2);
+    net.connect(net.scan_in(), r, 0);
+    net.connect(r, net.scan_out(), 0);
+    net.set_capture(r, 0, ta);
+    net.set_capture(r, 1, tb);
+  }
+};
+
+TEST(IncrementalDep, ClausesShareAcrossLeafKindsWithoutChangingResults) {
+  TwoConeWorkload w(16);
+  DepOptions sharing;
+  sharing.num_threads = 1;
+  sharing.ternary_prefilter = false;
+  DepOptions no_sharing = sharing;
+  no_sharing.share_clauses = false;
+
+  DependencyAnalyzer a(w.nl, w.net, sharing);
+  a.run();
+  DependencyAnalyzer b(w.nl, w.net, no_sharing);
+  b.run();
+
+  // The two cones differ only in one leaf's node kind: distinct exact
+  // groups (no cache hit between them), one canonical share group.
+  EXPECT_GT(a.stats().sat_calls, 0u);
+  EXPECT_GT(a.stats().shared_clauses, 0u);
+  EXPECT_EQ(b.stats().shared_clauses, 0u);
+
+  // Sharing changes solver work only, never results.
+  EXPECT_TRUE(a.one_cycle() == b.one_cycle());
+  EXPECT_TRUE(a.circuit_closure() == b.circuit_closure());
+  EXPECT_EQ(a.stats().sat_calls, b.stats().sat_calls);
+  EXPECT_EQ(a.stats().sat_functional, b.stats().sat_functional);
+  EXPECT_EQ(a.stats().sat_structural, b.stats().sat_structural);
+  EXPECT_EQ(a.stats().sat_unknown, b.stats().sat_unknown);
+
+  // And the wave schedule keeps multi-threaded runs bit-identical,
+  // including the sharing counters themselves.
+  DepOptions sharing8 = sharing;
+  sharing8.num_threads = 8;
+  DependencyAnalyzer c(w.nl, w.net, sharing8);
+  c.run();
+  EXPECT_TRUE(a.one_cycle() == c.one_cycle());
+  EXPECT_EQ(a.stats().shared_clauses, c.stats().shared_clauses);
+  EXPECT_EQ(a.stats().solver_conflicts, c.stats().solver_conflicts);
+}
+
+}  // namespace
+}  // namespace rsnsec::dep

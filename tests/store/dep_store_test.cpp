@@ -92,6 +92,12 @@ void expect_identical(const Workload& w, const DependencyAnalyzer& a,
   EXPECT_EQ(sa.sat_structural, sb.sat_structural) << label;
   EXPECT_EQ(sa.sat_unknown, sb.sat_unknown) << label;
   EXPECT_EQ(sa.cone_cache_hits, sb.cone_cache_hits) << label;
+  EXPECT_EQ(sa.solver_solves, sb.solver_solves) << label;
+  EXPECT_EQ(sa.solver_conflicts, sb.solver_conflicts) << label;
+  EXPECT_EQ(sa.solver_propagations, sb.solver_propagations) << label;
+  EXPECT_EQ(sa.cores_reused, sb.cores_reused) << label;
+  EXPECT_EQ(sa.rotation_witnesses, sb.rotation_witnesses) << label;
+  EXPECT_EQ(sa.shared_clauses, sb.shared_clauses) << label;
 }
 
 // The ISSUE's acceptance criterion: on ALL BASTION families, an analysis
