@@ -1,0 +1,170 @@
+#include "attack/gf2.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <optional>
+
+#include "obs/trace.hpp"
+#include "rsn/pathfind.hpp"
+#include "util/rng.hpp"
+
+namespace rsnsec::attack {
+
+AttackOutcome gf_flush_attack(const netlist::Netlist& nl,
+                              const rsn::Rsn& network,
+                              const benchgen::RedTeamScenario& scenario,
+                              const GfFlushOptions& options) {
+  auto start = std::chrono::steady_clock::now();
+  AttackOutcome out;
+  out.method = "gf-flush";
+  out.scenario = scenario.name;
+  out.secret_value = scenario.secret_value;
+  obs::bump("attack.gf_runs");
+  auto done = [&start, &out] {
+    out.seconds = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+    if (out.recovered()) obs::bump("attack.recovered");
+    return out;
+  };
+
+  // Configuration: prefer one path covering carrier and victim; fall back
+  // to a carrier-only flush followed by a victim observation phase.
+  auto plan = rsn::find_path_through(
+      network, {scenario.carrier_reg, scenario.victim_reg});
+  std::optional<rsn::PathPlan> plan2;
+  if (!plan) {
+    plan = rsn::find_path_through(network, {scenario.carrier_reg});
+    plan2 = rsn::find_path_through(network, {scenario.victim_reg});
+    if (!plan) {
+      out.verdict = Verdict::NotRecovered;
+      out.note = "carrier register lies on no single-configuration path";
+      return done();
+    }
+  }
+  const std::size_t chain_len = plan->chain.size();
+  const std::size_t rounds = std::max<std::size_t>(1, options.rounds);
+  Schedule sched;
+  for (const rsn::MuxSetting& m : plan->settings)
+    sched.push_back(ScanOp::set_mux(m.mux, m.sel));
+  for (std::size_t r = 0; r < rounds; ++r) {
+    sched.push_back(ScanOp::capture());
+    // Partial flush depths give the update phase a chance to commit the
+    // moving secret at different chain alignments; the final round is a
+    // full flush, so every carrier-to-victim shift distance is sampled.
+    std::size_t depth =
+        std::max<std::size_t>(1, (chain_len * (r + 1)) / rounds);
+    for (std::size_t t = 0; t < depth; ++t)
+      sched.push_back(ScanOp::shift());
+    sched.push_back(ScanOp::update());
+    sched.push_back(ScanOp::clock(1));
+  }
+  if (plan2) {
+    for (const rsn::MuxSetting& m : plan2->settings)
+      sched.push_back(ScanOp::set_mux(m.mux, m.sel));
+    sched.push_back(ScanOp::capture());
+    for (std::size_t t = 0; t < plan2->chain.size(); ++t)
+      sched.push_back(ScanOp::shift());
+  }
+
+  // GF(2) unknowns: the secret first (lab base value 0), then other
+  // circuit FFs in creation order up to the lane budget.
+  std::vector<netlist::NodeId> unknowns{scenario.secret_ff};
+  const std::size_t cap = std::min<std::size_t>(options.max_unknowns, 55);
+  for (netlist::NodeId ff : nl.ffs()) {
+    if (ff == scenario.secret_ff) continue;
+    if (unknowns.size() >= cap) break;
+    unknowns.push_back(ff);
+  }
+  const std::size_t k = unknowns.size();
+  const std::size_t n_subsets = std::min<std::size_t>(8, 63 - k);
+
+  Rng srng(options.seed ^ 0xa02f9eb7c3d15ULL);
+  std::vector<std::uint64_t> subset_mask(n_subsets, 0);
+  for (std::size_t j = 0; j < n_subsets; ++j)
+    for (std::size_t i = 0; i < k; ++i)
+      if (srng.chance(0.5)) subset_mask[j] |= 1ull << i;
+
+  // One packed replay: lane 0 = base state, lane 1+i = unit flip of
+  // unknown i, lane 1+k+j = base XOR subset j (affineness probes).
+  SeededState seeded = seed_replay_state(nl, network, options.seed);
+  ReplayInit init;
+  init.seed = options.seed;
+  for (std::size_t i = 0; i < k; ++i) {
+    std::uint64_t base =
+        i == 0 ? 0
+               : seeded.node_value[static_cast<std::size_t>(unknowns[i])];
+    std::uint64_t flips = 1ull << (1 + i);
+    for (std::size_t j = 0; j < n_subsets; ++j)
+      if ((subset_mask[j] >> i) & 1) flips |= 1ull << (1 + k + j);
+    init.node_overrides.push_back({unknowns[i], base ^ flips});
+  }
+  ReplayTrace trace =
+      replay_schedule(nl, network, sched, init, scenario.victim_reg);
+
+  // Device replay: secret at ground truth, everything else at base.
+  ReplayInit dev;
+  dev.seed = options.seed;
+  dev.node_overrides.push_back(
+      {scenario.secret_ff, scenario.secret_value ? ~0ull : 0});
+  ReplayTrace tdev =
+      replay_schedule(nl, network, sched, dev, scenario.victim_reg);
+
+  std::size_t vote[2] = {0, 0};
+  std::size_t affine_samples = 0, nonlinear_samples = 0;
+  for (std::size_t op = 0; op < trace.victim.size(); ++op) {
+    for (std::size_t f = 0; f < trace.victim[op].size(); ++f) {
+      std::uint64_t v = trace.victim[op][f];
+      std::uint64_t c = v & 1;
+      bool a_secret = (((v >> 1) & 1) ^ c) != 0;
+      if (!a_secret) continue;
+      bool affine = true;
+      for (std::size_t j = 0; j < n_subsets && affine; ++j) {
+        std::uint64_t pred = c;
+        for (std::size_t i = 0; i < k; ++i)
+          if ((subset_mask[j] >> i) & 1) pred ^= ((v >> (1 + i)) & 1) ^ c;
+        affine = ((v >> (1 + k + j)) & 1) == (pred & 1);
+      }
+      if (!affine) {
+        ++nonlinear_samples;
+        continue;
+      }
+      ++affine_samples;
+      // Sample value = c XOR a_secret * secret (others at base in both
+      // runs), so one device observation solves for the secret.
+      std::uint64_t dev_bit = tdev.victim[op][f] & 1;
+      ++vote[(dev_bit ^ c) & 1];
+    }
+  }
+
+  if (affine_samples == 0) {
+    out.verdict = Verdict::NotRecovered;
+    out.note = nonlinear_samples > 0
+                   ? "victim observations depending on the secret are "
+                     "nonlinear over the modeled unknowns"
+                   : "no victim observation depends on the secret";
+    return done();
+  }
+  if (vote[0] > 0 && vote[1] > 0) {
+    out.verdict = Verdict::NotRecovered;
+    out.note = "affine samples disagree on the secret value";
+    return done();
+  }
+  out.recovered_value = vote[1] > 0;
+  out.differential = differential_replay(
+      nl, network, sched, SecretLoc::circuit_ff(scenario.secret_ff),
+      scenario.victim_reg, options.seed);
+  if (!out.differential.leaks) {
+    out.verdict = Verdict::NotRecovered;
+    out.note = "algebraic candidate not confirmed by differential replay";
+    return done();
+  }
+  out.verdict = out.recovered_value == scenario.secret_value
+                    ? Verdict::Recovered
+                    : Verdict::NotRecovered;
+  if (out.verdict == Verdict::NotRecovered)
+    out.note = "recovered value disagrees with the planted secret";
+  return done();
+}
+
+}  // namespace rsnsec::attack

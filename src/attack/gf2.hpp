@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdint>
+
+#include "attack/model.hpp"
+#include "benchgen/redteam.hpp"
+#include "netlist/netlist.hpp"
+#include "rsn/rsn.hpp"
+
+namespace rsnsec::attack {
+
+struct GfFlushOptions {
+  std::uint64_t seed = 1;
+  /// Capture/flush/update rounds of the probing schedule.
+  std::size_t rounds = 3;
+  /// Circuit flip-flops treated as GF(2) unknowns (64-bit lane budget:
+  /// 1 base lane + one unit lane per unknown + 8 superposition lanes).
+  std::size_t max_unknowns = 40;
+};
+
+/// GF-Flush-style algebraic attack (Chen et al., adapted to RSNs): runs a
+/// flush schedule once with the initial circuit state packed as GF(2)
+/// basis lanes (base state, unit flips, random superpositions) and reads
+/// every victim observation as an affine form over the unknowns. A sample
+/// that is affine (checked on the superposition lanes) with a non-zero
+/// secret coefficient recovers the secret from a single device replay.
+/// The claimed leak is validated by bit-exact differential replay.
+AttackOutcome gf_flush_attack(const netlist::Netlist& nl,
+                              const rsn::Rsn& network,
+                              const benchgen::RedTeamScenario& scenario,
+                              const GfFlushOptions& options = {});
+
+}  // namespace rsnsec::attack

@@ -1,0 +1,230 @@
+#include "attack/model.hpp"
+
+#include "obs/trace.hpp"
+#include "rsn/csu_sim.hpp"
+#include "util/rng.hpp"
+
+namespace rsnsec::attack {
+
+ScanOp ScanOp::set_mux(rsn::ElemId mux, std::size_t sel) {
+  ScanOp op;
+  op.kind = Kind::SetMux;
+  op.mux = mux;
+  op.sel = sel;
+  return op;
+}
+
+ScanOp ScanOp::set_input(netlist::NodeId node, std::uint64_t value) {
+  ScanOp op;
+  op.kind = Kind::SetInput;
+  op.node = node;
+  op.value = value;
+  return op;
+}
+
+ScanOp ScanOp::capture() {
+  ScanOp op;
+  op.kind = Kind::Capture;
+  return op;
+}
+
+ScanOp ScanOp::shift(std::uint64_t scan_in) {
+  ScanOp op;
+  op.kind = Kind::Shift;
+  op.value = scan_in;
+  return op;
+}
+
+ScanOp ScanOp::update() {
+  ScanOp op;
+  op.kind = Kind::Update;
+  return op;
+}
+
+ScanOp ScanOp::clock(std::size_t cycles) {
+  ScanOp op;
+  op.kind = Kind::ClockCircuit;
+  op.cycles = cycles;
+  return op;
+}
+
+SecretLoc SecretLoc::circuit_ff(netlist::NodeId node) {
+  SecretLoc loc;
+  loc.node = node;
+  return loc;
+}
+
+SecretLoc SecretLoc::scan_ff(rsn::ElemId reg, std::size_t ff) {
+  SecretLoc loc;
+  loc.reg = reg;
+  loc.ff = ff;
+  return loc;
+}
+
+const char* verdict_name(Verdict v) {
+  switch (v) {
+    case Verdict::Recovered:
+      return "recovered";
+    case Verdict::NotRecovered:
+      return "not-recovered";
+    case Verdict::Inconclusive:
+      return "inconclusive";
+  }
+  return "?";
+}
+
+SeededState seed_replay_state(const netlist::Netlist& nl,
+                              const rsn::Rsn& network, std::uint64_t seed) {
+  SeededState s;
+  s.node_value.assign(nl.num_nodes(), 0);
+  Rng rng(seed);
+  auto word = [&rng] { return (rng.next_u32() & 1u) ? ~0ull : 0ull; };
+  for (netlist::NodeId in : nl.inputs())
+    s.node_value[static_cast<std::size_t>(in)] = word();
+  for (netlist::NodeId ff : nl.ffs())
+    s.node_value[static_cast<std::size_t>(ff)] = word();
+  const auto& regs = network.registers();
+  s.scan_value.resize(regs.size());
+  for (std::size_t r = 0; r < regs.size(); ++r) {
+    s.scan_value[r].resize(network.elem(regs[r]).ffs.size());
+    for (std::uint64_t& v : s.scan_value[r]) v = word();
+  }
+  return s;
+}
+
+ReplayTrace replay_schedule(const netlist::Netlist& nl, rsn::Rsn network,
+                            const Schedule& schedule, const ReplayInit& init,
+                            rsn::ElemId victim_reg) {
+  // The simulator holds a reference to our private copy of the network, so
+  // SetMux ops below reconfigure exactly this replay.
+  rsn::CsuSimulator sim(network, nl);
+  SeededState seeded = seed_replay_state(nl, network, init.seed);
+  for (netlist::NodeId in : nl.inputs())
+    sim.circuit().set_value(in, seeded.node_value[static_cast<std::size_t>(in)]);
+  for (netlist::NodeId ff : nl.ffs())
+    sim.circuit().set_value(ff, seeded.node_value[static_cast<std::size_t>(ff)]);
+  const auto& regs = network.registers();
+  for (std::size_t r = 0; r < regs.size(); ++r)
+    for (std::size_t f = 0; f < seeded.scan_value[r].size(); ++f)
+      sim.set_scan_value(regs[r], f, seeded.scan_value[r][f]);
+  for (const auto& [node, v] : init.node_overrides)
+    sim.circuit().set_value(node, v);
+  for (const auto& [reg, f, v] : init.scan_overrides)
+    sim.set_scan_value(reg, f, v);
+
+  ReplayTrace trace;
+  const std::size_t victim_ffs = network.elem(victim_reg).ffs.size();
+  auto sample = [&] {
+    std::vector<std::uint64_t> row(victim_ffs);
+    for (std::size_t f = 0; f < victim_ffs; ++f)
+      row[f] = sim.scan_value(victim_reg, f);
+    trace.victim.push_back(std::move(row));
+  };
+  for (const ScanOp& op : schedule) {
+    switch (op.kind) {
+      case ScanOp::Kind::SetMux:
+        network.set_mux_select(op.mux, op.sel);
+        break;
+      case ScanOp::Kind::SetInput:
+        sim.circuit().set_value(op.node, op.value);
+        break;
+      case ScanOp::Kind::Capture:
+        sim.capture();
+        obs::bump("attack.captures");
+        break;
+      case ScanOp::Kind::Shift:
+        trace.scan_out.push_back(sim.shift(op.value));
+        obs::bump("attack.shifts");
+        break;
+      case ScanOp::Kind::Update:
+        sim.update();
+        obs::bump("attack.updates");
+        break;
+      case ScanOp::Kind::ClockCircuit:
+        sim.clock_circuit(op.cycles);
+        break;
+    }
+    sample();
+  }
+  obs::bump("attack.replays");
+  return trace;
+}
+
+DifferentialResult differential_replay(const netlist::Netlist& nl,
+                                       const rsn::Rsn& network,
+                                       const Schedule& schedule,
+                                       const SecretLoc& secret,
+                                       rsn::ElemId victim_reg,
+                                       std::uint64_t seed) {
+  ReplayInit i0, i1;
+  i0.seed = i1.seed = seed;
+  if (secret.is_scan()) {
+    i0.scan_overrides.push_back({secret.reg, secret.ff, 0});
+    i1.scan_overrides.push_back({secret.reg, secret.ff, ~0ull});
+  } else {
+    i0.node_overrides.push_back({secret.node, 0});
+    i1.node_overrides.push_back({secret.node, ~0ull});
+  }
+  ReplayTrace t0 = replay_schedule(nl, network, schedule, i0, victim_reg);
+  ReplayTrace t1 = replay_schedule(nl, network, schedule, i1, victim_reg);
+
+  DifferentialResult res;
+  res.witness.schedule = schedule;
+  res.witness.secret = secret;
+  res.witness.victim_reg = victim_reg;
+  res.witness.seed = seed;
+  for (std::size_t k = 0; k < schedule.size(); ++k) {
+    if (t0.victim[k] != t1.victim[k]) res.witness.diff_ops.push_back(k);
+    switch (schedule[k].kind) {
+      case ScanOp::Kind::Shift:
+        ++res.shifts;
+        break;
+      case ScanOp::Kind::Capture:
+        ++res.captures;
+        break;
+      case ScanOp::Kind::Update:
+        ++res.updates;
+        break;
+      default:
+        break;
+    }
+  }
+  res.witness.scan_out_differs = t0.scan_out != t1.scan_out;
+  res.leaks = !res.witness.diff_ops.empty();
+  if (res.leaks) obs::bump("attack.leaks");
+  return res;
+}
+
+int match_secret(const netlist::Netlist& nl, const rsn::Rsn& network,
+                 const Witness& witness, bool device_value) {
+  auto init_with = [&](std::uint64_t word) {
+    ReplayInit init;
+    init.seed = witness.seed;
+    if (witness.secret.is_scan())
+      init.scan_overrides.push_back(
+          {witness.secret.reg, witness.secret.ff, word});
+    else
+      init.node_overrides.push_back({witness.secret.node, word});
+    return init;
+  };
+  ReplayTrace t0 = replay_schedule(nl, network, witness.schedule,
+                                   init_with(0), witness.victim_reg);
+  ReplayTrace t1 = replay_schedule(nl, network, witness.schedule,
+                                   init_with(~0ull), witness.victim_reg);
+  ReplayTrace td =
+      replay_schedule(nl, network, witness.schedule,
+                      init_with(device_value ? ~0ull : 0), witness.victim_reg);
+  std::size_t vote0 = 0, vote1 = 0;
+  for (std::size_t k : witness.diff_ops) {
+    const auto& v0 = t0.victim[k];
+    const auto& v1 = t1.victim[k];
+    const auto& vd = td.victim[k];
+    if (vd == v0 && vd != v1) ++vote0;
+    if (vd == v1 && vd != v0) ++vote1;
+  }
+  if (vote1 > 0 && vote0 == 0) return 1;
+  if (vote0 > 0 && vote1 == 0) return 0;
+  return -1;
+}
+
+}  // namespace rsnsec::attack

@@ -1,0 +1,162 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "rsn/rsn.hpp"
+
+namespace rsnsec::attack {
+
+/// One primitive operation of an attack schedule. A schedule is the
+/// attacker's complete interaction transcript with the device: test-bus
+/// configuration writes (SetMux), primary-input stimuli (SetInput) and the
+/// capture/shift/update/functional-clock phases of the scan protocol.
+/// Replay is bit-exact through rsn::CsuSimulator, so a schedule that leaks
+/// is a concrete counterexample, not a claim.
+struct ScanOp {
+  enum class Kind : std::uint8_t {
+    SetMux,        ///< set a scan multiplexer select (reconfiguration)
+    SetInput,      ///< drive a primary input of the circuit
+    Capture,       ///< capture phase on the active path
+    Shift,         ///< one shift cycle (scan-in `value`, observe scan-out)
+    Update,        ///< update phase on the active path
+    ClockCircuit,  ///< `cycles` functional clock cycles of the circuit
+  };
+  Kind kind = Kind::Capture;
+  rsn::ElemId mux = rsn::no_elem;           ///< SetMux
+  std::size_t sel = 0;                      ///< SetMux
+  netlist::NodeId node = netlist::no_node;  ///< SetInput
+  std::uint64_t value = 0;                  ///< SetInput / Shift scan-in word
+  std::size_t cycles = 1;                   ///< ClockCircuit
+
+  static ScanOp set_mux(rsn::ElemId mux, std::size_t sel);
+  static ScanOp set_input(netlist::NodeId node, std::uint64_t value);
+  static ScanOp capture();
+  static ScanOp shift(std::uint64_t scan_in = 0);
+  static ScanOp update();
+  static ScanOp clock(std::size_t cycles);
+};
+
+using Schedule = std::vector<ScanOp>;
+
+/// Location of a planted (or probed) secret bit: either a circuit
+/// flip-flop or the initial state of one scan flip-flop.
+struct SecretLoc {
+  netlist::NodeId node = netlist::no_node;  ///< circuit FF, or no_node
+  rsn::ElemId reg = rsn::no_elem;           ///< scan register, or no_elem
+  std::size_t ff = 0;                       ///< scan FF index within reg
+
+  bool is_scan() const { return reg != rsn::no_elem; }
+  static SecretLoc circuit_ff(netlist::NodeId node);
+  static SecretLoc scan_ff(rsn::ElemId reg, std::size_t ff);
+};
+
+/// Deterministic pre-schedule device state: every primary input, circuit
+/// flip-flop and scan flip-flop receives a pseudo-random broadcast word
+/// (all-zeros or all-ones) drawn from Rng(seed) in creation order. The
+/// attacker models know the seed (known-state threat model; only the
+/// secret value is unknown), so this function is the shared definition of
+/// "the device state" for replay, SAT leaf pinning and GF(2) algebra.
+struct SeededState {
+  /// Indexed by NodeId; meaningful for inputs and flip-flops, 0 elsewhere.
+  std::vector<std::uint64_t> node_value;
+  /// scan_value[register creation order][ff index].
+  std::vector<std::vector<std::uint64_t>> scan_value;
+};
+SeededState seed_replay_state(const netlist::Netlist& nl,
+                              const rsn::Rsn& network, std::uint64_t seed);
+
+/// Initial state of one replay: the seeded state with explicit overrides
+/// applied on top (the secret value, or GF(2) lane superpositions).
+struct ReplayInit {
+  std::uint64_t seed = 1;
+  std::vector<std::pair<netlist::NodeId, std::uint64_t>> node_overrides;
+  /// (register, ff, word) overrides of initial scan state.
+  std::vector<std::tuple<rsn::ElemId, std::size_t, std::uint64_t>>
+      scan_overrides;
+};
+
+/// Everything one replay observes. All words are 64-bit packed parallel
+/// patterns (the CSU simulator's native width), so one replay evaluates up
+/// to 64 lanes of initial-state variations at once.
+struct ReplayTrace {
+  /// One word per Shift op, in schedule order: the bits leaving scan-out.
+  std::vector<std::uint64_t> scan_out;
+  /// victim[k][f]: value of victim scan FF f after schedule op k.
+  std::vector<std::vector<std::uint64_t>> victim;
+};
+
+/// Replays `schedule` on a private copy of `network` coupled to `nl`,
+/// starting from the init state, and samples the victim register after
+/// every op. Deterministic: equal arguments give bit-identical traces.
+ReplayTrace replay_schedule(const netlist::Netlist& nl, rsn::Rsn network,
+                            const Schedule& schedule, const ReplayInit& init,
+                            rsn::ElemId victim_reg);
+
+/// A replayable leak witness: the schedule plus the differential evidence
+/// that the victim register's contents depend on the secret bit.
+struct Witness {
+  Schedule schedule;
+  SecretLoc secret;
+  rsn::ElemId victim_reg = rsn::no_elem;
+  std::uint64_t seed = 1;
+  /// Schedule op indices after which the victim state differed between the
+  /// secret=0 and secret=1 replays.
+  std::vector<std::size_t> diff_ops;
+  bool scan_out_differs = false;
+};
+
+struct DifferentialResult {
+  bool leaks = false;
+  Witness witness;
+  std::size_t shifts = 0;
+  std::size_t captures = 0;
+  std::size_t updates = 0;
+};
+
+/// Replays `schedule` twice — secret=0 and secret=1, every other input,
+/// circuit and scan bit identical (seeded from `seed`) — and reports
+/// whether and where the victim register's contents differ. Any diff is a
+/// bit-exact end-to-end leak of the secret into the victim module.
+DifferentialResult differential_replay(const netlist::Netlist& nl,
+                                       const rsn::Rsn& network,
+                                       const Schedule& schedule,
+                                       const SecretLoc& secret,
+                                       rsn::ElemId victim_reg,
+                                       std::uint64_t seed);
+
+/// Attacker-side value estimate for a witnessed leak: replays the witness
+/// schedule on the "device" (secret = `device_value`) and matches the
+/// victim trace against the secret=0 and secret=1 templates at the
+/// differing ops. Returns 0 or 1, or -1 when the device trace matches
+/// neither (or both) templates consistently.
+int match_secret(const netlist::Netlist& nl, const rsn::Rsn& network,
+                 const Witness& witness, bool device_value);
+
+/// Attack verdicts. Inconclusive is load-bearing: a SAT Unknown (conflict
+/// budget exhausted) must never be laundered into "attack infeasible" —
+/// NotRecovered is reserved for genuinely failed or proven-impossible
+/// attacks (see DESIGN.md, Unknown-verdict audit).
+enum class Verdict : std::uint8_t { Recovered, NotRecovered, Inconclusive };
+const char* verdict_name(Verdict v);
+
+/// Outcome of one attack method on one scenario.
+struct AttackOutcome {
+  std::string method;    ///< "scansat" | "gf-flush"
+  std::string scenario;  ///< scenario name ("pure" | "hybrid")
+  Verdict verdict = Verdict::NotRecovered;
+  bool recovered_value = false;  ///< the attacker's estimate of the secret
+  bool secret_value = false;     ///< ground truth (harness side only)
+  DifferentialResult differential;  ///< witness replay evidence
+  std::string note;                 ///< failure/limit diagnostics
+  std::uint64_t sat_calls = 0;
+  double seconds = 0.0;
+
+  bool recovered() const { return verdict == Verdict::Recovered; }
+};
+
+}  // namespace rsnsec::attack

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "attack/model.hpp"
+#include "benchgen/redteam.hpp"
+#include "netlist/netlist.hpp"
+#include "rsn/rsn.hpp"
+#include "sat/solver.hpp"
+
+namespace rsnsec::attack {
+
+struct ScanSatOptions {
+  std::uint64_t seed = 1;
+  /// Per-query SAT conflict budget (0 = unlimited). Exhausting it makes
+  /// the attack Inconclusive, never NotRecovered.
+  std::uint64_t conflict_limit = 100000;
+};
+
+/// Result of one cone-sensitization SAT query: can primary inputs be set
+/// so that toggling `toggle_leaf` toggles the cone root?
+struct SensitizeOutcome {
+  sat::Result result = sat::Result::Unsat;
+  /// Model values of the cone's primary-input leaves (Sat only).
+  std::vector<std::pair<netlist::NodeId, bool>> inputs;
+  /// Model values of the cone's non-toggle flip-flop leaves (Sat only);
+  /// the sensitization is guaranteed on the device only if these match
+  /// the device state, which the bit-exact replay then decides.
+  std::vector<std::pair<netlist::NodeId, bool>> ff_leaves;
+};
+
+/// Builds a two-copy miter of the signal cone of `root` (copy 0 with
+/// `toggle_leaf` = 0, copy 1 with it = 1, all other leaves shared) and
+/// asks the SAT solver for an assignment making the copies differ.
+/// Exposed (rather than kept private to scansat_attack) so the
+/// Unknown-laundering regression test can budget-starve it directly.
+SensitizeOutcome sensitize_cone(const netlist::Netlist& nl,
+                                netlist::NodeId root,
+                                netlist::NodeId toggle_leaf,
+                                std::uint64_t conflict_limit);
+
+/// ScanSAT-style attack (Alrahis et al., adapted to RSNs): derives a
+/// shift/capture/update schedule from the network structure — and, for
+/// hybrid scenarios, a sensitizing primary-input assignment from the SAT
+/// solver — that moves the planted secret into the victim register. The
+/// claimed leak is validated by bit-exact differential replay.
+AttackOutcome scansat_attack(const netlist::Netlist& nl,
+                             const rsn::Rsn& network,
+                             const benchgen::RedTeamScenario& scenario,
+                             const ScanSatOptions& options = {});
+
+}  // namespace rsnsec::attack

@@ -1,0 +1,276 @@
+#include "benchgen/redteam.hpp"
+
+#include <algorithm>
+#include <initializer_list>
+#include <stdexcept>
+
+#include "benchgen/circuit.hpp"
+#include "benchgen/families.hpp"
+#include "rsn/pathfind.hpp"
+
+namespace rsnsec::benchgen {
+
+const char* scenario_kind_name(ScenarioKind k) {
+  switch (k) {
+    case ScenarioKind::PureScanPath:
+      return "pure";
+    case ScenarioKind::HybridPath:
+      return "hybrid";
+  }
+  return "?";
+}
+
+namespace {
+
+security::SecuritySpec make_redteam_spec(std::size_t num_modules,
+                                         netlist::ModuleId carrier,
+                                         netlist::ModuleId victim) {
+  security::SecuritySpec spec(num_modules, 2);
+  for (std::size_t m = 0; m < num_modules; ++m)
+    spec.set_policy(static_cast<netlist::ModuleId>(m), 1, 0b11u);
+  // Carrier data may only share scan paths with category-1 segments; the
+  // victim module is the untrusted (category 0) observer.
+  spec.set_policy(carrier, 1, 0b10u);
+  spec.set_policy(victim, 0, 0b11u);
+  return spec;
+}
+
+}  // namespace
+
+RedTeamWorkload make_redteam_workload(const std::string& benchmark,
+                                      std::uint64_t seed,
+                                      const RedTeamOptions& options) {
+  const BenchmarkProfile& profile = bastion_profile(benchmark);
+  double scale = options.scale;
+  if (profile.scan_ffs > 0)
+    scale = std::min(scale, static_cast<double>(options.target_ffs) /
+                                static_cast<double>(profile.scan_ffs));
+  if (profile.registers > 0) {
+    scale = std::min(scale, static_cast<double>(options.target_regs) /
+                                static_cast<double>(profile.registers));
+    // Planting needs distinct carrier/victim/staging registers clear of
+    // each other (up to 5 across both scenarios). FF-heavy profiles
+    // (q12710's ~520 FFs per register) would otherwise collapse to one
+    // register under the FF target, leaving nothing to plant into — the
+    // register floor wins over the FF target.
+    scale = std::min(
+        1.0, std::max(scale, 6.0 / static_cast<double>(profile.registers)));
+  }
+
+  Rng rng(seed);
+  RedTeamWorkload w;
+  w.doc = generate_bastion(profile, scale, rng);
+
+  rsn::Rsn& net = w.doc.network;
+  const std::vector<rsn::ElemId>& regs = net.registers();
+  const std::size_t num_modules = w.doc.module_names.size();
+  auto module_of = [&net](rsn::ElemId r) { return net.elem(r).module; };
+
+  // Registers along one single-configuration path containing `r`, in
+  // scan-in -> scan-out order.
+  auto path_registers = [&net](rsn::ElemId r) {
+    std::vector<rsn::ElemId> out;
+    if (auto plan = rsn::find_path_through(net, {r}))
+      for (rsn::ElemId e : plan->elements)
+        if (net.elem(e).kind == rsn::ElemKind::Register) out.push_back(e);
+    return out;
+  };
+  auto other_module = [num_modules](
+                          std::initializer_list<netlist::ModuleId> exclude) {
+    for (std::size_t m = 0; m < num_modules; ++m) {
+      netlist::ModuleId id = static_cast<netlist::ModuleId>(m);
+      if (std::find(exclude.begin(), exclude.end(), id) == exclude.end())
+        return id;
+    }
+    return netlist::no_module;
+  };
+
+  // ---- Register selection. Runs on the bare RSN, before the circuit is
+  // attached: the fallbacks below re-home a register to another module,
+  // and the circuit generator derives its boundary flip-flops' modules
+  // from the register ownership, so ownership must be final here.
+  rsn::ElemId pure_carrier = rsn::no_elem;
+  rsn::ElemId pure_victim = rsn::no_elem;
+  if (options.plant_pure) {
+    for (rsn::ElemId ra : regs) {
+      for (rsn::ElemId rb : regs) {
+        if (ra == rb || module_of(ra) == module_of(rb)) continue;
+        if (!rsn::find_path_through(net, {ra, rb})) continue;
+        pure_carrier = ra;
+        pure_victim = rb;
+        break;
+      }
+      if (pure_carrier != rsn::no_elem) break;
+    }
+    if (pure_carrier == rsn::no_elem) {
+      // Single-module-per-path topologies (the ITC'02 SoC wrappers select
+      // one core's wrapper chain per configuration): no configuration
+      // covers two modules, so manufacture the cross-module flow by
+      // re-homing the downstream register of some path to another module.
+      for (rsn::ElemId ra : regs) {
+        std::vector<rsn::ElemId> pr = path_registers(ra);
+        auto it = std::find(pr.begin(), pr.end(), ra);
+        if (it == pr.end() || it + 1 == pr.end()) continue;
+        netlist::ModuleId target = other_module({module_of(ra)});
+        if (target == netlist::no_module) continue;
+        pure_carrier = ra;
+        pure_victim = pr.back();
+        net.set_module(pure_victim, target);
+        break;
+      }
+    }
+    if (pure_carrier == rsn::no_elem)
+      throw std::runtime_error(
+          "redteam: no plantable pure scenario (no path with two "
+          "registers) in " +
+          benchmark);
+  }
+  netlist::ModuleId pure_carrier_mod =
+      pure_carrier != rsn::no_elem ? module_of(pure_carrier)
+                                   : netlist::no_module;
+
+  rsn::ElemId hyb_carrier = rsn::no_elem;
+  rsn::ElemId hyb_staging = rsn::no_elem;
+  rsn::ElemId hyb_victim = rsn::no_elem;
+  if (options.plant_hybrid) {
+    auto is_pure = [&](rsn::ElemId r) {
+      return r == pure_carrier || r == pure_victim;
+    };
+    for (rsn::ElemId ca : regs) {
+      // Planting overrides (carrier_reg, ff 0)'s capture source, so the
+      // hybrid carrier and victim must not collide with the pure plant.
+      if (is_pure(ca)) continue;
+      for (rsn::ElemId st : regs) {
+        // The staging module must stay token-free under *both* scenario
+        // specs, or the staging FF -> victim-capture hop would be a
+        // static (unfixable) violation instead of an RSN-resolvable one.
+        if (st == ca || module_of(st) == module_of(ca) ||
+            module_of(st) == pure_carrier_mod)
+          continue;
+        if (!rsn::find_path_through(net, {ca, st})) continue;
+        for (rsn::ElemId vb : regs) {
+          if (vb == ca || vb == st || is_pure(vb)) continue;
+          if (module_of(vb) == module_of(ca)) continue;
+          hyb_carrier = ca;
+          hyb_staging = st;
+          hyb_victim = vb;
+          break;
+        }
+        if (hyb_carrier != rsn::no_elem) break;
+      }
+      if (hyb_carrier != rsn::no_elem) break;
+    }
+    if (hyb_carrier == rsn::no_elem) {
+      // Same re-homing fallback as the pure scenario: put carrier and
+      // staging on one path and move staging (and, if needed, the victim)
+      // into modules that keep the planted flow RSN-resolvable.
+      for (rsn::ElemId ca : regs) {
+        if (is_pure(ca)) continue;
+        std::vector<rsn::ElemId> pr = path_registers(ca);
+        auto it = std::find(pr.begin(), pr.end(), ca);
+        if (it == pr.end()) continue;
+        rsn::ElemId st = rsn::no_elem;
+        for (auto jt = it + 1; jt != pr.end(); ++jt)
+          if (!is_pure(*jt)) {
+            st = *jt;
+            break;
+          }
+        if (st == rsn::no_elem) continue;
+        rsn::ElemId vb = rsn::no_elem;
+        for (rsn::ElemId r : regs)
+          if (r != ca && r != st && !is_pure(r)) {
+            vb = r;
+            break;
+          }
+        if (vb == rsn::no_elem) continue;
+        netlist::ModuleId st_target =
+            other_module({module_of(ca), pure_carrier_mod});
+        if (st_target == netlist::no_module) continue;
+        if (module_of(st) == module_of(ca) ||
+            module_of(st) == pure_carrier_mod)
+          net.set_module(st, st_target);
+        if (module_of(vb) == module_of(ca)) {
+          netlist::ModuleId vb_target = other_module({module_of(ca)});
+          if (vb_target == netlist::no_module) continue;
+          net.set_module(vb, vb_target);
+        }
+        hyb_carrier = ca;
+        hyb_staging = st;
+        hyb_victim = vb;
+        break;
+      }
+    }
+    if (hyb_carrier == rsn::no_elem && !options.plant_pure)
+      throw std::runtime_error("redteam: no plantable hybrid scenario in " +
+                               benchmark);
+  }
+
+  // ---- Circuit attachment. No cross-module functional (or structural)
+  // circuit connections: the planted flows must be the only cross-module
+  // flows, so the scenario specs pass the scan-infrastructure-independent
+  // static checks and `secure` can always resolve the violations by
+  // rewiring the RSN.
+  CircuitOptions copt;
+  copt.target_cross_functional = 0.0;
+  copt.target_cross_structural = 0.0;
+  w.circuit = attach_random_circuit(w.doc, copt, rng);
+
+  // ---- Planting.
+  if (pure_carrier != rsn::no_elem) {
+    RedTeamScenario sc;
+    sc.kind = ScenarioKind::PureScanPath;
+    sc.name = "pure";
+    netlist::ModuleId ma = module_of(pure_carrier);
+    sc.secret_ff = w.circuit.add_ff(benchmark + "_pure_secret", ma);
+    w.circuit.set_ff_input(sc.secret_ff, sc.secret_ff);  // holds the secret
+    net.set_capture(pure_carrier, 0, sc.secret_ff);
+    sc.secret_value = rng.chance(0.5);
+    sc.carrier_reg = pure_carrier;
+    sc.carrier_ff = 0;
+    sc.victim_reg = pure_victim;
+    sc.spec = make_redteam_spec(num_modules, ma, module_of(pure_victim));
+    w.scenarios.push_back(std::move(sc));
+  }
+
+  if (hyb_carrier != rsn::no_elem) {
+    rsn::ElemId ra = hyb_carrier, rc = hyb_staging, rb = hyb_victim;
+    RedTeamScenario sc;
+    sc.kind = ScenarioKind::HybridPath;
+    sc.name = "hybrid";
+    netlist::ModuleId ma = module_of(ra);
+    netlist::ModuleId mc = module_of(rc);
+    sc.secret_ff = w.circuit.add_ff(benchmark + "_hyb_secret", ma);
+    w.circuit.set_ff_input(sc.secret_ff, sc.secret_ff);
+    net.set_capture(ra, 0, sc.secret_ff);
+    sc.secret_value = rng.chance(0.5);
+    sc.carrier_reg = ra;
+    sc.carrier_ff = 0;
+    // Staging FF: the update phase writes the shifted-in secret into a
+    // self-looped circuit FF of the staging module ...
+    sc.staging_reg = rc;
+    sc.staging_ff = net.elem(rc).ffs.size() - 1;
+    sc.staging_node = w.circuit.add_ff(benchmark + "_hyb_staging", mc);
+    w.circuit.set_ff_input(sc.staging_node, sc.staging_node);
+    net.set_update(rc, sc.staging_ff, sc.staging_node);
+    // ... and the victim's capture cone reads it back through an
+    // input-gated tap, so the SAT attack must derive the enabling
+    // primary-input assignment (en1=1, en2=0) to sensitize it.
+    netlist::NodeId en1 = w.circuit.add_input(benchmark + "_hyb_en1", mc);
+    netlist::NodeId en2 = w.circuit.add_input(benchmark + "_hyb_en2", mc);
+    netlist::NodeId n2 = w.circuit.add_gate(netlist::GateType::Not, {en2},
+                                            benchmark + "_hyb_n2", mc);
+    netlist::NodeId tap = w.circuit.add_gate(
+        netlist::GateType::And, {sc.staging_node, en1, n2},
+        benchmark + "_hyb_tap", mc);
+    net.set_capture(rb, 0, tap);
+    sc.victim_reg = rb;
+    sc.spec = make_redteam_spec(num_modules, ma, module_of(rb));
+    w.scenarios.push_back(std::move(sc));
+  }
+
+  if (w.scenarios.empty())
+    throw std::runtime_error("redteam: no scenario planted in " + benchmark);
+  return w;
+}
+
+}  // namespace rsnsec::benchgen

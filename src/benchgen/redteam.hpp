@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "rsn/io.hpp"
+#include "security/spec.hpp"
+
+namespace rsnsec::benchgen {
+
+/// The two leakage shapes of the paper's threat model that the attack
+/// engine exercises end to end (Sec. II-A):
+///  - PureScanPath: the secret is captured into a carrier register and
+///    travels to the untrusted victim purely by shifting along the scan
+///    chain.
+///  - HybridPath: the secret is captured, shifted to a staging register of
+///    a third module, written into the circuit by the update phase, and
+///    re-enters the scan side through the victim's capture cone — a flow
+///    crossing both the RSN and the circuit logic.
+enum class ScenarioKind : std::uint8_t { PureScanPath, HybridPath };
+const char* scenario_kind_name(ScenarioKind k);
+
+/// One planted red-team scenario: where the secret lives, the path shape
+/// it can leak over, and the security specification under which that leak
+/// is a violation (carrier module sensitive, victim module untrusted).
+struct RedTeamScenario {
+  ScenarioKind kind = ScenarioKind::PureScanPath;
+  std::string name;  ///< "pure" | "hybrid"
+  /// Self-looped circuit flip-flop holding the planted secret.
+  netlist::NodeId secret_ff = netlist::no_node;
+  bool secret_value = false;  ///< ground truth (hidden from the attacks)
+  /// Register whose first scan FF captures the secret.
+  rsn::ElemId carrier_reg = rsn::no_elem;
+  std::size_t carrier_ff = 0;
+  /// Hybrid only: register/FF whose update phase writes `staging_node`.
+  rsn::ElemId staging_reg = rsn::no_elem;
+  std::size_t staging_ff = 0;
+  /// Hybrid only: self-looped circuit FF the victim's capture cone reads.
+  netlist::NodeId staging_node = netlist::no_node;
+  /// Untrusted register the attacker observes.
+  rsn::ElemId victim_reg = rsn::no_elem;
+  /// Two-category spec: every module vendor-qualified (trust 1), the
+  /// carrier module's data restricted to category 1, the victim module
+  /// untrusted (trust 0). The planted flow violates exactly this spec.
+  security::SecuritySpec spec;
+};
+
+struct RedTeamOptions {
+  double scale = 1.0;
+  /// The requested scale is capped so the generated network stays near
+  /// these sizes (attack replays are O(chain length) per shift).
+  std::size_t target_ffs = 64;
+  std::size_t target_regs = 16;
+  bool plant_pure = true;
+  bool plant_hybrid = true;
+};
+
+/// A generated benchmark network plus circuit with planted secrets.
+struct RedTeamWorkload {
+  rsn::RsnDocument doc;
+  netlist::Netlist circuit;
+  std::vector<RedTeamScenario> scenarios;
+};
+
+/// Generates a scaled network of BASTION family `benchmark`, attaches a
+/// random circuit with no cross-module functional logic (so the planted
+/// flows are the only cross-module flows and `secure` can always resolve
+/// them), and plants the requested scenarios. Register and module choices
+/// are deterministic in (benchmark, seed). Throws std::runtime_error if a
+/// requested scenario cannot be planted (does not happen for the 13 stock
+/// families at default sizes; see tests/attack/redteam_families_test.cpp).
+RedTeamWorkload make_redteam_workload(const std::string& benchmark,
+                                      std::uint64_t seed,
+                                      const RedTeamOptions& options = {});
+
+}  // namespace rsnsec::benchgen

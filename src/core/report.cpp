@@ -149,6 +149,9 @@ void write_json(std::ostream& os, const PipelineResult& r) {
        << (i + 1 < r.changes.size() ? "," : "") << "\n";
   }
   os << "    ]\n  },\n";
+  os << "  \"attack\": {\"checked\": "
+     << (r.attack_checked ? "true" : "false")
+     << ", \"probes\": " << r.attack_probes << ", \"leaks\": 0},\n";
   os << "  \"runtime_seconds\": {\"dependency\": " << r.t_dependency
      << ", \"pure\": " << r.t_pure << ", \"hybrid\": " << r.t_hybrid
      << ", \"total\": " << r.t_total << "}";

@@ -3,6 +3,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "attack/engine.hpp"
 #include "flow/certify.hpp"
 #include "lint/invariant.hpp"
 #include "obs/trace.hpp"
@@ -111,6 +112,22 @@ PipelineResult SecureFlowTool::run() {
       lint::render_text(os, cert.diagnostics);
       throw std::logic_error(
           "secured network failed independent certification:\n" + os.str());
+    }
+  }
+  // Adversarial counterpart of the certifier: replay a bounded battery of
+  // differential attack schedules against the secured network. Any leak
+  // is a concrete counterexample to the security claim, not a heuristic
+  // finding, so it is a hard error like a failed certification.
+  if (options_.verify_attack) {
+    obs::Span span(trace, "pipeline.attack_probe");
+    attack::ProbeStats probe_stats;
+    std::optional<std::string> leak = attack::verify_no_leakage(
+        circuit_, network_, spec_, {}, &probe_stats);
+    result.attack_checked = true;
+    result.attack_probes = probe_stats.probes;
+    if (leak) {
+      throw std::logic_error(
+          "secured network leaks under differential attack probe: " + *leak);
     }
   }
   result.secured = true;

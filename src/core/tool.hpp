@@ -51,6 +51,14 @@ struct PipelineOptions {
   /// claims secure means the pipeline (or its dependency analysis) has a
   /// bug — std::logic_error with the CERT diagnostics is thrown.
   bool verify_certify = false;
+  /// Adversarial counterpart of verify_certify: after a successful
+  /// transformation, run the bounded differential attack probe battery
+  /// (attack::verify_no_leakage) against the secured network. Every
+  /// reported leak is a bit-exact replayed counterexample, so a hit on a
+  /// network the pipeline claims secure is a pipeline bug —
+  /// std::logic_error is thrown. Bounded: a clean probe run is evidence,
+  /// not proof (that side is verify_certify).
+  bool verify_attack = false;
 };
 
 /// Result of one pipeline run (one row of Table I).
@@ -75,6 +83,10 @@ struct PipelineResult {
   security::PureStats pure;
   security::HybridStats hybrid;
   std::vector<security::AppliedChange> changes;
+
+  /// Post-secure differential attack probes (verify_attack only).
+  bool attack_checked = false;
+  std::size_t attack_probes = 0;
 
   /// Phase runtimes in seconds (Table I, last four columns).
   double t_dependency = 0.0;

@@ -124,6 +124,12 @@ void Rsn::set_update(ElemId reg, std::size_t ff, netlist::NodeId dst) {
   r.ffs.at(ff).update_dst = dst;
 }
 
+void Rsn::set_module(ElemId reg, netlist::ModuleId module) {
+  Element& r = mut(reg);
+  assert(r.kind == ElemKind::Register);
+  r.module = module;
+}
+
 std::size_t Rsn::num_scan_ffs() const {
   std::size_t n = 0;
   for (ElemId r : registers_) n += elem(r).ffs.size();

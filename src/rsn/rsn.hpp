@@ -101,6 +101,12 @@ class Rsn {
   void set_capture(ElemId reg, std::size_t ff, netlist::NodeId src);
   void set_update(ElemId reg, std::size_t ff, netlist::NodeId dst);
 
+  /// Reassigns the owning module of register `reg`. Workload-construction
+  /// aid (benchgen re-homes registers to manufacture cross-module flows in
+  /// single-module topologies); call before deriving anything from the
+  /// module assignment — circuit attachment, specs, token tables.
+  void set_module(ElemId reg, netlist::ModuleId module);
+
   /// Element accessors.
   std::size_t num_elements() const { return elems_.size(); }
   const Element& elem(ElemId id) const {

@@ -188,9 +188,15 @@ std::optional<std::string> ArtifactStore::load(const std::string& key) {
     quarantine(file);
     return std::nullopt;
   }
-  // Touch: a served object is "recently used" for the LRU collector.
+  // Touch: a served object is "recently used" for the LRU collector. A
+  // failed touch leaves the object looking idle (it will be evicted
+  // earlier than it should); surface that instead of swallowing it.
   std::error_code ec;
   fs::last_write_time(file, fs::file_time_type::clock::now(), ec);
+  if (ec) {
+    mtime_errors_.fetch_add(1, std::memory_order_relaxed);
+    obs::bump("store.mtime_errors");
+  }
   std::string result(*payload);
   mem_insert(key, result);
   return result;
@@ -262,8 +268,19 @@ std::size_t ArtifactStore::gc(std::uint64_t max_bytes) {
     o.path = p;
     o.size = it->file_size(ec);
     if (ec) continue;
-    o.mtime = fs::last_write_time(p, ec);
-    if (ec) continue;
+    o.mtime = options_.mtime_probe ? options_.mtime_probe(p, ec)
+                                   : fs::last_write_time(p, ec);
+    if (ec) {
+      // An unreadable mtime must not exempt the object from collection:
+      // its bytes still count against the cap, and with no usable LRU
+      // clock it is treated as the oldest candidate (evicted first).
+      // Silently skipping here (the old behavior) both under-counted
+      // `total` and made the object immortal.
+      o.mtime = fs::file_time_type::min();
+      ec.clear();
+      mtime_errors_.fetch_add(1, std::memory_order_relaxed);
+      obs::bump("store.mtime_errors");
+    }
     total += o.size;
     objects.push_back(std::move(o));
   }
@@ -351,6 +368,7 @@ StoreCounters ArtifactStore::counters() const {
   c.misses = misses_.load(std::memory_order_relaxed);
   c.corrupt = corrupt_.load(std::memory_order_relaxed);
   c.evictions = evictions_.load(std::memory_order_relaxed);
+  c.mtime_errors = mtime_errors_.load(std::memory_order_relaxed);
   return c;
 }
 

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstdint>
 #include <filesystem>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -25,6 +26,14 @@ struct StoreOptions {
   /// Whether the in-memory tier is enabled at all. Disable to test the
   /// disk path in isolation.
   bool memory_tier = true;
+  /// Test seam: how gc() reads an object's mtime. Defaults to
+  /// std::filesystem::last_write_time; tests inject probes that fail for
+  /// chosen paths to pin the error-handling contract (a failed mtime read
+  /// makes the object an oldest-first eviction candidate, it never
+  /// silently exempts it from collection).
+  std::function<std::filesystem::file_time_type(
+      const std::filesystem::path&, std::error_code&)>
+      mtime_probe;
 };
 
 /// Monotonic counters of one store instance. These mirror the ambient
@@ -35,6 +44,10 @@ struct StoreCounters {
   std::uint64_t misses = 0;     ///< analyses recomputed (then published)
   std::uint64_t corrupt = 0;    ///< blobs rejected and quarantined
   std::uint64_t evictions = 0;  ///< blobs removed by gc()
+  /// Failed mtime reads (gc) or touches (load). Each one degrades LRU
+  /// accuracy for that object — gc() treats it as oldest — so a non-zero
+  /// count on a healthy filesystem deserves investigation.
+  std::uint64_t mtime_errors = 0;
 };
 
 /// Aggregate on-disk state, as reported by `rsnsec store stats`.
@@ -125,6 +138,7 @@ class ArtifactStore {
   std::atomic<std::uint64_t> misses_{0};
   std::atomic<std::uint64_t> corrupt_{0};
   std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> mtime_errors_{0};
 
   // In-memory tier: key -> payload, LRU by access order.
   struct MemEntry {

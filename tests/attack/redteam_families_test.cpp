@@ -1,0 +1,63 @@
+// The acceptance property of the attack engine, over every stock BASTION
+// family: the planted secret is recovered from the unsecured network by
+// at least one attack (with a CSU-replayed witness, cross-checked against
+// the dependency matrix and the certifier), and after `secure` every
+// attack fails and the network certifies — with no verdict inconsistency
+// in either direction.
+
+#include <gtest/gtest.h>
+
+#include "attack/engine.hpp"
+#include "benchgen/families.hpp"
+#include "benchgen/redteam.hpp"
+#include "core/tool.hpp"
+
+namespace rsnsec::attack {
+namespace {
+
+TEST(RedTeamFamilies, AllFamiliesLeakUnsecuredAndHoldSecured) {
+  const std::vector<benchgen::BenchmarkProfile>& profiles =
+      benchgen::bastion_profiles();
+  ASSERT_GE(profiles.size(), 13u);
+  for (const benchgen::BenchmarkProfile& profile : profiles) {
+    SCOPED_TRACE(profile.name);
+    benchgen::RedTeamWorkload w =
+        benchgen::make_redteam_workload(profile.name, 1);
+    ASSERT_FALSE(w.scenarios.empty());
+
+    AttackReport pre = run_attacks(w.circuit, w.doc.network, w.scenarios);
+    EXPECT_FALSE(pre.soundness_bug());
+    EXPECT_TRUE(pre.any_recovered());
+    for (const ScenarioResult& sc : pre.scenarios) {
+      SCOPED_TRACE(sc.scenario);
+      EXPECT_TRUE(sc.any_recovered());
+      ASSERT_TRUE(sc.cross.ran);
+      EXPECT_TRUE(sc.cross.consistent);
+      EXPECT_GT(sc.cross.violating_pairs, 0u);
+      EXPECT_FALSE(sc.cross.certified);
+      EXPECT_TRUE(sc.cross.dep_secret_edge);
+      for (const AttackOutcome& o : sc.outcomes)
+        if (o.recovered()) {
+          EXPECT_TRUE(o.differential.leaks) << o.method;
+          EXPECT_EQ(o.recovered_value, o.secret_value) << o.method;
+        }
+    }
+
+    for (const benchgen::RedTeamScenario& sc : w.scenarios) {
+      SCOPED_TRACE(sc.name);
+      rsn::Rsn net = w.doc.network;
+      SecureFlowTool tool(w.circuit, net, sc.spec, PipelineOptions{});
+      ASSERT_TRUE(tool.run().secured);
+      AttackReport post = run_attacks(w.circuit, net, {sc});
+      EXPECT_FALSE(post.any_recovered());
+      EXPECT_FALSE(post.any_inconclusive());
+      EXPECT_FALSE(post.soundness_bug());
+      ASSERT_EQ(post.scenarios.size(), 1u);
+      EXPECT_TRUE(post.scenarios[0].cross.certified);
+      EXPECT_EQ(post.scenarios[0].cross.violating_pairs, 0u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rsnsec::attack

@@ -1,0 +1,154 @@
+// Unknown-verdict laundering audit (DESIGN.md): a SAT query that
+// exhausts its conflict budget answers Unknown, and no consumer may
+// report that as "secure" / "attack infeasible". These tests pin both
+// consumers of cone-sensitization queries with a formula that is
+// genuinely hard to refute at a starved budget: the root is
+// And(PHP(4,3), staging) where PHP(4,3) is the pigeonhole principle
+// with 4 pigeons and 3 holes — unsatisfiable, so toggling `staging`
+// never toggles the root, but proving that needs real conflict search.
+//
+//  - attack::sensitize_cone: Unknown at conflict budget 1, Unsat
+//    unlimited.
+//  - attack::scansat_attack: Unknown => Inconclusive (never
+//    NotRecovered, which would launder "ran out of budget" into "attack
+//    infeasible").
+//  - dep::DependencyAnalyzer: Unknown => conservative Path
+//    classification (never Structural, which would launder it into
+//    "only-structurally dependent", the analyzer's notion of safe).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "attack/scansat.hpp"
+#include "benchgen/redteam.hpp"
+#include "dep/analyzer.hpp"
+#include "netlist/netlist.hpp"
+#include "rsn/rsn.hpp"
+#include "sat/solver.hpp"
+
+namespace rsnsec::attack {
+namespace {
+
+/// Circuit + network with a planted hybrid scenario whose victim capture
+/// cone is And(PHP(4,3), staging_node).
+struct PigeonholeFixture {
+  netlist::Netlist nl;
+  rsn::Rsn net{"php"};
+  benchgen::RedTeamScenario sc;
+
+  PigeonholeFixture() {
+    netlist::ModuleId m0 = nl.add_module("carrier");
+    netlist::ModuleId m1 = nl.add_module("staging");
+    netlist::ModuleId m2 = nl.add_module("victim");
+
+    sc.secret_ff = nl.add_ff("secret", m0);
+    nl.set_ff_input(sc.secret_ff, sc.secret_ff);
+    sc.staging_node = nl.add_ff("staging", m1);
+    nl.set_ff_input(sc.staging_node, sc.staging_node);
+
+    // PHP(4,3): x[p][h] = pigeon p sits in hole h.
+    netlist::NodeId x[4][3];
+    for (int p = 0; p < 4; ++p)
+      for (int h = 0; h < 3; ++h)
+        x[p][h] = nl.add_input(
+            "x" + std::to_string(p) + "_" + std::to_string(h), m2);
+    std::vector<netlist::NodeId> clauses;
+    for (int p = 0; p < 4; ++p)  // every pigeon in some hole
+      clauses.push_back(nl.add_gate(netlist::GateType::Or,
+                                    {x[p][0], x[p][1], x[p][2]}));
+    for (int h = 0; h < 3; ++h)  // no hole holds two pigeons
+      for (int p = 0; p < 4; ++p)
+        for (int q = p + 1; q < 4; ++q)
+          clauses.push_back(
+              nl.add_gate(netlist::GateType::Nand, {x[p][h], x[q][h]}));
+    netlist::NodeId php =
+        nl.add_gate(netlist::GateType::And, clauses, "php", m2);
+    root = nl.add_gate(netlist::GateType::And, {php, sc.staging_node},
+                       "root", m2);
+
+    // scan_in -> ra (carrier) -> rc (staging) -> rb (victim) -> scan_out.
+    rsn::ElemId ra = net.add_register("ra", 1, m0);
+    rsn::ElemId rc = net.add_register("rc", 1, m1);
+    rsn::ElemId rb = net.add_register("rb", 1, m2);
+    net.connect(net.scan_in(), ra, 0);
+    net.connect(ra, rc, 0);
+    net.connect(rc, rb, 0);
+    net.connect(rb, net.scan_out(), 0);
+    net.set_capture(ra, 0, sc.secret_ff);
+    net.set_update(rc, 0, sc.staging_node);
+    net.set_capture(rb, 0, root);
+
+    sc.kind = benchgen::ScenarioKind::HybridPath;
+    sc.name = "hybrid";
+    sc.secret_value = true;
+    sc.carrier_reg = ra;
+    sc.carrier_ff = 0;
+    sc.staging_reg = rc;
+    sc.staging_ff = 0;
+    sc.victim_reg = rb;
+    victim = rb;
+  }
+
+  netlist::NodeId root = netlist::no_node;
+  rsn::ElemId victim = rsn::no_elem;
+};
+
+TEST(UnknownLaundering, SensitizeConeReportsBudgetExhaustionAsUnknown) {
+  PigeonholeFixture f;
+  SensitizeOutcome starved =
+      sensitize_cone(f.nl, f.root, f.sc.staging_node, /*conflict_limit=*/1);
+  EXPECT_EQ(starved.result, sat::Result::Unknown);
+
+  SensitizeOutcome full =
+      sensitize_cone(f.nl, f.root, f.sc.staging_node, /*conflict_limit=*/0);
+  EXPECT_EQ(full.result, sat::Result::Unsat);  // PHP(4,3) refuted
+}
+
+TEST(UnknownLaundering, ScanSatMapsUnknownToInconclusiveNotInfeasible) {
+  PigeonholeFixture f;
+  ScanSatOptions starved;
+  starved.conflict_limit = 1;
+  AttackOutcome o = scansat_attack(f.nl, f.net, f.sc, starved);
+  EXPECT_EQ(o.verdict, Verdict::Inconclusive) << o.note;
+  EXPECT_GE(o.sat_calls, 1u);
+
+  ScanSatOptions unlimited;
+  unlimited.conflict_limit = 0;
+  AttackOutcome p = scansat_attack(f.nl, f.net, f.sc, unlimited);
+  // With the full budget the infeasibility is *proven*; only then may
+  // the attack claim NotRecovered.
+  EXPECT_EQ(p.verdict, Verdict::NotRecovered) << p.note;
+}
+
+TEST(UnknownLaundering, DepAnalyzerClassifiesUnknownAsPath) {
+  PigeonholeFixture f;
+  dep::DepOptions starved;
+  starved.sat_conflict_limit = 1;
+  dep::DependencyAnalyzer a(f.nl, f.net, starved);
+  a.run();
+  ASSERT_GE(a.stats().sat_unknown, 1u);
+  // The undecided staging -> victim-capture dependency must be
+  // over-approximated as a real flow (Path), the sound direction for
+  // security: a starved budget may cost precision, never soundness.
+  bool found = false;
+  for (const dep::CaptureDep& d : a.capture_deps(f.victim, 0))
+    if (d.circuit_ff == f.sc.staging_node) {
+      found = true;
+      EXPECT_EQ(d.kind, DepKind::Path);
+    }
+  EXPECT_TRUE(found);
+
+  dep::DepOptions unlimited;
+  unlimited.sat_conflict_limit = 0;
+  dep::DependencyAnalyzer b(f.nl, f.net, unlimited);
+  b.run();
+  EXPECT_EQ(b.stats().sat_unknown, 0u);
+  for (const dep::CaptureDep& d : b.capture_deps(f.victim, 0))
+    if (d.circuit_ff == f.sc.staging_node)
+      // Proven: the root is constant-0, the dependency only structural.
+      EXPECT_EQ(d.kind, DepKind::Structural);
+}
+
+}  // namespace
+}  // namespace rsnsec::attack

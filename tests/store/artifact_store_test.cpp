@@ -12,6 +12,7 @@
 #include <fstream>
 #include <optional>
 #include <string>
+#include <system_error>
 #include <thread>
 #include <vector>
 
@@ -231,6 +232,44 @@ TEST(ArtifactStore, GcEvictsLeastRecentlyUsedFirst) {
   EXPECT_TRUE(store.load(keys[1]).has_value());
   EXPECT_TRUE(store.load(keys[2]).has_value());
   EXPECT_EQ(store.disk_stats().objects, 2u);
+}
+
+TEST(ArtifactStore, GcTreatsMtimeFailureAsOldestNotImmortal) {
+  // Regression: gc() used to ignore the error_code of last_write_time,
+  // leaving the object's mtime default-initialized *and* its size out of
+  // the running total — which both skewed the cap accounting and could
+  // never be pinned down in a test. The contract now: a failed mtime
+  // read makes the object an oldest-first eviction candidate (and bumps
+  // the mtime_errors counter); it must never silently survive gc.
+  fs::path root = test_root();
+  const std::string p_bad(100, 'b');
+  const std::string p_ok(100, 'k');
+  const std::string bad_key = key_of(p_bad);
+  StoreOptions opt;
+  opt.memory_tier = false;
+  opt.mtime_probe = [bad_key](const fs::path& p, std::error_code& ec) {
+    if (p.filename().string().find(bad_key) != std::string::npos) {
+      ec = std::make_error_code(std::errc::io_error);
+      return fs::file_time_type{};
+    }
+    return fs::last_write_time(p, ec);
+  };
+  ArtifactStore store(root, opt);
+  store.put(key_of(p_ok), p_ok);
+  store.put(bad_key, p_bad);
+  // Make the healthy object much older on disk: by real mtime it would
+  // be the LRU victim, so eviction of the *probed-bad* object proves the
+  // error path demotes it below every readable object.
+  fs::last_write_time(object_file(root, key_of(p_ok)),
+                      fs::file_time_type::clock::now() -
+                          std::chrono::hours(24));
+  std::uint64_t one_blob = store.disk_stats().bytes / 2;
+  EXPECT_EQ(store.gc(one_blob), 1u);
+  EXPECT_FALSE(store.load(bad_key).has_value());
+  EXPECT_TRUE(store.load(key_of(p_ok)).has_value());
+  EXPECT_GE(store.counters().mtime_errors, 1u);
+  EXPECT_EQ(store.counters().evictions, 1u);
+  EXPECT_EQ(store.disk_stats().objects, 1u);
 }
 
 TEST(ArtifactStore, GcToZeroEmptiesDiskAndMemory) {

@@ -382,5 +382,70 @@ TEST_F(CliTest, BenchRequiresKnownExperiment) {
   EXPECT_NE(err_.str().find("bogus"), std::string::npos);
 }
 
+TEST_F(CliTest, JobsZeroIsUsageError) {
+  // --jobs 0 used to silently mean "auto" (the internal convention);
+  // as explicit user input it is ambiguous and now exits 2.
+  int rc = run_cli({"attack", "--benchmark", "BasicSCB", "--jobs", "0"});
+  EXPECT_EQ(rc, 2);
+  EXPECT_NE(err_.str().find("--jobs"), std::string::npos);
+  EXPECT_NE(err_.str().find("omit the flag for auto"), std::string::npos);
+}
+
+TEST_F(CliTest, DuplicateOptionLastOccurrenceWins) {
+  // The first --benchmark value is unknown and would exit 2; success
+  // proves the documented last-occurrence-wins rule.
+  int rc = run_cli({"attack", "--benchmark", "NoSuchFamily", "--benchmark",
+                    "BasicSCB", "--no-secure"});
+  EXPECT_EQ(rc, 0) << err_.str();
+  EXPECT_NE(out_.str().find("attack: BasicSCB"), std::string::npos);
+}
+
+TEST_F(CliTest, AttackRejectsBadArguments) {
+  // Missing required option: generic error (rc 1), repo convention.
+  EXPECT_EQ(run_cli({"attack"}), 1);
+  EXPECT_EQ(run_cli({"attack", "--benchmark", "NoSuchFamily"}), 2);
+  EXPECT_NE(err_.str().find("NoSuchFamily"), std::string::npos);
+  EXPECT_NE(err_.str().find("BasicSCB"), std::string::npos);  // catalog
+  EXPECT_EQ(run_cli({"attack", "--benchmark", "BasicSCB", "--scenario",
+                     "bogus"}),
+            2);
+  EXPECT_EQ(run_cli({"attack", "--benchmark", "BasicSCB", "--seed",
+                     "twelve"}),
+            2);
+}
+
+TEST_F(CliTest, AttackEndToEndJson) {
+  int rc = run_cli({"attack", "--benchmark", "BasicSCB", "--seed", "1",
+                    "--json"});
+  ASSERT_EQ(rc, 0) << err_.str();
+  const std::string json = out_.str();
+  EXPECT_TRUE(testsupport::JsonValidator(json).validate()) << json;
+  EXPECT_NE(json.find("\"recovered_pre\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"recovered_post\": false"), std::string::npos);
+  EXPECT_NE(json.find("\"soundness_bug\": false"), std::string::npos);
+  EXPECT_NE(json.find("\"pre_secure\""), std::string::npos);
+  EXPECT_NE(json.find("\"post_secure\""), std::string::npos);
+}
+
+TEST_F(CliTest, BenchAttackEmitsBenchmarkSchema) {
+  EXPECT_EQ(run_cli({"bench", "attack", "--families", "BasicSCB"}), 2)
+      << "bench attack without --json must be a usage error";
+  int rc = run_cli({"bench", "attack", "--families", "BasicSCB", "--json"});
+  ASSERT_EQ(rc, 0) << err_.str();
+  const std::string json = out_.str();
+  EXPECT_TRUE(testsupport::JsonValidator(json).validate()) << json;
+  // google-benchmark compare.py layout: context + benchmarks[].
+  EXPECT_NE(json.find("\"context\""), std::string::npos);
+  EXPECT_NE(json.find("\"benchmarks\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"Attack_BasicSCB/pure\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"Attack_BasicSCB/hybrid\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"time_unit\": \"ms\""), std::string::npos);
+  EXPECT_EQ(run_cli({"bench", "attack", "--families", "NoSuchFamily",
+                     "--json"}),
+            2);
+}
+
 }  // namespace
 }  // namespace rsnsec::cli

@@ -13,9 +13,11 @@
 #include "obs/trace.hpp"
 #include "util/strings.hpp"
 
+#include "attack/engine.hpp"
 #include "bench/common.hpp"
 #include "benchgen/circuit.hpp"
 #include "benchgen/families.hpp"
+#include "benchgen/redteam.hpp"
 #include "benchgen/specgen.hpp"
 #include "core/report.hpp"
 #include "core/tool.hpp"
@@ -84,12 +86,16 @@ Args parse_args(const std::vector<std::string>& argv) {
     if (key == "structural" || key == "json" || key == "no-pure" ||
         key == "no-hybrid" || key == "no-incremental" ||
         key == "no-ternary" || key == "filter-baseline" || key == "verify" ||
-        key == "metrics") {
+        key == "metrics" || key == "no-secure") {
       args.flags.push_back(key);
       continue;
     }
     if (i + 1 >= argv.size())
       throw std::runtime_error("option --" + key + " needs a value");
+    // Duplicated value options are last-occurrence-wins by contract (the
+    // map assignment overwrites): `rsnsec secure --seed 1 --seed 2` runs
+    // with seed 2, matching what shell users expect from appended
+    // overrides. Pinned by cli_tests DuplicateOptionLastOccurrenceWins.
     args.options[key] = argv[++i];
   }
   return args;
@@ -158,12 +164,21 @@ double double_or_usage(const std::string& s, const std::string& what) {
   return *v;
 }
 
-/// Parses --jobs N (0 = auto: RSNSEC_JOBS, else hardware concurrency).
-/// Without the flag, commands default to auto as well — results are
-/// bit-identical for any value, so parallelism is safe to default on.
+/// Parses --jobs N. Without the flag, commands default to auto
+/// (RSNSEC_JOBS, else hardware concurrency) — results are bit-identical
+/// for any value, so parallelism is safe to default on. An explicit
+/// `--jobs 0` is rejected: internally 0 encodes "auto", and accepting it
+/// would silently turn a caller's attempt to say "no parallelism" into
+/// "all cores" (say `--jobs 1` for serial, omit the flag for auto).
 std::size_t jobs_option(const Args& args) {
-  if (auto j = args.get("jobs"))
-    return static_cast<std::size_t>(u64_or_usage(*j, "--jobs"));
+  if (auto j = args.get("jobs")) {
+    std::uint64_t n = u64_or_usage(*j, "--jobs");
+    if (n == 0)
+      throw UsageError(
+          "--jobs needs a positive thread count (use --jobs 1 for serial "
+          "execution, or omit the flag for auto)");
+    return static_cast<std::size_t>(n);
+  }
   return 0;
 }
 
@@ -207,11 +222,13 @@ PipelineOptions pipeline_options(const Args& args) {
   if (args.has_flag("no-ternary")) opt.dep.ternary_prefilter = false;
   if (args.has_flag("no-pure")) opt.run_pure = false;
   if (args.has_flag("no-hybrid")) opt.run_hybrid = false;
-  // --verify turns on both independent re-checks: the per-change lint
-  // invariant pass and the final SAT-free certification.
+  // --verify turns on all three independent re-checks: the per-change
+  // lint invariant pass, the final SAT-free certification and the
+  // differential attack probe battery against the secured network.
   if (args.has_flag("verify")) {
     opt.verify_invariants = true;
     opt.verify_certify = true;
+    opt.verify_attack = true;
   }
   // Oracle mode: recompute violation state from scratch on every query
   // instead of maintaining it incrementally. Same results, much slower;
@@ -405,18 +422,269 @@ int cmd_certify(const Args& args, std::ostream& out) {
   return result.certified() ? 0 : 2;
 }
 
+/// Shared option parsing of `rsnsec attack` and `rsnsec bench attack`.
+/// Every numeric argument goes through u64_or_usage / double_or_usage so a
+/// malformed value exits 2, like the rest of the CLI.
+struct AttackCliOptions {
+  std::uint64_t seed = 1;
+  benchgen::RedTeamOptions redteam;
+  attack::AttackOptions engine;
+};
+
+AttackCliOptions attack_cli_options(const Args& args) {
+  AttackCliOptions o;
+  o.seed = u64_or_usage(args.get("seed").value_or("1"), "--seed");
+  o.redteam.scale =
+      double_or_usage(args.get("scale").value_or("1.0"), "--scale");
+  if (auto v = args.get("target-ffs"))
+    o.redteam.target_ffs =
+        static_cast<std::size_t>(u64_or_usage(*v, "--target-ffs"));
+  if (auto v = args.get("target-regs"))
+    o.redteam.target_regs =
+        static_cast<std::size_t>(u64_or_usage(*v, "--target-regs"));
+  if (auto s = args.get("scenario")) {
+    if (*s == "pure") {
+      o.redteam.plant_hybrid = false;
+    } else if (*s == "hybrid") {
+      o.redteam.plant_pure = false;
+    } else if (*s != "all") {
+      throw UsageError("unknown --scenario '" + *s +
+                       "' (try: pure, hybrid, all)");
+    }
+  }
+  o.engine.seed = o.seed;
+  o.engine.sat_conflict_limit = u64_or_usage(
+      args.get("conflict-limit").value_or("100000"), "--conflict-limit");
+  o.engine.num_threads = jobs_option(args);
+  return o;
+}
+
+/// Validates a --benchmark name against the BASTION catalog; an unknown
+/// family is the caller's mistake (exit 2), with the catalog listed.
+const benchgen::BenchmarkProfile& attack_benchmark(const std::string& name) {
+  try {
+    return benchgen::bastion_profile(name);
+  } catch (const std::exception&) {
+    std::string known;
+    for (const benchgen::BenchmarkProfile& p : benchgen::bastion_profiles())
+      known += (known.empty() ? "" : ", ") + p.name;
+    throw UsageError("unknown --benchmark '" + name + "' (try: " + known +
+                     ")");
+  }
+}
+
+void write_outcome_json(std::ostream& out, const attack::AttackOutcome& o) {
+  out << "{\"method\": \"" << o.method << "\", \"verdict\": \""
+      << attack::verdict_name(o.verdict)
+      << "\", \"recovered_value\": " << (o.recovered_value ? 1 : 0)
+      << ", \"secret_value\": " << (o.secret_value ? 1 : 0)
+      << ", \"leaks\": " << (o.differential.leaks ? "true" : "false")
+      << ", \"diff_ops\": " << o.differential.witness.diff_ops.size()
+      << ", \"shifts\": " << o.differential.shifts
+      << ", \"captures\": " << o.differential.captures
+      << ", \"updates\": " << o.differential.updates
+      << ", \"sat_calls\": " << o.sat_calls << ", \"seconds\": " << o.seconds
+      << ", \"note\": \"" << json_escape(o.note) << "\"}";
+}
+
+void write_scenario_json(std::ostream& out,
+                         const attack::ScenarioResult& res) {
+  out << "{\"scenario\": \"" << res.scenario << "\", \"kind\": \""
+      << benchgen::scenario_kind_name(res.kind) << "\", \"outcomes\": [";
+  for (std::size_t i = 0; i < res.outcomes.size(); ++i) {
+    if (i) out << ", ";
+    write_outcome_json(out, res.outcomes[i]);
+  }
+  out << "], \"cross_check\": {\"ran\": "
+      << (res.cross.ran ? "true" : "false")
+      << ", \"violating_pairs\": " << res.cross.violating_pairs
+      << ", \"certified\": " << (res.cross.certified ? "true" : "false")
+      << ", \"dep_secret_edge\": "
+      << (res.cross.dep_secret_edge ? "true" : "false")
+      << ", \"consistent\": " << (res.cross.consistent ? "true" : "false")
+      << "}}";
+}
+
+void print_scenario_text(std::ostream& out, const std::string& phase,
+                         const attack::ScenarioResult& res) {
+  for (const attack::AttackOutcome& o : res.outcomes) {
+    out << "  [" << phase << "] " << res.scenario << " / " << o.method
+        << ": " << attack::verdict_name(o.verdict);
+    if (o.recovered())
+      out << " (secret = " << (o.recovered_value ? 1 : 0) << ", witness: "
+          << o.differential.witness.diff_ops.size() << " diff ops over "
+          << o.differential.shifts << " shifts)";
+    if (!o.note.empty()) out << " — " << o.note;
+    out << "\n";
+  }
+  if (res.cross.ran) {
+    out << "  [" << phase << "] " << res.scenario
+        << " / cross-check: " << res.cross.violating_pairs
+        << " violating pair(s), certified "
+        << (res.cross.certified ? "yes" : "no") << ", dep edge "
+        << (res.cross.dep_secret_edge ? "present" : "absent") << " -> "
+        << (res.cross.consistent ? "consistent" : "INCONSISTENT") << "\n";
+    for (const std::string& n : res.cross.notes)
+      out << "      soundness: " << n << "\n";
+  }
+}
+
+/// `rsnsec attack`: generates a red-team workload of the given BASTION
+/// family with planted secrets, mounts the ScanSAT and GF-Flush attacks
+/// against the unsecured network, then (unless --no-secure) secures a copy
+/// per scenario and re-attacks it. Exit codes: 0 = expected outcome
+/// (secrets recovered pre-secure, nothing recovered post-secure, all
+/// verdicts consistent with the static analyses); 2 = usage; 3 = soundness
+/// bug (verdicts inconsistent, or a recovery post-secure); 4 = no attack
+/// recovered the planted secret from the unsecured network.
+int cmd_attack(const Args& args, std::ostream& out) {
+  std::string name = args.require("benchmark");
+  attack_benchmark(name);
+  AttackCliOptions o = attack_cli_options(args);
+  const bool json = args.has_flag("json");
+  const bool do_secure = !args.has_flag("no-secure");
+
+  benchgen::RedTeamWorkload w =
+      benchgen::make_redteam_workload(name, o.seed, o.redteam);
+  attack::AttackReport pre =
+      attack::run_attacks(w.circuit, w.doc.network, w.scenarios, o.engine);
+
+  bool post_recovered = false;
+  bool post_inconsistent = false;
+  std::vector<attack::AttackReport> post;
+  if (do_secure) {
+    for (const benchgen::RedTeamScenario& sc : w.scenarios) {
+      rsn::Rsn net = w.doc.network;
+      PipelineOptions popt;
+      popt.dep.num_threads = o.engine.num_threads;
+      popt.resolve.num_threads = o.engine.num_threads;
+      SecureFlowTool tool(w.circuit, net, sc.spec, popt);
+      PipelineResult r = tool.run();
+      if (!r.secured)
+        throw std::runtime_error("secure failed on the '" + sc.name +
+                                 "' red-team workload (static report not "
+                                 "clean?)");
+      attack::AttackReport rep =
+          attack::run_attacks(w.circuit, net, {sc}, o.engine);
+      post_recovered |= rep.any_recovered();
+      post_inconsistent |= rep.soundness_bug();
+      post.push_back(std::move(rep));
+    }
+  }
+
+  bool soundness_bug =
+      pre.soundness_bug() || post_inconsistent || post_recovered;
+  if (json) {
+    out << "{\"benchmark\": \"" << name << "\", \"seed\": " << o.seed
+        << ", \"pre_secure\": [";
+    for (std::size_t i = 0; i < pre.scenarios.size(); ++i) {
+      if (i) out << ", ";
+      write_scenario_json(out, pre.scenarios[i]);
+    }
+    out << "], \"post_secure\": [";
+    bool first = true;
+    for (const attack::AttackReport& rep : post)
+      for (const attack::ScenarioResult& sc : rep.scenarios) {
+        if (!first) out << ", ";
+        first = false;
+        write_scenario_json(out, sc);
+      }
+    out << "], \"recovered_pre\": " << (pre.any_recovered() ? "true" : "false")
+        << ", \"recovered_post\": " << (post_recovered ? "true" : "false")
+        << ", \"soundness_bug\": " << (soundness_bug ? "true" : "false")
+        << "}\n";
+  } else {
+    out << "attack: " << name << " (seed " << o.seed << ", "
+        << w.scenarios.size() << " planted scenario(s))\n";
+    for (const attack::ScenarioResult& sc : pre.scenarios)
+      print_scenario_text(out, "unsecured", sc);
+    for (const attack::AttackReport& rep : post)
+      for (const attack::ScenarioResult& sc : rep.scenarios)
+        print_scenario_text(out, "secured", sc);
+    out << "verdict: "
+        << (soundness_bug ? "SOUNDNESS BUG"
+            : pre.any_recovered()
+                ? (do_secure ? "leak demonstrated, secure defeats it"
+                             : "leak demonstrated")
+                : "no attack recovered the planted secret")
+        << "\n";
+  }
+  if (soundness_bug) return 3;
+  if (!pre.any_recovered()) return 4;
+  return 0;
+}
+
+/// `rsnsec bench attack [--families CSV] --json`: wall-clock of the full
+/// attack engine per BASTION family, in the google-benchmark JSON layout
+/// the CI validator checks for every committed BENCH_*.json. Cross-checks
+/// are off — this measures the attacks, not the analyses they are checked
+/// against.
+int cmd_bench_attack(const Args& args, std::ostream& out) {
+  AttackCliOptions o = attack_cli_options(args);
+  o.engine.cross_check = false;
+  std::vector<std::string> names;
+  if (auto f = args.get("families")) {
+    for (const std::string& n : split(*f, ',')) {
+      attack_benchmark(n);
+      names.push_back(n);
+    }
+    if (names.empty()) throw UsageError("--families needs at least one name");
+  } else {
+    for (const benchgen::BenchmarkProfile& p : benchgen::bastion_profiles())
+      names.push_back(p.name);
+  }
+
+  if (!args.has_flag("json"))
+    throw UsageError("bench attack only has a JSON report; pass --json");
+  out << "{\"context\": {\"executable\": \"rsnsec\", \"experiment\": "
+         "\"attack\", \"seed\": "
+      << o.seed << "},\n\"benchmarks\": [";
+  bool first = true;
+  for (const std::string& name : names) {
+    benchgen::RedTeamWorkload w =
+        benchgen::make_redteam_workload(name, o.seed, o.redteam);
+    for (const benchgen::RedTeamScenario& sc : w.scenarios) {
+      attack::AttackReport rep =
+          attack::run_attacks(w.circuit, w.doc.network, {sc}, o.engine);
+      const attack::ScenarioResult& res = rep.scenarios.at(0);
+      double seconds = 0.0;
+      std::uint64_t sat_calls = 0;
+      std::size_t recovered = 0, shifts = 0;
+      for (const attack::AttackOutcome& oc : res.outcomes) {
+        seconds += oc.seconds;
+        sat_calls += oc.sat_calls;
+        recovered += oc.recovered() ? 1 : 0;
+        shifts += oc.differential.shifts;
+      }
+      out << (first ? "\n" : ",\n") << "  {\"name\": \"Attack_" << name
+          << "/" << sc.name << "\", \"run_type\": \"iteration\", "
+          << "\"iterations\": 1, \"real_time\": " << seconds * 1e3
+          << ", \"cpu_time\": " << seconds * 1e3
+          << ", \"time_unit\": \"ms\", \"recovered\": " << recovered
+          << ", \"methods\": " << res.outcomes.size()
+          << ", \"sat_calls\": " << sat_calls
+          << ", \"replay_shifts\": " << shifts << "}";
+      first = false;
+    }
+  }
+  out << "\n]}\n";
+  return 0;
+}
+
 /// `rsnsec bench ablation`: the Sec. IV-C structural-vs-exact ablation as
 /// a first-class subcommand. Reuses the bench harness's instance recipe
 /// (bench::make_instance with the same seeds and scaling) so the reported
 /// deltas are directly comparable with the committed EXPERIMENTS.md
 /// tables and the paper's +61% / 6.21%.
 int cmd_bench(const Args& args, std::ostream& out) {
+  if (args.positionals.size() == 1 && args.positionals[0] == "attack")
+    return cmd_bench_attack(args, out);
   if (args.positionals.size() != 1 || args.positionals[0] != "ablation")
     throw UsageError(
         (args.positionals.empty()
              ? std::string("bench needs an experiment name")
              : "unknown bench experiment '" + args.positionals[0] + "'") +
-        " (try: ablation, e.g. "
+        " (try: ablation or attack, e.g. "
         "rsnsec bench ablation [--circuits N] [--specs N] [--json])");
 
   bench::SweepOptions opt = bench::sweep_options_from_env();
@@ -630,12 +898,13 @@ int dispatch(const Args& args, std::ostream& out) {
   if (args.command == "analyze") return cmd_analyze(args, out);
   if (args.command == "secure") return cmd_secure(args, out);
   if (args.command == "certify") return cmd_certify(args, out);
+  if (args.command == "attack") return cmd_attack(args, out);
   if (args.command == "lint") return cmd_lint(args, out);
   if (args.command == "store") return cmd_store(args, out);
   if (args.command == "bench") return cmd_bench(args, out);
   throw std::runtime_error("unknown command '" + args.command +
                            "' (try: generate, info, analyze, secure, "
-                           "certify, lint, store, bench)");
+                           "certify, attack, lint, store, bench)");
 }
 
 }  // namespace
