@@ -20,22 +20,66 @@ struct ModuleCtx {
   NodeId input = netlist::no_node;  ///< one primary input per module
 };
 
+/// Candidate-source sequence of one cone, layout-compatible with the
+/// `std::vector<NodeId> sources = ctx[m].boundary; sources.push_back(...)`
+/// vectors it replaces: an optional prefix element, the shared boundary
+/// vector (referenced, not copied), then up to two appended extras. The
+/// per-FF boundary copy was O(boundary^2) per module and dominated
+/// generation on 10^5+-FF circuits; the view is O(1) per FF. Index order
+/// matches the old vectors exactly, so every rng.pick() draws the same
+/// node at the same stream position and historical artifacts reproduce
+/// bit for bit.
+class SourceView {
+ public:
+  explicit SourceView(const std::vector<NodeId>& base) : base_(&base) {}
+
+  void push_back(NodeId id) {
+    assert(n_extra_ < 2);
+    extra_[n_extra_++] = id;
+  }
+  void set_prefix(NodeId id) {
+    prefix_ = id;
+    has_prefix_ = true;
+  }
+
+  std::size_t size() const {
+    return (has_prefix_ ? 1 : 0) + base_->size() + n_extra_;
+  }
+  const NodeId& operator[](std::size_t i) const {
+    if (has_prefix_) {
+      if (i == 0) return prefix_;
+      --i;
+    }
+    if (i < base_->size()) return (*base_)[i];
+    return extra_[i - base_->size()];
+  }
+  const NodeId& front() const { return (*this)[0]; }
+
+ private:
+  const std::vector<NodeId>* base_;
+  NodeId prefix_ = netlist::no_node;
+  bool has_prefix_ = false;
+  NodeId extra_[2] = {netlist::no_node, netlist::no_node};
+  std::size_t n_extra_ = 0;
+};
+
 /// Builds a small random combinational cone over `sources` and returns
 /// its root node. With `cancelling`, the cone is a data-flow-cancelling
 /// reconvergence over its first source: structurally connected, but no
 /// value propagates (XOR(x, x) and MUX(s, a, a) patterns).
-NodeId build_cone(Netlist& nl, const std::vector<NodeId>& sources,
+NodeId build_cone(Netlist& nl, const SourceView& sources,
                   std::size_t max_gates, bool cancelling,
                   bool must_include_first, ModuleId module, Rng& rng) {
-  assert(!sources.empty());
+  assert(sources.size() > 0);
   if (cancelling) {
     NodeId x = sources.front();  // by convention the signal to cancel
     // A "live" source other than x, so the cancellation is not undone by
     // re-including x on the live branch.
-    NodeId live = sources.size() >= 2
-                      ? sources[1 + rng.below(static_cast<std::uint32_t>(
-                                      sources.size() - 1))]
-                      : x;
+    NodeId live =
+        sources.size() >= 2
+            ? sources[1 + static_cast<std::size_t>(
+                              rng.below64(sources.size() - 1))]
+            : x;
     if (sources.size() >= 2 && rng.chance(0.5)) {
       // MUX(sel = x, a, a): structurally depends on x, functionally only
       // on a.
@@ -48,8 +92,9 @@ NodeId build_cone(Netlist& nl, const std::vector<NodeId>& sources,
   }
 
   NodeId acc = must_include_first ? sources.front() : rng.pick(sources);
-  std::size_t gates = 1 + rng.below(static_cast<std::uint32_t>(
-                              std::max<std::size_t>(1, max_gates)));
+  std::size_t gates =
+      1 + static_cast<std::size_t>(
+              rng.below64(std::max<std::size_t>(1, max_gates)));
   for (std::size_t g = 0; g < gates; ++g) {
     NodeId other = rng.pick(sources);
     switch (rng.below(5)) {
@@ -155,7 +200,7 @@ netlist::Netlist attach_random_circuit(rsn::RsnDocument& doc,
           std::vector<NodeId> chain_sources{prev};
           if (rng.chance(0.3))
             chain_sources.push_back(rng.pick(ctx[m].boundary));
-          NodeId d = build_cone(nl, chain_sources, 1,
+          NodeId d = build_cone(nl, SourceView(chain_sources), 1,
                                 rng.chance(options.cancelling_prob),
                                 /*must_include_first=*/true, mid, rng);
           nl.set_ff_input(ff, d);
@@ -180,7 +225,7 @@ netlist::Netlist attach_random_circuit(rsn::RsnDocument& doc,
       // Boundary cones draw from boundary FFs, the module input and
       // occasionally a chain tail (so internal pipelines feed back into
       // RSN-visible state, F5 -> IF1 -> IF2 -> F7 style).
-      std::vector<NodeId> sources = ctx[m].boundary;
+      SourceView sources(ctx[m].boundary);
       sources.push_back(ctx[m].input);
       if (!ctx[m].internal.empty() && rng.chance(0.4))
         sources.push_back(rng.pick(ctx[m].internal));
@@ -188,14 +233,11 @@ netlist::Netlist attach_random_circuit(rsn::RsnDocument& doc,
       bool cross_s = is_boundary && !cross_f && rng.chance(p_cross_s);
       bool cancelling;
       if (cross_f || cross_s) {
-        std::size_t other = rng.below(static_cast<std::uint32_t>(ctx.size()));
+        auto other = static_cast<std::size_t>(rng.below64(ctx.size()));
         if (other == m) other = (m + 1) % ctx.size();
         if (!ctx[other].boundary.empty()) {
           // The foreign FF goes first: cancelling cones cancel sources[0].
-          std::vector<NodeId> with_foreign{rng.pick(ctx[other].boundary)};
-          with_foreign.insert(with_foreign.end(), sources.begin(),
-                              sources.end());
-          sources = std::move(with_foreign);
+          sources.set_prefix(rng.pick(ctx[other].boundary));
         }
         cancelling = cross_s;
       } else {
@@ -219,7 +261,8 @@ netlist::Netlist attach_random_circuit(rsn::RsnDocument& doc,
         if (rng.chance(0.3)) {
           // Capture a small combinational function of boundary FFs
           // (exercises capture-cone extraction and its SAT checks).
-          NodeId cone = build_cone(nl, mc.boundary, 2, rng.chance(0.2),
+          NodeId cone = build_cone(nl, SourceView(mc.boundary), 2,
+                                   rng.chance(0.2),
                                    /*must_include_first=*/false, m, rng);
           net.set_capture(r, f, cone);
         } else {

@@ -41,10 +41,31 @@ const BenchmarkProfile& bastion_profile(const std::string& name) {
 
 namespace {
 
+/// Ceiling on any generated dimension or element count. Far above the
+/// 10^6-FF scale target, but low enough that products of checked
+/// dimensions stay exact in std::size_t and in the double math of the
+/// scale factors (< 2^53).
+constexpr std::size_t kMaxDimension = std::size_t{1} << 40;
+
+std::size_t checked_mul(std::size_t a, std::size_t b) {
+  std::size_t r = 0;
+  if (__builtin_mul_overflow(a, b, &r) || r > kMaxDimension)
+    throw std::overflow_error("benchmark dimension product overflows");
+  return r;
+}
+
+std::size_t checked_add(std::size_t a, std::size_t b) {
+  std::size_t r = 0;
+  if (__builtin_add_overflow(a, b, &r) || r > kMaxDimension)
+    throw std::overflow_error("benchmark dimension sum overflows");
+  return r;
+}
+
 std::size_t scaled(std::size_t value, double scale, std::size_t minimum) {
-  auto v = static_cast<std::size_t>(std::llround(
-      static_cast<double>(value) * scale));
-  return std::max(v, minimum);
+  const double v = static_cast<double>(value) * scale;
+  if (!(v >= 0.0) || v > static_cast<double>(kMaxDimension))
+    throw std::overflow_error("scaled benchmark dimension overflows");
+  return std::max(static_cast<std::size_t>(std::llround(v)), minimum);
 }
 
 /// Splits `total_ffs` flip-flops over `n_regs` registers, each >= 1, with
@@ -55,11 +76,13 @@ std::vector<std::size_t> distribute_widths(std::size_t n_regs,
   total_ffs = std::max(total_ffs, n_regs);
   std::vector<std::size_t> widths(n_regs, 1);
   std::size_t rest = total_ffs - n_regs;
-  // Spread the remainder in random-sized lumps.
+  // Spread the remainder in random-sized lumps. below64 delegates to the
+  // 32-bit path for small bounds, so historical streams are unchanged.
   while (rest > 0) {
-    std::size_t i = rng.below(static_cast<std::uint32_t>(n_regs));
-    std::size_t lump = 1 + rng.below(static_cast<std::uint32_t>(
-                               std::max<std::size_t>(1, rest / n_regs + 1)));
+    auto i = static_cast<std::size_t>(rng.below64(n_regs));
+    std::size_t lump =
+        1 + static_cast<std::size_t>(rng.below64(
+                std::max<std::size_t>(1, rest / n_regs + 1)));
     lump = std::min(lump, rest);
     widths[i] += lump;
     rest -= lump;
@@ -266,12 +289,9 @@ rsn::RsnDocument generate_mbist(std::size_t n, std::size_t m, std::size_t o,
   // Dimensions scale with the cube root so total size tracks `scale`.
   if (scale != 1.0) {
     double f = std::cbrt(scale);
-    n = std::max<std::size_t>(
-        1, static_cast<std::size_t>(std::llround(n * f)));
-    m = std::max<std::size_t>(
-        1, static_cast<std::size_t>(std::llround(m * f)));
-    o = std::max<std::size_t>(
-        1, static_cast<std::size_t>(std::llround(o * f)));
+    n = scaled(n, f, 1);
+    m = scaled(m, f, 1);
+    o = scaled(o, f, 1);
   }
   RsnDocument doc;
   std::string name = "MBIST_" + std::to_string(n) + "_" + std::to_string(m) +
@@ -285,9 +305,18 @@ rsn::RsnDocument generate_mbist(std::size_t n, std::size_t m, std::size_t o,
   // Structure: 2 chip registers, 11 per core, 5 per controller plus 3 per
   // memory; every register is 1 FF wide except the memory data registers,
   // which absorb the remaining FF budget.
-  const std::size_t total_regs = 2 + n * (11 + m * (5 + 3 * o));
-  const std::size_t total_ffs = 5 + n * (3 + m * (43 + 13 * o));
-  const std::size_t n_mdata = n * m * o;
+  // Checked arithmetic: a pathological (n, m, o) — e.g. from a hostile
+  // CLI invocation — must be rejected, not silently wrapped into a tiny
+  // (or enormous) circuit.
+  const std::size_t total_regs = checked_add(
+      2, checked_mul(n, checked_add(11, checked_mul(
+                                            m, checked_add(5, checked_mul(
+                                                                  3, o))))));
+  const std::size_t total_ffs = checked_add(
+      5, checked_mul(n, checked_add(3, checked_mul(
+                                           m, checked_add(43, checked_mul(
+                                                                  13, o))))));
+  const std::size_t n_mdata = checked_mul(checked_mul(n, m), o);
   const std::size_t extra = total_ffs - total_regs;
   const std::size_t per_mdata = extra / n_mdata;
   const std::size_t mdata_rem = extra % n_mdata;

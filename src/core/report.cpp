@@ -105,6 +105,12 @@ void write_json(std::ostream& os, const PipelineResult& r) {
      << "\",\n"
      << "    \"ternary_prefilter\": "
      << (r.dep_ternary_prefilter ? "true" : "false") << ",\n"
+     << "    \"partition\": \"" << dep::partition_name(r.dep_partition)
+     << "\",\n"
+     << "    \"regions\": " << r.dep_stats.regions << ",\n"
+     << "    \"matrix_bytes\": " << r.dep_stats.matrix_bytes << ",\n"
+     << "    \"tiles_nonzero\": " << r.dep_stats.tiles_nonzero << ",\n"
+     << "    \"tiles_spilled\": " << r.dep_stats.tiles_spilled << ",\n"
      << "    \"circuit_ffs\": " << r.dep_stats.circuit_ffs << ",\n"
      << "    \"internal_ffs\": " << r.dep_stats.internal_ffs << ",\n"
      << "    \"deps_before_bridging\": " << r.dep_stats.deps_before_bridging

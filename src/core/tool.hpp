@@ -78,6 +78,7 @@ struct PipelineResult {
   /// reports and benchmark artifacts are self-describing.
   dep::DepMode dep_mode = dep::DepMode::Exact;
   bool dep_ternary_prefilter = true;
+  dep::PartitionMode dep_partition = dep::PartitionMode::Auto;
 
   dep::DepStats dep_stats;
   security::PureStats pure;

@@ -1,5 +1,6 @@
 #include "dep/analyzer.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <unordered_map>
 #include <utility>
@@ -30,6 +31,19 @@ namespace {
 /// low-LBD clauses transfer the most propagation power per byte.
 constexpr std::size_t kShareMaxClauseSize = 8;
 constexpr std::uint32_t kShareMaxLbd = 4;
+
+/// PartitionMode::Auto switches to the tiled matrices at this many circuit
+/// flip-flops: below it the dense planes fit comfortably in cache and the
+/// dense kernels win; above it the n^2/8 plane bytes start to dominate the
+/// analysis footprint (4096 FFs = 4 MiB of planes, growing quadratically).
+constexpr std::size_t kAutoPartitionFfs = 4096;
+/// Region sizing of the deterministic partition: close a region once it
+/// holds kRegionTargetFfs flip-flops, or earlier at a module boundary once
+/// it holds at least kRegionMinFfs (so per-module instruments — the
+/// dependency-local unit of MBIST/BASTION designs — keep their internal
+/// flip-flops inside one region's diagonal block).
+constexpr std::size_t kRegionTargetFfs = 1024;
+constexpr std::size_t kRegionMinFfs = 256;
 
 std::uint64_t cone_seed(std::uint64_t seed, std::uint64_t sig_hash) {
   std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (sig_hash + 1);
@@ -102,7 +116,13 @@ ConeSignature cone_signature(const netlist::Netlist& nl, const Cone& cone) {
 DependencyAnalyzer::DependencyAnalyzer(const netlist::Netlist& nl,
                                        const rsn::Rsn& network,
                                        DepOptions options)
-    : nl_(nl), rsn_(network), options_(options) {}
+    : nl_(nl), rsn_(network), options_(options) {
+  // Representation choice is a pure function of options and circuit, so
+  // run() and restore() agree on it and cache keys can include it.
+  tiled_ = options_.partition == PartitionMode::Tiled ||
+           (options_.partition == PartitionMode::Auto &&
+            nl_.ffs().size() >= kAutoPartitionFfs);
+}
 
 void DependencyAnalyzer::build_index() {
   ff_nodes_ = nl_.ffs();
@@ -118,6 +138,60 @@ void DependencyAnalyzer::build_index() {
     reg_slot_[r] = capture_deps_.size();
     capture_deps_.emplace_back(rsn_.elem(r).ffs.size());
   }
+  partition_regions();
+}
+
+void DependencyAnalyzer::partition_regions() {
+  region_first_block_.clear();
+  stats_.regions = 0;
+  if (!tiled_) return;
+  const std::size_t nb = (ff_nodes_.size() + 63) / 64;
+  region_first_block_.push_back(0);
+  if (nb == 0) return;
+  // Walk the dense index space in 64-wide blocks (regions are 64-aligned
+  // so every intra-region dependency lives in a diagonal-block tile of
+  // the partition). A block belongs to the module of its first flip-flop;
+  // a region closes at the size target, or earlier at a module boundary
+  // once it is big enough to be worth bridging locally. Deterministic:
+  // depends only on the circuit's FF order and module tags.
+  auto block_module = [&](std::size_t b) {
+    return nl_.node(ff_nodes_[b * 64]).module;
+  };
+  for (std::size_t b = 1; b < nb; ++b) {
+    const std::size_t region_ffs = (b - region_first_block_.back()) * 64;
+    if (region_ffs >= kRegionTargetFfs ||
+        (block_module(b) != block_module(b - 1) &&
+         region_ffs >= kRegionMinFfs)) {
+      region_first_block_.push_back(b);
+    }
+  }
+  region_first_block_.push_back(nb);  // sentinel
+  stats_.regions = region_first_block_.size() - 1;
+}
+
+void DependencyAnalyzer::refresh_matrix_stats() {
+  if (tiled_) {
+    stats_.matrix_bytes =
+        one_cycle_tiled_.memory_bytes() + closure_tiled_.memory_bytes();
+    stats_.tiles_nonzero =
+        one_cycle_tiled_.tiles_nonzero() + closure_tiled_.tiles_nonzero();
+    stats_.tiles_spilled =
+        one_cycle_tiled_.tiles_spilled() + closure_tiled_.tiles_spilled();
+  } else {
+    stats_.matrix_bytes = one_cycle_.memory_bytes() + closure_.memory_bytes();
+    stats_.tiles_nonzero = 0;
+    stats_.tiles_spilled = 0;
+  }
+}
+
+std::vector<std::size_t> DependencyAnalyzer::closure_path_successors(
+    std::size_t i) const {
+  if (tiled_) return closure_tiled_.path_successors(i);
+  std::vector<std::size_t> out;
+  for (std::size_t j : closure_.successors(i)) {
+    if (closure_.get(i, j) == DepKind::Path) out.push_back(j);
+  }
+  return out;
 }
 
 void DependencyAnalyzer::extract_capture_cones() {
@@ -306,7 +380,15 @@ std::vector<DependencyAnalyzer::LeafDep> DependencyAnalyzer::cone_deps(
 }
 
 void DependencyAnalyzer::compute_one_cycle() {
-  one_cycle_ = DepMatrix(ff_nodes_.size());
+  if (tiled_) {
+    one_cycle_tiled_ = TiledDepMatrix(ff_nodes_.size());
+    if (options_.spill_backend != nullptr && options_.tile_spill_budget > 0) {
+      one_cycle_tiled_.set_spill(options_.spill_backend,
+                                 options_.tile_spill_budget);
+    }
+  } else {
+    one_cycle_ = DepMatrix(ff_nodes_.size());
+  }
 
   // One task per cone: first every circuit flip-flop's next-state cone,
   // then every scan FF's capture cone (cached by extract_capture_cones).
@@ -477,8 +559,14 @@ void DependencyAnalyzer::compute_one_cycle() {
     const std::size_t g = group_of[t];
     const Cone& cone = task_cone(t);
     if (t < nff) {
-      for (const LeafDep& d : group_results[g])
-        one_cycle_.upgrade(circuit_index(cone.leaves[d.leaf_idx]), t, d.kind);
+      for (const LeafDep& d : group_results[g]) {
+        const std::size_t src = circuit_index(cone.leaves[d.leaf_idx]);
+        if (tiled_) {
+          one_cycle_tiled_.upgrade(src, t, d.kind);
+        } else {
+          one_cycle_.upgrade(src, t, d.kind);
+        }
+      }
     } else {
       const CaptureTask& ct = capture_tasks[t - nff];
       std::vector<CaptureDep>& deps = capture_deps_[ct.slot][ct.ff];
@@ -514,19 +602,33 @@ void DependencyAnalyzer::compute_one_cycle() {
     stats_.shared_clauses += s.shared_clauses;
   }
 
-  stats_.deps_before_bridging = one_cycle_.count_nonzero();
   std::vector<bool> denoted(ff_nodes_.size(), false);
-  for (std::size_t i = 0; i < ff_nodes_.size(); ++i) {
-    for (std::size_t j : one_cycle_.successors(i)) {
-      denoted[i] = true;
-      denoted[j] = true;
+  if (tiled_) {
+    stats_.deps_before_bridging = one_cycle_tiled_.count_nonzero();
+    one_cycle_tiled_.mark_endpoints(denoted);
+  } else {
+    stats_.deps_before_bridging = one_cycle_.count_nonzero();
+    for (std::size_t i = 0; i < ff_nodes_.size(); ++i) {
+      for (std::size_t j : one_cycle_.successors(i)) {
+        denoted[i] = true;
+        denoted[j] = true;
+      }
     }
   }
   for (bool d : denoted) stats_.denoted_ffs_before += d ? 1u : 0u;
 }
 
 void DependencyAnalyzer::bridge_internal() {
-  closure_ = one_cycle_;
+  const std::size_t n = ff_nodes_.size();
+  if (tiled_) {
+    closure_tiled_ = one_cycle_tiled_;  // deep copy, detached from spill
+    if (options_.spill_backend != nullptr && options_.tile_spill_budget > 0) {
+      closure_tiled_.set_spill(options_.spill_backend,
+                               options_.tile_spill_budget);
+    }
+  } else {
+    closure_ = one_cycle_;
+  }
   if (!options_.bridge_internal) {
     stats_.deps_after_bridging = stats_.deps_before_bridging;
     stats_.denoted_ffs_after = stats_.denoted_ffs_before;
@@ -536,20 +638,132 @@ void DependencyAnalyzer::bridge_internal() {
   // dependency (v on p) with each outgoing one (s on v) into (s on p),
   // then remove v from the relation (Fig. 3). Only-structural hops make
   // the composed dependency only-structural unless a path-dependent pair
-  // is already known. Inherently sequential: each elimination rewrites
-  // the relation the next one reads. DepMatrix::eliminate does the
-  // composition word-parallel on the bit planes — the predecessors()/
-  // successors() index vectors this loop used to allocate per internal
-  // flip-flop dominated the bridging phase on large circuits.
-  for (std::size_t v = 0; v < ff_nodes_.size(); ++v) {
-    if (internal_[v]) closure_.eliminate(v);
+  // is already known. Elimination of a *set* of nodes is order-
+  // independent (each order yields the same bridged relation), which both
+  // representations exploit below.
+  if (!tiled_) {
+    // Dense: sequential word-parallel eliminations — the predecessors()/
+    // successors() index vectors this loop used to allocate per internal
+    // flip-flop dominated the bridging phase on large circuits.
+    for (std::size_t v = 0; v < n; ++v) {
+      if (internal_[v]) closure_.eliminate(v);
+    }
+  } else {
+    // Partitioned: an internal flip-flop whose every dependency stays
+    // inside its region can be bridged on a small dense matrix lifted
+    // from the region's diagonal tiles — regions are independent, so
+    // they run in parallel, and the dense eliminate kernel beats the
+    // tiled one on a region-sized matrix. Only internals with at least
+    // one inter-region edge ("cross") must be eliminated on the global
+    // tiled matrix, sequentially. Order-independence of elimination
+    // makes the reordering (locals per region, then crosses) produce
+    // exactly the dense oracle's relation.
+    const std::size_t nb = closure_tiled_.num_blocks();
+    std::vector<std::size_t> region_of(nb);
+    const std::size_t num_regions =
+        region_first_block_.empty() ? 0 : region_first_block_.size() - 1;
+    for (std::size_t r = 0; r < num_regions; ++r) {
+      for (std::size_t b = region_first_block_[r];
+           b < region_first_block_[r + 1]; ++b)
+        region_of[b] = r;
+    }
+    // An endpoint of any inter-region edge is cross. Sweeping tiles (not
+    // entries) keeps this O(nonzero tiles): row indices come from
+    // non-zero S rows, column indices from the OR of the S rows.
+    std::vector<bool> cross(n, false);
+    closure_tiled_.for_each_tile([&](std::size_t rb, std::size_t cb,
+                                     const TiledDepMatrix::Tile& t) {
+      if (region_of[rb] == region_of[cb]) return;
+      std::uint64_t colmask = 0;
+      for (std::size_t r = 0; r < 64; ++r) {
+        if (t.s[r] == 0) continue;
+        cross[rb * 64 + r] = true;
+        colmask |= t.s[r];
+      }
+      while (colmask != 0) {
+        const int c = __builtin_ctzll(colmask);
+        colmask &= colmask - 1;
+        cross[cb * 64 + static_cast<std::size_t>(c)] = true;
+      }
+    });
+    auto bridge_region = [&](std::size_t reg) {
+      const std::size_t b0 = region_first_block_[reg];
+      const std::size_t b1 = region_first_block_[reg + 1];
+      const std::size_t base = b0 * 64;
+      const std::size_t m = std::min(n, b1 * 64) - base;
+      bool any_local = false;
+      for (std::size_t v = base; v < base + m && !any_local; ++v)
+        any_local = internal_[v] && !cross[v];
+      if (!any_local) return;
+      // Lift the region's diagonal block (the only tiles a local
+      // internal's edges can touch) into a dense m-by-m matrix. Regions
+      // are 64-aligned, so tile words copy straight into plane words.
+      const std::size_t wpr = (m + 63) / 64;
+      std::vector<std::uint64_t> s(m * wpr, 0);
+      std::vector<std::uint64_t> p(m * wpr, 0);
+      for (std::size_t rb = b0; rb < b1; ++rb) {
+        const std::size_t rbase = (rb - b0) * 64;
+        const std::size_t rows = std::min<std::size_t>(64, m - rbase);
+        for (std::size_t cb = b0; cb < b1; ++cb) {
+          const TiledDepMatrix::Tile* t = closure_tiled_.tile_at(rb, cb);
+          if (t == nullptr) continue;
+          for (std::size_t r = 0; r < rows; ++r) {
+            s[(rbase + r) * wpr + (cb - b0)] = t->s[r];
+            p[(rbase + r) * wpr + (cb - b0)] = t->p[r];
+          }
+        }
+      }
+      DepMatrix local;
+      const bool ok = DepMatrix::from_planes(m, std::move(s), std::move(p),
+                                             &local);
+      assert(ok);
+      (void)ok;
+      for (std::size_t v = base; v < base + m; ++v) {
+        if (internal_[v] && !cross[v]) local.eliminate(v - base);
+      }
+      // Write the bridged diagonal block back tile by tile.
+      const std::vector<std::uint64_t>& ls = local.plane_s();
+      const std::vector<std::uint64_t>& lp = local.plane_p();
+      for (std::size_t rb = b0; rb < b1; ++rb) {
+        const std::size_t rbase = (rb - b0) * 64;
+        const std::size_t rows = std::min<std::size_t>(64, m - rbase);
+        for (std::size_t cb = b0; cb < b1; ++cb) {
+          TiledDepMatrix::Tile t{};
+          for (std::size_t r = 0; r < rows; ++r) {
+            t.s[r] = ls[(rbase + r) * wpr + (cb - b0)];
+            t.p[r] = lp[(rbase + r) * wpr + (cb - b0)];
+          }
+          closure_tiled_.assign_tile(rb, cb, t);
+        }
+      }
+    };
+    // Each region touches only its own row blocks, so regions are
+    // parallel-safe — except in spill mode, where fault-in mutates the
+    // matrix-wide eviction state (kernels are sequential there anyway).
+    ThreadPool* pool =
+        options_.spill_backend != nullptr && options_.tile_spill_budget > 0
+            ? nullptr
+            : pool_;
+    if (pool != nullptr) {
+      pool->parallel_for(0, num_regions, bridge_region, /*grain=*/1);
+    } else {
+      for (std::size_t reg = 0; reg < num_regions; ++reg) bridge_region(reg);
+    }
+    for (std::size_t v = 0; v < n; ++v) {
+      if (internal_[v] && cross[v]) closure_tiled_.eliminate(v);
+    }
   }
-  stats_.deps_after_bridging = closure_.count_nonzero();
-  std::vector<bool> denoted(ff_nodes_.size(), false);
-  for (std::size_t i = 0; i < ff_nodes_.size(); ++i) {
-    for (std::size_t j : closure_.successors(i)) {
-      denoted[i] = true;
-      denoted[j] = true;
+  std::vector<bool> denoted(n, false);
+  if (tiled_) {
+    stats_.deps_after_bridging = closure_tiled_.count_nonzero();
+    closure_tiled_.mark_endpoints(denoted);
+  } else {
+    stats_.deps_after_bridging = closure_.count_nonzero();
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j : closure_.successors(i)) {
+        denoted[i] = true;
+        denoted[j] = true;
+      }
     }
   }
   for (bool d : denoted) stats_.denoted_ffs_after += d ? 1u : 0u;
@@ -559,15 +773,28 @@ void DependencyAnalyzer::compute_closure() {
   if (options_.max_cycles > 0) {
     // Iterative k-cycle computation ([18]); after bridging the relation
     // contains no internal nodes, so no active mask is needed.
-    closure_.bounded_closure(options_.max_cycles, pool_);
+    if (tiled_) {
+      closure_tiled_.bounded_closure(options_.max_cycles, pool_);
+    } else {
+      closure_.bounded_closure(options_.max_cycles, pool_);
+    }
   } else {
     std::vector<bool> active(ff_nodes_.size());
     for (std::size_t i = 0; i < ff_nodes_.size(); ++i)
       active[i] = !options_.bridge_internal || !internal_[i];
-    closure_.transitive_closure(&active, pool_);
+    if (tiled_) {
+      closure_tiled_.transitive_closure(&active, pool_);
+    } else {
+      closure_.transitive_closure(&active, pool_);
+    }
   }
-  stats_.closure_deps = closure_.count_nonzero();
-  stats_.closure_path_deps = closure_.count_path();
+  if (tiled_) {
+    stats_.closure_deps = closure_tiled_.count_nonzero();
+    stats_.closure_path_deps = closure_tiled_.count_path();
+  } else {
+    stats_.closure_deps = closure_.count_nonzero();
+    stats_.closure_path_deps = closure_.count_path();
+  }
 }
 
 void DependencyAnalyzer::run() {
@@ -601,6 +828,7 @@ void DependencyAnalyzer::run() {
     compute_closure();
     stats_.t_closure = span.seconds();
   }
+  refresh_matrix_stats();
   if (trace != nullptr) {
     trace->counter("dep.runs").add(1);
     trace->counter("dep.sim_resolved").add(stats_.sim_resolved);
@@ -615,6 +843,10 @@ void DependencyAnalyzer::run() {
     trace->counter("dep.deps_after_bridging")
         .add(stats_.deps_after_bridging);
     trace->counter("dep.closure_deps").add(stats_.closure_deps);
+    trace->counter("dep.regions").add(stats_.regions);
+    trace->counter("dep.matrix_bytes").add(stats_.matrix_bytes);
+    trace->counter("dep.tiles_nonzero").add(stats_.tiles_nonzero);
+    trace->counter("dep.tiles_spilled").add(stats_.tiles_spilled);
   }
   pool_ = nullptr;
 }
@@ -627,8 +859,16 @@ const std::vector<CaptureDep>& DependencyAnalyzer::capture_deps(
 DependencyAnalyzer::AnalysisSnapshot DependencyAnalyzer::snapshot() const {
   AnalysisSnapshot snap;
   snap.internal = internal_;
-  snap.one_cycle = one_cycle_;
-  snap.closure = closure_;
+  snap.tiled = tiled_;
+  if (tiled_) {
+    // The copies fault every spilled tile in and detach from the backend:
+    // a snapshot is self-contained by definition.
+    snap.one_cycle_tiled = one_cycle_tiled_;
+    snap.closure_tiled = closure_tiled_;
+  } else {
+    snap.one_cycle = one_cycle_;
+    snap.closure = closure_;
+  }
   snap.capture_deps = capture_deps_;
   snap.stats = stats_;
   return snap;
@@ -641,9 +881,13 @@ bool DependencyAnalyzer::restore(AnalysisSnapshot snap, std::string* error) {
   };
   build_index();
   const std::size_t n = ff_nodes_.size();
+  if (snap.tiled != tiled_)
+    return fail("snapshot matrix representation does not match the analyzer");
   if (snap.internal.size() != n)
     return fail("internal-FF vector does not match the circuit");
-  if (snap.one_cycle.size() != n || snap.closure.size() != n)
+  if (tiled_ ? (snap.one_cycle_tiled.size() != n ||
+                snap.closure_tiled.size() != n)
+             : (snap.one_cycle.size() != n || snap.closure.size() != n))
     return fail("matrix dimension does not match the circuit");
   if (snap.stats.circuit_ffs != n)
     return fail("stats do not match the circuit");
@@ -662,14 +906,28 @@ bool DependencyAnalyzer::restore(AnalysisSnapshot snap, std::string* error) {
     }
   }
   internal_ = std::move(snap.internal);
-  one_cycle_ = std::move(snap.one_cycle);
-  closure_ = std::move(snap.closure);
+  if (tiled_) {
+    one_cycle_tiled_ = std::move(snap.one_cycle_tiled);
+    closure_tiled_ = std::move(snap.closure_tiled);
+  } else {
+    one_cycle_ = std::move(snap.one_cycle);
+    closure_ = std::move(snap.closure);
+  }
   capture_deps_ = std::move(snap.capture_deps);
+  // regions was recomputed by build_index above (a pure function of the
+  // circuit); the snapshot's copy is the same value, but prefer the live
+  // one so a hand-edited blob cannot desynchronize stats from the
+  // partition actually in effect.
+  const std::size_t regions = stats_.regions;
   stats_ = snap.stats;
+  stats_.regions = regions;
   stats_.t_one_cycle = 0.0;
   stats_.t_bridge = 0.0;
   stats_.t_closure = 0.0;
   stats_.threads_used = 0;
+  // Footprint counters reflect the restored (fully resident, unspilled)
+  // matrices, not the producing run's.
+  refresh_matrix_stats();
   return true;
 }
 

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
 #include <vector>
 
 #include "netlist/netlist.hpp"
@@ -8,6 +9,7 @@
 #include "sat/literal.hpp"
 #include "util/dep_matrix.hpp"
 #include "util/rng.hpp"
+#include "util/tiled_matrix.hpp"
 
 namespace rsnsec {
 class ThreadPool;
@@ -25,6 +27,32 @@ enum class DepMode : std::uint8_t {
   /// (no SAT), but introduces false-positive violations (Sec. IV-C).
   StructuralOnly
 };
+
+/// Matrix representation / partitioning strategy of the analysis.
+enum class PartitionMode : std::uint8_t {
+  /// Dense below kAutoPartitionFfs circuit flip-flops, tiled above —
+  /// small repro runs keep the exhaustively-tested dense kernels, large
+  /// runs get the block-sparse memory footprint. Both produce the same
+  /// bits, so the switch is purely a space/time trade.
+  Auto = 0,
+  /// Force the dense whole-design matrices (the oracle configuration).
+  Dense = 1,
+  /// Force the tiled matrices + region-partitioned bridging.
+  Tiled = 2,
+};
+
+/// CLI/report spelling of a PartitionMode (the strings `--partition`
+/// accepts).
+inline const char* partition_name(PartitionMode m) {
+  switch (m) {
+    case PartitionMode::Dense:
+      return "dense";
+    case PartitionMode::Tiled:
+      return "tiled";
+    default:
+      return "auto";
+  }
+}
 
 /// Options of the dependency analysis.
 struct DepOptions {
@@ -85,6 +113,21 @@ struct DepOptions {
   /// std::thread::hardware_concurrency(). Any value yields bit-identical
   /// results (see ThreadPool and the per-cone RNG streams).
   std::size_t num_threads = 0;
+  /// Matrix representation: dense oracle, tiled, or size-based Auto.
+  /// Bit-identical either way (pinned by the partitioned-oracle tests);
+  /// participates in the cache key only because the snapshot payload
+  /// format differs.
+  PartitionMode partition = PartitionMode::Auto;
+  /// Resident-byte budget per tiled matrix before tiles spill to
+  /// `spill_backend` (0 = keep everything resident). Execution knob:
+  /// results and every DepStats counter except the footprint pair
+  /// tiles_spilled / matrix_bytes (resident bytes shrink with the budget)
+  /// are identical for any budget, so it is not part of cache keys.
+  std::uint64_t tile_spill_budget = 0;
+  /// Out-of-core destination for spilled tiles (not owned; must outlive
+  /// the analyzer). Typically a store::ArtifactSpillBackend. Ignored
+  /// unless the effective partition mode is tiled and the budget is > 0.
+  TileSpillBackend* spill_backend = nullptr;
 };
 
 /// Instrumentation counters of one analysis run.
@@ -127,6 +170,16 @@ struct DepStats {
   std::uint64_t cores_reused = 0;        ///< leaves discharged by Unsat cores
   std::uint64_t rotation_witnesses = 0;  ///< leaves discharged by rotation
   std::uint64_t shared_clauses = 0;      ///< clauses imported from iso cones
+  /// Regions of the deterministic partition (0 in dense mode). A pure
+  /// function of the circuit — independent of num_threads — so it is part
+  /// of the logical result and cached in snapshots.
+  std::size_t regions = 0;
+  /// Resident heap bytes of the one-cycle + closure matrices (dense plane
+  /// bytes in dense mode). Representation-dependent by design: this is
+  /// the footprint the tiled mode exists to shrink.
+  std::uint64_t matrix_bytes = 0;
+  std::uint64_t tiles_nonzero = 0;  ///< denoted 64x64 tiles (0 when dense)
+  std::uint64_t tiles_spilled = 0;  ///< cumulative spill evictions this run
   std::size_t threads_used = 0;  ///< resolved parallelism of the run
   /// Per-phase wall-clock seconds (cone classification incl. the
   /// simulation prefilter and SAT, internal-FF bridging, multi-cycle
@@ -166,13 +219,47 @@ class DependencyAnalyzer {
   /// Runs the full analysis pipeline.
   void run();
 
+  /// True if this analysis uses the tiled matrices (explicit
+  /// PartitionMode::Tiled, or Auto at >= kAutoPartitionFfs circuit FFs).
+  /// Decided at construction — it depends only on options and circuit.
+  bool tiled() const { return tiled_; }
+
   /// Multi-cycle circuit-internal dependency closure (after bridging).
   /// Entry (i, j): dependency of circuit FF j on circuit FF i, indices via
-  /// circuit_index().
-  const DepMatrix& circuit_closure() const { return closure_; }
+  /// circuit_index(). Dense representation only — throws std::logic_error
+  /// in tiled mode; representation-agnostic callers use closure_at() /
+  /// closure_path_successors().
+  const DepMatrix& circuit_closure() const {
+    if (tiled_) throw std::logic_error("dense closure unavailable: tiled");
+    return closure_;
+  }
 
   /// 1-cycle circuit relation before bridging (kept for tests/ablation).
-  const DepMatrix& one_cycle() const { return one_cycle_; }
+  /// Dense representation only, like circuit_closure().
+  const DepMatrix& one_cycle() const {
+    if (tiled_) throw std::logic_error("dense one-cycle unavailable: tiled");
+    return one_cycle_;
+  }
+
+  /// Tiled counterparts (valid only in tiled mode).
+  const TiledDepMatrix& circuit_closure_tiled() const {
+    if (!tiled_) throw std::logic_error("tiled closure unavailable: dense");
+    return closure_tiled_;
+  }
+  const TiledDepMatrix& one_cycle_tiled() const {
+    if (!tiled_) throw std::logic_error("tiled one-cycle unavailable: dense");
+    return one_cycle_tiled_;
+  }
+
+  /// Closure entry (i, j) by dense index, representation-agnostic.
+  DepKind closure_at(std::size_t i, std::size_t j) const {
+    return tiled_ ? closure_tiled_.get(i, j) : closure_.get(i, j);
+  }
+
+  /// Dense indices j with a Path closure dependency of FF j on FF i,
+  /// ascending; representation-agnostic (the hybrid security engine's
+  /// access path, so it never materializes a dense matrix at scale).
+  std::vector<std::size_t> closure_path_successors(std::size_t i) const;
 
   /// Dense index of a circuit flip-flop node.
   std::size_t circuit_index(netlist::NodeId ff) const {
@@ -194,7 +281,7 @@ class DependencyAnalyzer {
 
   /// Multi-cycle dependency of circuit FF `to` on circuit FF `from`.
   DepKind circuit_dep(netlist::NodeId from, netlist::NodeId to) const {
-    return closure_.get(circuit_index(from), circuit_index(to));
+    return closure_at(circuit_index(from), circuit_index(to));
   }
 
   const DepStats& stats() const { return stats_; }
@@ -213,8 +300,15 @@ class DependencyAnalyzer {
   /// circuit and recomputed on restore.
   struct AnalysisSnapshot {
     std::vector<bool> internal;
+    /// Exactly one representation is populated, selected by `tiled` (the
+    /// snapshot preserves the producing run's representation; restore()
+    /// rejects a representation mismatch rather than converting, since
+    /// the mismatch means the cache key discipline broke).
+    bool tiled = false;
     DepMatrix one_cycle;
     DepMatrix closure;
+    TiledDepMatrix one_cycle_tiled;
+    TiledDepMatrix closure_tiled;
     std::vector<std::vector<std::vector<CaptureDep>>> capture_deps;
     DepStats stats;
   };
@@ -240,8 +334,18 @@ class DependencyAnalyzer {
   std::vector<netlist::NodeId> ff_nodes_;
   std::vector<std::size_t> ff_index_;  // NodeId -> dense index
   std::vector<bool> internal_;
+  /// Representation flag + both matrix pairs; only the pair selected by
+  /// tiled_ is ever populated (the other stays at dimension 0).
+  bool tiled_ = false;
   DepMatrix one_cycle_;
   DepMatrix closure_;
+  TiledDepMatrix one_cycle_tiled_;
+  TiledDepMatrix closure_tiled_;
+  /// Deterministic region partition (tiled mode): region r covers dense
+  /// indices [region_first_block_[r] * 64, region_first_block_[r+1] * 64);
+  /// the last entry is the sentinel num_blocks. 64-aligned so a region's
+  /// intra-region dependencies live entirely in diagonal-block tiles.
+  std::vector<std::size_t> region_first_block_;
   // capture_deps_[register slot][ff index]
   std::vector<std::vector<std::vector<CaptureDep>>> capture_deps_;
   // Capture cones, extracted once per scan FF (classify_internal needs
@@ -272,6 +376,13 @@ class DependencyAnalyzer {
   };
 
   void build_index();
+  /// Splits the dense index range into contiguous, 64-aligned regions
+  /// along module boundaries (tiled mode). Pure function of the circuit —
+  /// independent of num_threads — so partitioned results are reproducible.
+  void partition_regions();
+  /// Recomputes the representation-dependent footprint stats (regions,
+  /// matrix_bytes, tiles_nonzero, tiles_spilled) from the live matrices.
+  void refresh_matrix_stats();
   void extract_capture_cones();
   void classify_internal();
   /// Classifies the dependencies of the cone root on the cone's flip-flop

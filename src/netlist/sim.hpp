@@ -5,6 +5,7 @@
 
 #include "netlist/netlist.hpp"
 #include "util/rng.hpp"
+#include "util/word256.hpp"
 
 namespace rsnsec::netlist {
 
@@ -54,35 +55,10 @@ std::uint64_t eval_cone(const Netlist& nl, const Cone& cone,
                         const std::vector<std::uint64_t>& leaf_values,
                         std::vector<std::uint64_t>& scratch);
 
-/// Portable 256-bit pattern block: four independent 64-bit lanes, so one
-/// cone evaluation covers 256 parallel patterns. Plain aggregate of
-/// uint64_t — bitwise gate evaluation over the lanes is a straight-line
-/// loop the compiler auto-vectorizes to whatever SIMD width the target
-/// has, without any intrinsics or platform dependence.
-struct Word256 {
-  std::uint64_t lane[4];
-
-  static Word256 broadcast(bool bit) {
-    std::uint64_t w = bit ? ~0ULL : 0ULL;
-    return Word256{{w, w, w, w}};
-  }
-  static Word256 zero() { return Word256{{0, 0, 0, 0}}; }
-
-  /// Bit `i` (0..255); lane order is little-endian: bit i lives in
-  /// lane[i / 64] at position i % 64.
-  bool bit(std::size_t i) const {
-    return ((lane[i / 64] >> (i % 64)) & 1ULL) != 0;
-  }
-  void flip_bit(std::size_t i) { lane[i / 64] ^= 1ULL << (i % 64); }
-
-  Word256 operator^(const Word256& o) const {
-    return Word256{{lane[0] ^ o.lane[0], lane[1] ^ o.lane[1],
-                    lane[2] ^ o.lane[2], lane[3] ^ o.lane[3]}};
-  }
-  bool any() const {
-    return (lane[0] | lane[1] | lane[2] | lane[3]) != 0;
-  }
-};
+/// Portable 256-bit pattern block, shared with the tiled dependency
+/// matrix: see util/word256.hpp. Aliased here because the simulator (and
+/// every cone-classification caller) predates the move to util.
+using rsnsec::Word256;
 
 /// 256-pattern overload of eval_cone: identical semantics per lane. The
 /// lane order is part of the determinism contract — callers that fill

@@ -95,13 +95,13 @@ void HybridAnalyzer::build_static_edges(const Rsn& layout) {
 
   // Multi-cycle circuit closure: one edge per path-dependent pair. The
   // closure is transitively closed, so a single hop covers any number of
-  // functional clock cycles.
-  const DepMatrix& closure = deps_.circuit_closure();
+  // functional clock cycles. Representation-agnostic access keeps this
+  // working at scales where the closure is tiled and a dense matrix is
+  // never materialized.
   for (std::size_t i = 0; i < deps_.num_circuit_ffs(); ++i) {
     if (deps_.is_internal(i)) continue;
-    for (std::size_t j : closure.successors(i)) {
-      if (closure.get(i, j) == DepKind::Path && i != j)
-        circuit_succ_[circuit_base_ + i].push_back(circuit_base_ + j);
+    for (std::size_t j : deps_.closure_path_successors(i)) {
+      if (i != j) circuit_succ_[circuit_base_ + i].push_back(circuit_base_ + j);
     }
   }
 }

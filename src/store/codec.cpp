@@ -487,4 +487,54 @@ DepMatrix decode_dep_matrix(ByteReader& r) {
   return m;
 }
 
+void encode_tiled_matrix(ByteWriter& w, const TiledDepMatrix& m) {
+  w.varint(m.size());
+  w.varint(m.tiles_nonzero());
+  std::size_t written = 0;
+  m.for_each_tile([&](std::size_t rb, std::size_t cb,
+                      const TiledDepMatrix::Tile& t) {
+    w.varint(rb);
+    w.varint(cb);
+    for (std::size_t r = 0; r < 64; ++r) w.fixed64(t.s[r]);
+    for (std::size_t r = 0; r < 64; ++r) w.fixed64(t.p[r]);
+    ++written;
+  });
+  // for_each_tile skips all-zero tiles defensively; tiles_nonzero counts
+  // slots. The two only diverge on a corrupted in-memory matrix, and a
+  // count mismatch must fail encode, not produce an undecodable blob.
+  if (written != m.tiles_nonzero()) fail("tiled matrix tile count skew");
+}
+
+TiledDepMatrix decode_tiled_matrix(ByteReader& r) {
+  std::uint64_t n64 = r.varint();
+  if (n64 > (1ull << 24)) fail("matrix dimension out of range");
+  const std::size_t n = static_cast<std::size_t>(n64);
+  const std::size_t nb = (n + 63) / 64;
+  std::uint64_t tiles = r.varint();
+  if (tiles > nb * nb) fail("tile count out of range");
+  TiledDepMatrix m(n);
+  TiledDepMatrix::Tile t;
+  bool first = true;
+  std::uint64_t last_rb = 0;
+  std::uint64_t last_cb = 0;
+  for (std::uint64_t k = 0; k < tiles; ++k) {
+    std::uint64_t rb = r.varint();
+    std::uint64_t cb = r.varint();
+    if (rb >= nb || cb >= nb) fail("tile coordinates out of range");
+    // Canonical blobs list tiles in strictly ascending (rb, cb) order;
+    // insert_tile only validates the per-row-block suffix of that.
+    if (!first && (rb < last_rb || (rb == last_rb && cb <= last_cb)))
+      fail("tile order not canonical");
+    first = false;
+    last_rb = rb;
+    last_cb = cb;
+    for (std::size_t row = 0; row < 64; ++row) t.s[row] = r.fixed64();
+    for (std::size_t row = 0; row < 64; ++row) t.p[row] = r.fixed64();
+    if (!m.insert_tile(static_cast<std::size_t>(rb),
+                       static_cast<std::size_t>(cb), t))
+      fail("invalid tile payload or order");
+  }
+  return m;
+}
+
 }  // namespace rsnsec::store

@@ -11,6 +11,7 @@
 #include "rsn/io.hpp"
 #include "rsn/rsn.hpp"
 #include "util/dep_matrix.hpp"
+#include "util/tiled_matrix.hpp"
 
 namespace rsnsec::store {
 
@@ -127,5 +128,15 @@ rsn::Rsn decode_rsn(ByteReader& r);
 /// P-implies-S invariant and that no bit beyond column n-1 is set.
 void encode_dep_matrix(ByteWriter& w, const DepMatrix& m);
 DepMatrix decode_dep_matrix(ByteReader& r);
+
+/// Canonical encoding of a TiledDepMatrix: dimension, non-zero tile
+/// count, then each tile as (row block, column block, 128 little-endian
+/// words) in strictly ascending (row block, column block) order — the
+/// size is proportional to the denoted tiles, not n^2, which is the point
+/// of spilling large matrices through the store. Decode validates tile
+/// order, range, non-zero payload, clear edge-tail bits and the
+/// P-implies-S invariant (via TiledDepMatrix::insert_tile).
+void encode_tiled_matrix(ByteWriter& w, const TiledDepMatrix& m);
+TiledDepMatrix decode_tiled_matrix(ByteReader& r);
 
 }  // namespace rsnsec::store

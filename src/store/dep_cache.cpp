@@ -9,7 +9,7 @@ namespace {
 /// Versioned domain label: any change to the key recipe or the snapshot
 /// payload format must bump this, so old blobs become unreachable rather
 /// than mis-decoded.
-constexpr std::string_view kDepKeyLabel = "rsnsec-dep-v3";
+constexpr std::string_view kDepKeyLabel = "rsnsec-dep-v4";
 
 void encode_options_fingerprint(ByteWriter& w,
                                 const dep::DepOptions& options) {
@@ -31,7 +31,14 @@ void encode_options_fingerprint(ByteWriter& w,
   // replays (solver_solves, cores_reused, ...) depend on both.
   w.u8(options.sat_incremental ? 1 : 0);
   w.u8(options.share_clauses ? 1 : 0);
-  // NOT num_threads: bit-identical at any thread count.
+  // The representation choice selects the snapshot payload format (dense
+  // vs. tiled sections) and the footprint stats, so it must split the key
+  // space — otherwise a dense analyzer would keep discarding a tiled
+  // analyzer's perfectly valid blobs and vice versa.
+  w.u8(static_cast<std::uint8_t>(options.partition));
+  // NOT num_threads: bit-identical at any thread count. NOT
+  // tile_spill_budget / spill_backend: pure execution knobs — the
+  // snapshot is always fully resident.
 }
 
 void encode_bits(ByteWriter& w, const std::vector<bool>& bits) {
@@ -91,6 +98,12 @@ void encode_stats(ByteWriter& w, const dep::DepStats& s) {
   w.varint(s.cores_reused);
   w.varint(s.rotation_witnesses);
   w.varint(s.shared_clauses);
+  // v4: partition region count (restore() recomputes it anyway and
+  // prefers the live value; encoded for payload self-containedness). The
+  // footprint fields (matrix_bytes, tiles_*) are intentionally absent:
+  // they describe the producing process, not the result, and restore()
+  // refreshes them from the restored matrices.
+  w.varint(s.regions);
 }
 
 dep::DepStats decode_stats(ByteReader& r) {
@@ -121,6 +134,7 @@ dep::DepStats decode_stats(ByteReader& r) {
   s.cores_reused = r.varint();
   s.rotation_witnesses = r.varint();
   s.shared_clauses = r.varint();
+  s.regions = static_cast<std::size_t>(r.varint());
   return s;
 }
 
@@ -145,12 +159,25 @@ std::string dep_cache_key(const netlist::Netlist& nl, const rsn::Rsn& network,
 void encode_dep_snapshot(ByteWriter& w,
                          const dep::DependencyAnalyzer::AnalysisSnapshot& s) {
   encode_bits(w, s.internal);
-  ByteWriter one_cycle;
-  encode_dep_matrix(one_cycle, s.one_cycle);
-  w.section(one_cycle);
-  ByteWriter closure;
-  encode_dep_matrix(closure, s.closure);
-  w.section(closure);
+  // v4: representation flag selects which pair of matrix sections
+  // follows. Tiled snapshots store only the non-zero tiles — on sparse
+  // large-scale matrices the blob shrinks by the same factor as RAM.
+  w.u8(s.tiled ? 1 : 0);
+  if (s.tiled) {
+    ByteWriter one_cycle;
+    encode_tiled_matrix(one_cycle, s.one_cycle_tiled);
+    w.section(one_cycle);
+    ByteWriter closure;
+    encode_tiled_matrix(closure, s.closure_tiled);
+    w.section(closure);
+  } else {
+    ByteWriter one_cycle;
+    encode_dep_matrix(one_cycle, s.one_cycle);
+    w.section(one_cycle);
+    ByteWriter closure;
+    encode_dep_matrix(closure, s.closure);
+    w.section(closure);
+  }
   w.varint(s.capture_deps.size());
   for (const auto& reg : s.capture_deps) {
     w.varint(reg.size());
@@ -168,15 +195,23 @@ void encode_dep_snapshot(ByteWriter& w,
 dep::DependencyAnalyzer::AnalysisSnapshot decode_dep_snapshot(ByteReader& r) {
   dep::DependencyAnalyzer::AnalysisSnapshot s;
   s.internal = decode_bits(r);
-  {
+  const std::uint8_t tiled = r.u8();
+  if (tiled > 1) throw CodecError("matrix representation flag out of range");
+  s.tiled = tiled != 0;
+  if (s.tiled) {
+    ByteReader sec = r.section();
+    s.one_cycle_tiled = decode_tiled_matrix(sec);
+    sec.expect_end();
+    ByteReader sec2 = r.section();
+    s.closure_tiled = decode_tiled_matrix(sec2);
+    sec2.expect_end();
+  } else {
     ByteReader sec = r.section();
     s.one_cycle = decode_dep_matrix(sec);
     sec.expect_end();
-  }
-  {
-    ByteReader sec = r.section();
-    s.closure = decode_dep_matrix(sec);
-    sec.expect_end();
+    ByteReader sec2 = r.section();
+    s.closure = decode_dep_matrix(sec2);
+    sec2.expect_end();
   }
   std::uint64_t num_regs = r.varint();
   if (num_regs > (1ull << 24)) throw CodecError("register count out of range");

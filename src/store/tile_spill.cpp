@@ -1,0 +1,41 @@
+#include "store/tile_spill.hpp"
+
+#include <stdexcept>
+
+#include "store/codec.hpp"
+
+namespace rsnsec::store {
+
+namespace {
+
+/// Domain label prefixed to the hashed framing so a spilled tile can
+/// never collide with a dep-snapshot key derived from the same bytes.
+constexpr std::string_view kTileKeyLabel = "rsnsec-tile-v1";
+
+std::string tile_key(std::string_view bytes) {
+  ByteWriter w;
+  w.str(kTileKeyLabel);
+  w.str(bytes);
+  return Sha256::hex(w.bytes());
+}
+
+}  // namespace
+
+std::string ArtifactSpillBackend::store(std::string_view bytes) {
+  std::string key = tile_key(bytes);
+  // Content-addressed: if the object already exists its payload is
+  // already these bytes, so the write can be skipped. load() also
+  // refreshes the object's LRU position, protecting live tiles from gc.
+  if (!store_->load(key).has_value()) store_->put(key, bytes);
+  return key;
+}
+
+bool ArtifactSpillBackend::fetch(const std::string& handle,
+                                 std::string* out) {
+  std::optional<std::string> payload = store_->load(handle);
+  if (!payload.has_value()) return false;
+  *out = *std::move(payload);
+  return true;
+}
+
+}  // namespace rsnsec::store

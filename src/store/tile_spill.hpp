@@ -1,0 +1,31 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "store/artifact_store.hpp"
+#include "util/tiled_matrix.hpp"
+
+namespace rsnsec::store {
+
+/// TileSpillBackend over an ArtifactStore: evicted TiledDepMatrix tiles
+/// become content-addressed store objects, so matrices larger than the
+/// configured residency budget round-trip through the same disk tier (and
+/// envelope checksums) as cached analyses. Handles are SHA-256 keys of a
+/// domain-labeled framing of the tile bytes — identical tiles (common:
+/// all-ones closure blocks, repeated module patterns) deduplicate to one
+/// object, and a handle never needs invalidation because the content it
+/// names is immutable. Orphaned tiles from finished runs are reclaimed by
+/// the store's ordinary LRU gc, not by this class.
+class ArtifactSpillBackend : public TileSpillBackend {
+ public:
+  explicit ArtifactSpillBackend(ArtifactStore* store) : store_(store) {}
+
+  std::string store(std::string_view bytes) override;
+  bool fetch(const std::string& handle, std::string* out) override;
+
+ private:
+  ArtifactStore* store_;  // not owned
+};
+
+}  // namespace rsnsec::store

@@ -116,6 +116,13 @@ class DepMatrix {
   /// 64-bit words per bit-plane row: (size() + 63) / 64.
   std::size_t words_per_row() const { return words_per_row_; }
 
+  /// Heap bytes held by the two bit planes (the dense footprint that the
+  /// tiled representation is measured against).
+  std::uint64_t memory_bytes() const {
+    return static_cast<std::uint64_t>(s_.capacity() + p_.capacity()) *
+           sizeof(std::uint64_t);
+  }
+
   /// Raw bit planes (row-major, words_per_row() words per row). S holds
   /// "structural or stronger", P holds "path". Exposed for serialization.
   const std::vector<std::uint64_t>& plane_s() const { return s_; }

@@ -35,6 +35,16 @@ std::uint32_t Rng::below(std::uint32_t bound) {
   }
 }
 
+std::uint64_t Rng::below64(std::uint64_t bound) {
+  if (bound <= 0xffffffffULL)
+    return below(static_cast<std::uint32_t>(bound));
+  std::uint64_t threshold = (-bound) % bound;
+  for (;;) {
+    std::uint64_t r = next_u64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
 std::uint32_t Rng::range(std::uint32_t lo, std::uint32_t hi) {
   return lo + below(hi - lo + 1);
 }

@@ -29,6 +29,13 @@ class Rng {
   /// `bound` must be > 0.
   std::uint32_t below(std::uint32_t bound);
 
+  /// 64-bit-bound variant of below(). For bounds that fit 32 bits it
+  /// delegates to below() — consuming the identical stream positions — so
+  /// call sites upgraded from below() keep reproducing historical
+  /// artifacts bit for bit; only genuinely larger bounds take the 64-bit
+  /// rejection path.
+  std::uint64_t below64(std::uint64_t bound);
+
   /// Returns a uniform integer in [lo, hi] (inclusive); requires lo <= hi.
   std::uint32_t range(std::uint32_t lo, std::uint32_t hi);
 
@@ -38,19 +45,22 @@ class Rng {
   /// Returns a uniform double in [0, 1).
   double uniform();
 
-  /// Fisher-Yates shuffles `v` in place.
+  /// Fisher-Yates shuffles `v` in place. 64-bit-safe: below64() delegates
+  /// to below() for small sizes, so existing streams are unchanged.
   template <typename T>
   void shuffle(std::vector<T>& v) {
     for (std::size_t i = v.size(); i > 1; --i) {
-      std::size_t j = below(static_cast<std::uint32_t>(i));
+      auto j = static_cast<std::size_t>(below64(i));
       std::swap(v[i - 1], v[j]);
     }
   }
 
-  /// Picks a uniformly random element of `v`; `v` must be non-empty.
-  template <typename T>
-  const T& pick(const std::vector<T>& v) {
-    return v[below(static_cast<std::uint32_t>(v.size()))];
+  /// Picks a uniformly random element of any random-access container with
+  /// size()/operator[] (vectors, benchgen source views); must be
+  /// non-empty. operator[] must return a reference, not a temporary.
+  template <typename C>
+  decltype(auto) pick(const C& v) {
+    return v[static_cast<std::size_t>(below64(v.size()))];
   }
 
  private:

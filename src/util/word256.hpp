@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rsnsec {
+
+/// Portable 256-bit pattern block: four independent 64-bit lanes, so one
+/// bitwise operation covers 256 parallel bits. Plain aggregate of
+/// uint64_t — lane-wise evaluation is a straight-line loop the compiler
+/// auto-vectorizes to whatever SIMD width the target has, without any
+/// intrinsics or platform dependence. Shared between the 256-pattern cone
+/// simulator (netlist/sim.hpp) and the tiled dependency-matrix kernels
+/// (util/tiled_matrix.hpp), which process 64x64-bit tiles four row words
+/// at a time.
+struct Word256 {
+  std::uint64_t lane[4];
+
+  static Word256 broadcast(bool bit) {
+    std::uint64_t w = bit ? ~0ULL : 0ULL;
+    return Word256{{w, w, w, w}};
+  }
+  static Word256 zero() { return Word256{{0, 0, 0, 0}}; }
+
+  /// Bit `i` (0..255); lane order is little-endian: bit i lives in
+  /// lane[i / 64] at position i % 64.
+  bool bit(std::size_t i) const {
+    return ((lane[i / 64] >> (i % 64)) & 1ULL) != 0;
+  }
+  void flip_bit(std::size_t i) { lane[i / 64] ^= 1ULL << (i % 64); }
+
+  Word256 operator^(const Word256& o) const {
+    return Word256{{lane[0] ^ o.lane[0], lane[1] ^ o.lane[1],
+                    lane[2] ^ o.lane[2], lane[3] ^ o.lane[3]}};
+  }
+  Word256 operator|(const Word256& o) const {
+    return Word256{{lane[0] | o.lane[0], lane[1] | o.lane[1],
+                    lane[2] | o.lane[2], lane[3] | o.lane[3]}};
+  }
+  Word256& operator|=(const Word256& o) {
+    lane[0] |= o.lane[0];
+    lane[1] |= o.lane[1];
+    lane[2] |= o.lane[2];
+    lane[3] |= o.lane[3];
+    return *this;
+  }
+  bool any() const {
+    return (lane[0] | lane[1] | lane[2] | lane[3]) != 0;
+  }
+};
+
+}  // namespace rsnsec

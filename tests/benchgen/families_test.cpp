@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 namespace rsnsec::benchgen {
 namespace {
 
@@ -145,6 +147,32 @@ TEST(Mbist, ConfigListMatchesTable1) {
   EXPECT_EQ(mbist_configs().front(), (std::array<std::size_t, 3>{1, 5, 5}));
   EXPECT_EQ(mbist_configs().back(),
             (std::array<std::size_t, 3>{20, 20, 20}));
+}
+
+TEST(Mbist, OverflowingDimensionsAreRejected) {
+  // A dimension product past the generator's sanity bound must refuse
+  // loudly (std::overflow_error, which the CLI maps to exit 2) instead of
+  // wrapping and silently generating a tiny wrong-shaped network.
+  EXPECT_THROW(generate_mbist(std::size_t{1} << 62, 5, 5, 1.0),
+               std::overflow_error);
+  EXPECT_THROW(generate_mbist(std::size_t{1} << 31, std::size_t{1} << 31, 5,
+                              1.0),
+               std::overflow_error);
+  EXPECT_THROW(generate_mbist(1u << 20, 1u << 20, 1u << 20, 1.0),
+               std::overflow_error);
+  // Scale applies before the bound check: a huge scale on small
+  // dimensions is just as much of an overflow...
+  EXPECT_THROW(generate_mbist(2, 5, 5, 1e30), std::overflow_error);
+  // ... and a small scale on huge dimensions brings them back in range.
+  rsn::RsnDocument doc = generate_mbist(2000, 5, 5, 1e-3);
+  std::string err;
+  EXPECT_TRUE(doc.network.validate(&err)) << err;
+}
+
+TEST(Bastion, OverflowingScaleIsRejected) {
+  Rng rng(1);
+  EXPECT_THROW(generate_bastion(bastion_profile("Mingle"), 1e300, rng),
+               std::overflow_error);
 }
 
 }  // namespace

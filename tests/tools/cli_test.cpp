@@ -447,5 +447,93 @@ TEST_F(CliTest, BenchAttackEmitsBenchmarkSchema) {
             2);
 }
 
+TEST_F(CliTest, PartitionFlagSelectsRepresentation) {
+  ASSERT_EQ(run_cli({"generate", "--benchmark", "BasicSCB", "--seed", "3",
+                     "--out-rsn", path("n.rsn"), "--out-verilog",
+                     path("c.v"), "--out-spec", path("s.spec")}),
+            0)
+      << err_.str();
+  int rc = run_cli({"analyze", "--rsn", path("n.rsn"), "--verilog",
+                    path("c.v"), "--spec", path("s.spec"), "--json",
+                    "--partition", "tiled"});
+  ASSERT_TRUE(rc == 0 || rc == 2) << err_.str();
+  EXPECT_NE(out_.str().find("\"dep_partition\": \"tiled\""),
+            std::string::npos);
+  EXPECT_NE(out_.str().find("\"dep_tiled\": true"), std::string::npos);
+  EXPECT_NE(out_.str().find("\"dep_regions\": "), std::string::npos);
+  EXPECT_NE(out_.str().find("\"dep_matrix_bytes\": "), std::string::npos);
+
+  // The default (auto) stays dense on a repro-scale workload.
+  rc = run_cli({"analyze", "--rsn", path("n.rsn"), "--verilog", path("c.v"),
+                "--spec", path("s.spec"), "--json"});
+  ASSERT_TRUE(rc == 0 || rc == 2) << err_.str();
+  EXPECT_NE(out_.str().find("\"dep_partition\": \"auto\""),
+            std::string::npos);
+  EXPECT_NE(out_.str().find("\"dep_tiled\": false"), std::string::npos);
+
+  rc = run_cli({"analyze", "--rsn", path("n.rsn"), "--verilog", path("c.v"),
+                "--spec", path("s.spec"), "--partition", "bogus"});
+  EXPECT_EQ(rc, 2);
+  EXPECT_NE(err_.str().find("unknown --partition 'bogus'"),
+            std::string::npos);
+}
+
+TEST_F(CliTest, TileSpillBudgetRequiresStore) {
+  // MBIST_2_4_4 is big enough (several hundred circuit FFs) that a
+  // 4 KiB residency budget must evict tiles.
+  ASSERT_EQ(run_cli({"generate", "--benchmark", "MBIST_2_4_4", "--seed",
+                     "3", "--out-rsn", path("n.rsn"), "--out-verilog",
+                     path("c.v"), "--out-spec", path("s.spec")}),
+            0)
+      << err_.str();
+  int rc = run_cli({"analyze", "--rsn", path("n.rsn"), "--verilog",
+                    path("c.v"), "--spec", path("s.spec"),
+                    "--tile-spill-budget", "4096"});
+  EXPECT_EQ(rc, 2);
+  EXPECT_NE(err_.str().find("--tile-spill-budget"), std::string::npos);
+  EXPECT_NE(err_.str().find("--store"), std::string::npos);
+
+  rc = run_cli({"analyze", "--rsn", path("n.rsn"), "--verilog", path("c.v"),
+                "--spec", path("s.spec"), "--json", "--partition", "tiled",
+                "--tile-spill-budget", "4096", "--store", path("store")});
+  ASSERT_TRUE(rc == 0 || rc == 2) << err_.str();
+  EXPECT_NE(out_.str().find("\"dep_tiled\": true"), std::string::npos);
+  EXPECT_EQ(out_.str().find("\"dep_tiles_spilled\": 0"), std::string::npos)
+      << out_.str();
+}
+
+TEST_F(CliTest, OverflowingGenerateDimensionsAreUsageErrors) {
+  int rc = run_cli({"generate", "--benchmark",
+                    "MBIST_9999999999_99999_99999", "--out-rsn",
+                    path("n.rsn")});
+  EXPECT_EQ(rc, 2);
+  EXPECT_NE(err_.str().find("too large"), std::string::npos);
+  rc = run_cli({"generate", "--benchmark", "MBIST_2_5_5", "--scale", "1e30",
+                "--out-rsn", path("n.rsn")});
+  EXPECT_EQ(rc, 2);
+}
+
+TEST_F(CliTest, BenchScaleEmitsBenchmarkSchema) {
+  EXPECT_EQ(run_cli({"bench", "scale", "--max-ffs", "600"}), 2)
+      << "bench scale without --json must be a usage error";
+  int rc = run_cli({"bench", "scale", "--json", "--max-ffs", "600",
+                    "--dense-max", "600", "--jobs", "2"});
+  ASSERT_EQ(rc, 0) << err_.str();
+  const std::string json = out_.str();
+  EXPECT_TRUE(testsupport::JsonValidator(json).validate()) << json;
+  // google-benchmark compare.py layout: context + benchmarks[], one
+  // dense and one tiled row per size plus the headline ratios.
+  EXPECT_NE(json.find("\"context\""), std::string::npos);
+  EXPECT_NE(json.find("\"benchmarks\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"Scale_MBIST/"), std::string::npos);
+  EXPECT_NE(json.find("/dense\""), std::string::npos);
+  EXPECT_NE(json.find("/tiled\""), std::string::npos);
+  EXPECT_NE(json.find("\"time_unit\": \"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"closure_speedup_vs_dense\""), std::string::npos);
+  EXPECT_NE(json.find("\"matrix_bytes_reduction_vs_dense\""),
+            std::string::npos);
+  EXPECT_EQ(run_cli({"bench", "scale", "--json", "--max-ffs", "0"}), 2);
+}
+
 }  // namespace
 }  // namespace rsnsec::cli

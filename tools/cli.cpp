@@ -31,6 +31,7 @@
 #include "security/spec_io.hpp"
 #include "store/artifact_store.hpp"
 #include "store/dep_cache.hpp"
+#include "store/tile_spill.hpp"
 
 namespace rsnsec::cli {
 
@@ -234,9 +235,44 @@ PipelineOptions pipeline_options(const Args& args) {
   // instead of maintaining it incrementally. Same results, much slower;
   // useful to cross-check the delta engine.
   if (args.has_flag("no-incremental")) opt.resolve.incremental = false;
+  // Matrix representation. Bit-identical results either way (pinned by
+  // the partitioned-oracle tests); "auto" switches on circuit size.
+  if (auto p = args.get("partition")) {
+    if (*p == "auto")
+      opt.dep.partition = dep::PartitionMode::Auto;
+    else if (*p == "dense")
+      opt.dep.partition = dep::PartitionMode::Dense;
+    else if (*p == "tiled")
+      opt.dep.partition = dep::PartitionMode::Tiled;
+    else
+      throw UsageError("unknown --partition '" + *p +
+                       "' (try: auto, dense, tiled)");
+  }
+  // Resident-byte budget per tiled matrix; tiles beyond it spill to the
+  // artifact store. The backend itself is wired by the subcommand, which
+  // owns the store handle.
+  if (auto b = args.get("tile-spill-budget"))
+    opt.dep.tile_spill_budget = u64_or_usage(*b, "--tile-spill-budget");
   opt.dep.num_threads = jobs_option(args);
   opt.resolve.num_threads = opt.dep.num_threads;
   return opt;
+}
+
+/// Wires the out-of-core tile spill path: with --tile-spill-budget set,
+/// evicted tiles go through an ArtifactSpillBackend over the invocation's
+/// store. Asking for spill without a store is a usage error — there would
+/// be nowhere to put the tiles. Returns the backend (owning pointer; must
+/// outlive the analysis) or nullptr when spilling is off.
+std::unique_ptr<store::ArtifactSpillBackend> wire_spill(
+    PipelineOptions& opt, store::ArtifactStore* artifact_store) {
+  if (opt.dep.tile_spill_budget == 0) return nullptr;
+  if (artifact_store == nullptr)
+    throw UsageError(
+        "--tile-spill-budget needs an artifact store (--store DIR or "
+        "RSNSEC_STORE)");
+  auto backend = std::make_unique<store::ArtifactSpillBackend>(artifact_store);
+  opt.dep.spill_backend = backend.get();
+  return backend;
 }
 
 int cmd_lint(const Args& args, std::ostream& out) {
@@ -264,18 +300,25 @@ int cmd_generate(const Args& args, std::ostream& out) {
   Rng rng(seed);
 
   rsn::RsnDocument doc;
-  if (name.rfind("MBIST_", 0) == 0) {
-    std::vector<std::string> dims = split(name.substr(6), '_');
-    if (dims.size() != 3)
-      throw UsageError("MBIST benchmark must be MBIST_n_m_o");
-    doc = benchgen::generate_mbist(
-        static_cast<std::size_t>(u64_or_usage(dims[0], "MBIST dimension n")),
-        static_cast<std::size_t>(u64_or_usage(dims[1], "MBIST dimension m")),
-        static_cast<std::size_t>(u64_or_usage(dims[2], "MBIST dimension o")),
-        scale);
-  } else {
-    doc = benchgen::generate_bastion(benchgen::bastion_profile(name), scale,
-                                     rng);
+  // A dimension product too large for the generators (they refuse with
+  // std::overflow_error rather than wrapping, see benchgen/families.cpp)
+  // is the caller's mistake, same as a malformed number: exit 2.
+  try {
+    if (name.rfind("MBIST_", 0) == 0) {
+      std::vector<std::string> dims = split(name.substr(6), '_');
+      if (dims.size() != 3)
+        throw UsageError("MBIST benchmark must be MBIST_n_m_o");
+      doc = benchgen::generate_mbist(
+          static_cast<std::size_t>(u64_or_usage(dims[0], "MBIST dimension n")),
+          static_cast<std::size_t>(u64_or_usage(dims[1], "MBIST dimension m")),
+          static_cast<std::size_t>(u64_or_usage(dims[2], "MBIST dimension o")),
+          scale);
+    } else {
+      doc = benchgen::generate_bastion(benchgen::bastion_profile(name), scale,
+                                       rng);
+    }
+  } catch (const std::overflow_error& e) {
+    throw UsageError("benchmark '" + name + "' is too large: " + e.what());
   }
 
   netlist::Netlist circuit;
@@ -322,8 +365,10 @@ int cmd_analyze(const Args& args, std::ostream& out) {
   security::TokenTable tokens(w.spec, w.spec.num_modules());
 
   std::unique_ptr<store::ArtifactStore> artifact_store = open_store(args);
-  dep::DependencyAnalyzer deps(w.circuit, w.doc.network,
-                               pipeline_options(args).dep);
+  PipelineOptions popt = pipeline_options(args);
+  std::unique_ptr<store::ArtifactSpillBackend> spill =
+      wire_spill(popt, artifact_store.get());
+  dep::DependencyAnalyzer deps(w.circuit, w.doc.network, popt.dep);
   store::run_with_store(artifact_store.get(), deps);
   security::HybridAnalyzer hybrid(w.circuit, w.doc.network, deps, w.spec,
                                   tokens);
@@ -346,6 +391,12 @@ int cmd_analyze(const Args& args, std::ostream& out) {
         << "\", \"dep_ternary_prefilter\": "
         << (dopt.ternary_prefilter ? "true" : "false")
         << ", \"dep_ternary_resolved\": " << deps.stats().ternary_resolved
+        << ", \"dep_partition\": \"" << dep::partition_name(dopt.partition)
+        << "\", \"dep_tiled\": " << (deps.tiled() ? "true" : "false")
+        << ", \"dep_regions\": " << deps.stats().regions
+        << ", \"dep_matrix_bytes\": " << deps.stats().matrix_bytes
+        << ", \"dep_tiles_nonzero\": " << deps.stats().tiles_nonzero
+        << ", \"dep_tiles_spilled\": " << deps.stats().tiles_spilled
         << "}\n";
   } else {
     out << "insecure circuit logic: " << (st.insecure_logic ? "YES" : "no")
@@ -355,6 +406,14 @@ int cmd_analyze(const Args& args, std::ostream& out) {
     out << "violating registers:    " << viol_regs << "\n";
     out << "violating pairs:        " << pure_pairs << " pure, "
         << hybrid_pairs << " incl. hybrid\n";
+    out << "dependency matrices:    "
+        << (deps.tiled() ? "tiled" : "dense") << ", "
+        << deps.stats().matrix_bytes << " bytes resident";
+    if (deps.tiled())
+      out << " (" << deps.stats().regions << " regions, "
+          << deps.stats().tiles_nonzero << " tiles, "
+          << deps.stats().tiles_spilled << " spill evictions)";
+    out << "\n";
     for (const std::string& d : st.details) out << "  " << d << "\n";
   }
   if (args.has_flag("filter-baseline")) {
@@ -372,6 +431,8 @@ int cmd_secure(const Args& args, std::ostream& out) {
   std::unique_ptr<store::ArtifactStore> artifact_store = open_store(args);
   PipelineOptions opt = pipeline_options(args);
   opt.store = artifact_store.get();
+  std::unique_ptr<store::ArtifactSpillBackend> spill =
+      wire_spill(opt, artifact_store.get());
   SecureFlowTool tool(w.circuit, w.doc.network, w.spec, opt);
   PipelineResult result = tool.run();
 
@@ -671,6 +732,116 @@ int cmd_bench_attack(const Args& args, std::ostream& out) {
   return 0;
 }
 
+/// `rsnsec bench scale --json [--max-ffs N] [--dense-max N]`: dependency-
+/// analysis wall-clock and matrix footprint across MBIST sizes, tiled
+/// representation vs. the dense oracle, in the google-benchmark JSON
+/// layout the CI validator checks. Runs in DepMode::StructuralOnly so the
+/// numbers measure the matrix machinery (construction, bridging, closure)
+/// rather than the SAT portfolio in front of it; both representations
+/// produce bit-identical matrices (pinned by the partitioned-oracle
+/// tests), so the deltas are pure representation cost. The dense oracle is
+/// only run up to --dense-max flip-flops — beyond that its quadratic
+/// footprint is the problem this benchmark exists to demonstrate.
+int cmd_bench_scale(const Args& args, std::ostream& out) {
+  if (!args.has_flag("json"))
+    throw UsageError("bench scale only has a JSON report; pass --json");
+  const std::uint64_t seed =
+      u64_or_usage(args.get("seed").value_or("1"), "--seed");
+  const std::uint64_t max_ffs =
+      u64_or_usage(args.get("max-ffs").value_or("100000"), "--max-ffs");
+  const std::uint64_t dense_max =
+      u64_or_usage(args.get("dense-max").value_or("10000"), "--dense-max");
+  if (max_ffs == 0) throw UsageError("--max-ffs needs a positive FF count");
+  const std::size_t jobs = jobs_option(args);
+
+  // Decades of circuit flip-flops from 1000 up to --max-ffs.
+  std::vector<std::uint64_t> sizes;
+  for (std::uint64_t s = 1000; s < max_ffs; s *= 10) sizes.push_back(s);
+  sizes.push_back(max_ffs);
+
+  struct ScaleRun {
+    double analysis_ms = 0.0;
+    double closure_ms = 0.0;
+    std::uint64_t matrix_bytes = 0;
+    std::uint64_t tiles_nonzero = 0;
+    std::size_t regions = 0;
+    std::size_t ffs = 0;
+  };
+  auto run_one = [&](const netlist::Netlist& circuit,
+                     const rsn::Rsn& network, dep::PartitionMode mode) {
+    dep::DepOptions dopt;
+    dopt.mode = dep::DepMode::StructuralOnly;
+    dopt.partition = mode;
+    dopt.num_threads = jobs;
+    dep::DependencyAnalyzer deps(circuit, network, dopt);
+    deps.run();
+    const dep::DepStats& s = deps.stats();
+    ScaleRun r;
+    r.analysis_ms = (s.t_one_cycle + s.t_bridge + s.t_closure) * 1e3;
+    r.closure_ms = s.t_closure * 1e3;
+    r.matrix_bytes = s.matrix_bytes;
+    r.tiles_nonzero = s.tiles_nonzero;
+    r.regions = s.regions;
+    r.ffs = s.circuit_ffs;
+    return r;
+  };
+  auto write_row = [&out](bool first, const std::string& variant,
+                          const ScaleRun& r) {
+    out << (first ? "\n" : ",\n") << "  {\"name\": \"Scale_MBIST/"
+        << r.ffs << "/" << variant << "\", \"run_type\": \"iteration\", "
+        << "\"iterations\": 1, \"real_time\": " << r.analysis_ms
+        << ", \"cpu_time\": " << r.analysis_ms
+        << ", \"time_unit\": \"ms\", \"closure_ms\": " << r.closure_ms
+        << ", \"circuit_ffs\": " << r.ffs
+        << ", \"matrix_bytes\": " << r.matrix_bytes
+        << ", \"tiles_nonzero\": " << r.tiles_nonzero
+        << ", \"regions\": " << r.regions;
+  };
+
+  out << "{\"context\": {\"executable\": \"rsnsec\", \"experiment\": "
+         "\"scale\", \"seed\": "
+      << seed << ", \"max_ffs\": " << max_ffs
+      << ", \"dense_max\": " << dense_max << "},\n\"benchmarks\": [";
+  bool first = true;
+  for (std::uint64_t target : sizes) {
+    // MBIST_n_4_4 has 5 + 383 n scan FFs and the random circuit attaches
+    // ~0.85 circuit FFs per scan FF, so n ~ target / 325 lands the
+    // *circuit* FF count (what the matrices are over) near the target.
+    std::size_t n = static_cast<std::size_t>(target / 325);
+    if (n == 0) n = 1;
+    Rng rng(seed);
+    rsn::RsnDocument doc = benchgen::generate_mbist(n, 4, 4, 1.0);
+    netlist::Netlist circuit = benchgen::attach_random_circuit(doc, {}, rng);
+
+    std::optional<ScaleRun> dense;
+    if (static_cast<std::uint64_t>(circuit.ffs().size()) <= dense_max) {
+      dense = run_one(circuit, doc.network, dep::PartitionMode::Dense);
+      write_row(first, "dense", *dense);
+      out << "}";
+      first = false;
+    }
+    ScaleRun tiled = run_one(circuit, doc.network, dep::PartitionMode::Tiled);
+    write_row(first, "tiled", tiled);
+    if (dense) {
+      // The headline pair: closure wall-clock speedup and matrix-memory
+      // reduction of the tiled representation over the dense oracle at
+      // the same size.
+      out << ", \"closure_speedup_vs_dense\": "
+          << (tiled.closure_ms > 0.0 ? dense->closure_ms / tiled.closure_ms
+                                     : 0.0)
+          << ", \"matrix_bytes_reduction_vs_dense\": "
+          << (tiled.matrix_bytes > 0
+                  ? static_cast<double>(dense->matrix_bytes) /
+                        static_cast<double>(tiled.matrix_bytes)
+                  : 0.0);
+    }
+    out << "}";
+    first = false;
+  }
+  out << "\n]}\n";
+  return 0;
+}
+
 /// `rsnsec bench ablation`: the Sec. IV-C structural-vs-exact ablation as
 /// a first-class subcommand. Reuses the bench harness's instance recipe
 /// (bench::make_instance with the same seeds and scaling) so the reported
@@ -679,12 +850,14 @@ int cmd_bench_attack(const Args& args, std::ostream& out) {
 int cmd_bench(const Args& args, std::ostream& out) {
   if (args.positionals.size() == 1 && args.positionals[0] == "attack")
     return cmd_bench_attack(args, out);
+  if (args.positionals.size() == 1 && args.positionals[0] == "scale")
+    return cmd_bench_scale(args, out);
   if (args.positionals.size() != 1 || args.positionals[0] != "ablation")
     throw UsageError(
         (args.positionals.empty()
              ? std::string("bench needs an experiment name")
              : "unknown bench experiment '" + args.positionals[0] + "'") +
-        " (try: ablation or attack, e.g. "
+        " (try: ablation, attack or scale, e.g. "
         "rsnsec bench ablation [--circuits N] [--specs N] [--json])");
 
   bench::SweepOptions opt = bench::sweep_options_from_env();
