@@ -173,6 +173,25 @@ void write_json(std::ostream& os, const PipelineResult& r) {
   os << "}\n";
 }
 
+void write_analyze_json(std::ostream& os, const AnalyzeReport& r) {
+  os << "{\"insecure_logic\": " << (r.insecure_logic ? "true" : "false")
+     << ", \"intra_segment\": " << (r.intra_segment ? "true" : "false")
+     << ", \"pure_violating_pairs\": " << r.pure_violating_pairs
+     << ", \"hybrid_violating_pairs\": " << r.hybrid_violating_pairs
+     << ", \"violating_registers\": " << r.violating_registers
+     << ", \"dep_mode\": \""
+     << (r.dep_mode == dep::DepMode::Exact ? "exact" : "structural")
+     << "\", \"dep_ternary_prefilter\": "
+     << (r.dep_ternary_prefilter ? "true" : "false")
+     << ", \"dep_ternary_resolved\": " << r.dep_stats.ternary_resolved
+     << ", \"dep_partition\": \"" << dep::partition_name(r.dep_partition)
+     << "\", \"dep_tiled\": " << (r.dep_tiled ? "true" : "false")
+     << ", \"dep_regions\": " << r.dep_stats.regions
+     << ", \"dep_matrix_bytes\": " << r.dep_stats.matrix_bytes
+     << ", \"dep_tiles_nonzero\": " << r.dep_stats.tiles_nonzero
+     << ", \"dep_tiles_spilled\": " << r.dep_stats.tiles_spilled << "}";
+}
+
 void write_csv(std::ostream& os, const std::vector<BenchRow>& rows) {
   os << "benchmark,registers,scan_ffs,muxes,violating_registers,"
         "changes_pure,changes_hybrid,changes_total,t_dependency,t_pure,"

@@ -64,6 +64,27 @@ void print_table_summary(std::ostream& os, const std::vector<BenchRow>& rows);
 /// record: phase timings, statistics, and the full change log).
 void write_json(std::ostream& os, const PipelineResult& result);
 
+/// Deterministic summary of one `analyze` run: counts and modes only, no
+/// timings. Shared by the CLI's `analyze --json` output and the serve
+/// daemon's analyze replies — one emitter is what makes a request through
+/// the daemon byte-identical to a one-shot CLI run of the same design.
+struct AnalyzeReport {
+  bool insecure_logic = false;
+  bool intra_segment = false;
+  std::size_t pure_violating_pairs = 0;
+  std::size_t hybrid_violating_pairs = 0;
+  std::size_t violating_registers = 0;
+  dep::DepMode dep_mode = dep::DepMode::Exact;
+  bool dep_ternary_prefilter = true;
+  dep::PartitionMode dep_partition = dep::PartitionMode::Auto;
+  bool dep_tiled = false;
+  dep::DepStats dep_stats;
+};
+
+/// Writes the analyze summary as a single-line JSON object, no trailing
+/// newline (the CLI appends one; the daemon embeds it in a reply frame).
+void write_analyze_json(std::ostream& os, const AnalyzeReport& r);
+
 /// Writes benchmark rows as CSV (header + one line per row), for
 /// spreadsheet/plotting consumption.
 void write_csv(std::ostream& os, const std::vector<BenchRow>& rows);

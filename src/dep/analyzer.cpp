@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <optional>
 #include <unordered_map>
 #include <utility>
 
@@ -798,9 +799,17 @@ void DependencyAnalyzer::compute_closure() {
 }
 
 void DependencyAnalyzer::run() {
-  ThreadPool pool(ThreadPool::resolve_num_threads(options_.num_threads));
-  pool_ = &pool;
-  stats_.threads_used = pool.num_threads();
+  // A caller-provided pool (DepOptions::pool) is used as-is — the serve
+  // scheduler shares one pool across concurrent analyses; otherwise a
+  // private pool spans this run.
+  std::optional<ThreadPool> owned_pool;
+  if (options_.pool != nullptr) {
+    pool_ = options_.pool;
+  } else {
+    owned_pool.emplace(ThreadPool::resolve_num_threads(options_.num_threads));
+    pool_ = &*owned_pool;
+  }
+  stats_.threads_used = pool_->num_threads();
 
   // Each phase is one trace span; Span::seconds() feeds the same DepStats
   // wall-clock fields the old per-phase stopwatches filled, so the

@@ -111,8 +111,15 @@ struct DepOptions {
   /// Worker threads for the cone fan-out and the closure's row blocks.
   /// 0 = auto: the RSNSEC_JOBS environment variable if set, else
   /// std::thread::hardware_concurrency(). Any value yields bit-identical
-  /// results (see ThreadPool and the per-cone RNG streams).
+  /// results (see ThreadPool and the per-cone RNG streams). Ignored when
+  /// `pool` is set.
   std::size_t num_threads = 0;
+  /// External thread pool (not owned; must outlive run()). When set, the
+  /// analysis runs its parallel phases on it instead of constructing a
+  /// private pool. Execution knob like num_threads: results are
+  /// bit-identical, so it is excluded from cache keys. The serve
+  /// scheduler uses this to share one pool across concurrent requests.
+  ThreadPool* pool = nullptr;
   /// Matrix representation: dense oracle, tiled, or size-based Auto.
   /// Bit-identical either way (pinned by the partitioned-oracle tests);
   /// participates in the cache key only because the snapshot payload

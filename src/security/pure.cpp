@@ -159,10 +159,17 @@ PureStats PureScanAnalyzer::detect_and_resolve(
 
   const bool incremental = resolve_options.incremental;
   std::optional<PureViolationIndex> index;
-  std::optional<ThreadPool> pool;
+  // ResolveOptions::pool (shared, serve scheduler) wins over a private
+  // per-resolve pool sized by num_threads.
+  ThreadPool* pool = resolve_options.pool;
+  std::optional<ThreadPool> owned_pool;
   if (incremental) {
     index.emplace(*this, network);
-    pool.emplace(ThreadPool::resolve_num_threads(resolve_options.num_threads));
+    if (pool == nullptr) {
+      owned_pool.emplace(
+          ThreadPool::resolve_num_threads(resolve_options.num_threads));
+      pool = &*owned_pool;
+    }
     stats.initial_violating_registers = index->violating_registers();
     stats.initial_violating_pairs = index->pairs();
   } else {

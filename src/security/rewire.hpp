@@ -40,7 +40,16 @@ struct ResolveOptions {
   /// Worker threads for candidate trial evaluation (incremental path
   /// only). 0 = auto: RSNSEC_JOBS if set, else hardware concurrency.
   /// Any value yields bit-identical results (in-order selection).
+  /// Ignored when `pool` is set.
   std::size_t num_threads = 0;
+  /// External thread pool for the trial evaluation (not owned; must
+  /// outlive the resolve call). When set, the loops run on it instead of
+  /// constructing a private pool — the serve scheduler shares one pool
+  /// across every concurrent request, so total worker threads stay
+  /// bounded by the machine, not by tenant count. Safe because
+  /// ThreadPool's loops are caller-participating and independent batches
+  /// from different requests interleave without blocking each other.
+  ThreadPool* pool = nullptr;
 };
 
 /// One concrete RSN connection (driver `from` feeding input `port` of

@@ -1,0 +1,99 @@
+#include "serve/scheduler.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace rsnsec::serve {
+
+FairScheduler::FairScheduler(SchedulerOptions options)
+    : options_(options) {
+  options_.workers = std::max<std::size_t>(1, options_.workers);
+  options_.queue_capacity = std::max<std::size_t>(1, options_.queue_capacity);
+  workers_.reserve(options_.workers);
+  for (std::size_t i = 0; i < options_.workers; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+FairScheduler::~FairScheduler() { drain_and_stop(); }
+
+FairScheduler::Admit FairScheduler::submit(const std::string& tenant,
+                                           Job job) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (draining_ || stop_) return Admit::Stopping;
+    if (total_queued_ >= options_.queue_capacity) return Admit::Busy;
+    auto [it, inserted] = tenant_index_.try_emplace(tenant, queues_.size());
+    if (inserted) queues_.push_back(TenantQueue{tenant, {}});
+    queues_[it->second].items.push_back(
+        Pending{std::move(job), Clock::now()});
+    ++total_queued_;
+  }
+  work_cv_.notify_one();
+  return Admit::Accepted;
+}
+
+void FairScheduler::worker_loop() {
+  for (;;) {
+    Pending pending;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [this] { return total_queued_ > 0 || stop_; });
+      if (total_queued_ == 0) return;  // stop_ set and queues drained
+      // Round-robin: advance the cursor to the next tenant with work.
+      // Queues never shrink, so tenant indices stay stable.
+      std::size_t n = queues_.size();
+      for (std::size_t step = 0; step < n; ++step) {
+        std::size_t q = (cursor_ + step) % n;
+        if (!queues_[q].items.empty()) {
+          pending = std::move(queues_[q].items.front());
+          queues_[q].items.pop_front();
+          cursor_ = (q + 1) % n;
+          break;
+        }
+      }
+      --total_queued_;
+      ++in_flight_;
+    }
+    double waited = std::chrono::duration<double>(Clock::now() -
+                                                  pending.enqueued)
+                        .count();
+    pending.fn(waited);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (total_queued_ == 0 && in_flight_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+void FairScheduler::drain_and_stop() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    draining_ = true;
+    idle_cv_.wait(lock,
+                  [this] { return total_queued_ == 0 && in_flight_ == 0; });
+    if (stop_) return;  // another caller already joined the workers
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+std::size_t FairScheduler::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_queued_;
+}
+
+std::uint64_t FairScheduler::retry_after_ms() const {
+  std::size_t depth;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    depth = total_queued_ + in_flight_;
+  }
+  std::uint64_t estimate = 25 * (1 + depth / options_.workers);
+  return std::min<std::uint64_t>(estimate, 1000);
+}
+
+}  // namespace rsnsec::serve

@@ -116,10 +116,12 @@ class DepMatrix {
   /// 64-bit words per bit-plane row: (size() + 63) / 64.
   std::size_t words_per_row() const { return words_per_row_; }
 
-  /// Heap bytes held by the two bit planes (the dense footprint that the
-  /// tiled representation is measured against).
+  /// Bytes held by the two bit planes (the dense footprint that the
+  /// tiled representation is measured against). Content-derived (sizes,
+  /// not capacities) so a matrix restored from the artifact store reports
+  /// the same figure as the run that computed it.
   std::uint64_t memory_bytes() const {
-    return static_cast<std::uint64_t>(s_.capacity() + p_.capacity()) *
+    return static_cast<std::uint64_t>(s_.size() + p_.size()) *
            sizeof(std::uint64_t);
   }
 

@@ -427,12 +427,17 @@ std::size_t TiledDepMatrix::tiles_nonzero() const {
 }
 
 std::uint64_t TiledDepMatrix::memory_bytes() const {
-  std::uint64_t bytes = rows_.capacity() * sizeof(RowBlock);
+  // Content-derived (sizes, not vector capacities): a matrix restored
+  // from the artifact store must report the same footprint as the run
+  // that computed it, or warm analysis reports stop being byte-identical
+  // to cold ones. Under a spill budget the figure still tracks the
+  // actual resident tile set.
+  std::uint64_t bytes = rows_.size() * sizeof(RowBlock);
   for (const RowBlock& row : rows_) {
-    bytes += row.slots.capacity() * sizeof(Slot);
+    bytes += row.slots.size() * sizeof(Slot);
     for (const Slot& s : row.slots) {
       if (s.tile) bytes += kTileBytes;
-      bytes += s.handle.capacity();
+      bytes += s.handle.size();
     }
   }
   return bytes;

@@ -114,7 +114,9 @@ class TiledDepMatrix {
   std::size_t tiles_nonzero() const;
   /// Cumulative tiles evicted to the spill backend over the lifetime.
   std::uint64_t tiles_spilled() const { return tiles_spilled_; }
-  /// Resident heap bytes of tile payloads plus slot bookkeeping.
+  /// Resident bytes of tile payloads plus slot bookkeeping. Content-
+  /// derived (sizes, not capacities), so computed and store-restored
+  /// matrices with the same tiles report the same figure.
   std::uint64_t memory_bytes() const;
 
   /// Tiled transitive closure under compose_dep/max_dep; bit-identical to

@@ -128,6 +128,10 @@ TEST(TiledDepCacheTest, TiledSnapshotRestoresBitIdentically) {
   EXPECT_EQ(warm.stats().regions, cold.stats().regions);
   EXPECT_EQ(warm.stats().tiles_nonzero, cold.stats().tiles_nonzero);
   EXPECT_GT(warm.stats().matrix_bytes, 0u);
+  // memory_bytes is content-derived, so the restored footprint must match
+  // the computed one exactly — otherwise warm analyze reports diverge
+  // from cold ones on tiled workloads.
+  EXPECT_EQ(warm.stats().matrix_bytes, cold.stats().matrix_bytes);
 }
 
 TEST(TiledDepCacheTest, CacheKeySeparatesRepresentations) {

@@ -1,6 +1,11 @@
 #include "tools/cli.hpp"
 
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
@@ -9,8 +14,11 @@
 #include <optional>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 
 #include "obs/trace.hpp"
+#include "util/minijson.hpp"
+#include "util/socket.hpp"
 #include "util/strings.hpp"
 
 #include "attack/engine.hpp"
@@ -29,6 +37,9 @@
 #include "rsn/io.hpp"
 #include "security/filter.hpp"
 #include "security/spec_io.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
 #include "store/artifact_store.hpp"
 #include "store/dep_cache.hpp"
 #include "store/tile_spill.hpp"
@@ -380,24 +391,21 @@ int cmd_analyze(const Args& args, std::ostream& out) {
   std::size_t viol_regs = hybrid.count_violating_registers(w.doc.network);
 
   if (args.has_flag("json")) {
-    const dep::DepOptions& dopt = deps.options();
-    out << "{\"insecure_logic\": " << (st.insecure_logic ? "true" : "false")
-        << ", \"intra_segment\": " << (st.intra_segment ? "true" : "false")
-        << ", \"pure_violating_pairs\": " << pure_pairs
-        << ", \"hybrid_violating_pairs\": " << hybrid_pairs
-        << ", \"violating_registers\": " << viol_regs
-        << ", \"dep_mode\": \""
-        << (dopt.mode == dep::DepMode::Exact ? "exact" : "structural")
-        << "\", \"dep_ternary_prefilter\": "
-        << (dopt.ternary_prefilter ? "true" : "false")
-        << ", \"dep_ternary_resolved\": " << deps.stats().ternary_resolved
-        << ", \"dep_partition\": \"" << dep::partition_name(dopt.partition)
-        << "\", \"dep_tiled\": " << (deps.tiled() ? "true" : "false")
-        << ", \"dep_regions\": " << deps.stats().regions
-        << ", \"dep_matrix_bytes\": " << deps.stats().matrix_bytes
-        << ", \"dep_tiles_nonzero\": " << deps.stats().tiles_nonzero
-        << ", \"dep_tiles_spilled\": " << deps.stats().tiles_spilled
-        << "}\n";
+    // Shared emitter (also used by the serve daemon's analyze replies, so
+    // a daemon request is byte-identical to this one-shot output).
+    AnalyzeReport rep;
+    rep.insecure_logic = st.insecure_logic;
+    rep.intra_segment = st.intra_segment;
+    rep.pure_violating_pairs = pure_pairs;
+    rep.hybrid_violating_pairs = hybrid_pairs;
+    rep.violating_registers = viol_regs;
+    rep.dep_mode = deps.options().mode;
+    rep.dep_ternary_prefilter = deps.options().ternary_prefilter;
+    rep.dep_partition = deps.options().partition;
+    rep.dep_tiled = deps.tiled();
+    rep.dep_stats = deps.stats();
+    write_analyze_json(out, rep);
+    out << "\n";
   } else {
     out << "insecure circuit logic: " << (st.insecure_logic ? "YES" : "no")
         << "\n";
@@ -842,6 +850,333 @@ int cmd_bench_scale(const Args& args, std::ostream& out) {
   return 0;
 }
 
+/// Resolves the serve listener endpoint: --socket PATH and --port N are
+/// mutually exclusive (exit 2 when both are given); with neither, the
+/// RSNSEC_SERVE_SOCKET environment variable supplies the unix path —
+/// flag-beats-env, the same precedence --store has over RSNSEC_STORE.
+serve::ServerOptions serve_endpoint(const Args& args) {
+  serve::ServerOptions opt;
+  auto sock = args.get("socket");
+  auto port = args.get("port");
+  if (sock && port)
+    throw UsageError(
+        "--socket and --port are mutually exclusive (pick one listener)");
+  if (sock) {
+    opt.socket_path = *sock;
+  } else if (port) {
+    std::uint64_t p = u64_or_usage(*port, "--port");
+    if (p > 65535) throw UsageError("--port needs a value in [0, 65535]");
+    opt.port = static_cast<int>(p);
+  } else if (const char* env = std::getenv("RSNSEC_SERVE_SOCKET");
+             env != nullptr && *env != '\0') {
+    opt.socket_path = env;
+  } else {
+    throw UsageError(
+        "serve needs --socket PATH or --port N (or RSNSEC_SERVE_SOCKET "
+        "set)");
+  }
+  return opt;
+}
+
+/// Shared tuning knobs of `rsnsec serve` and `rsnsec bench serve`.
+void serve_tuning(const Args& args, serve::ServerOptions& opt) {
+  if (auto w = args.get("workers")) {
+    std::uint64_t n = u64_or_usage(*w, "--workers");
+    if (n == 0) throw UsageError("--workers needs a positive count");
+    opt.workers = static_cast<std::size_t>(n);
+  }
+  if (auto q = args.get("queue-depth")) {
+    std::uint64_t n = u64_or_usage(*q, "--queue-depth");
+    if (n == 0) throw UsageError("--queue-depth needs a positive bound");
+    opt.queue_capacity = static_cast<std::size_t>(n);
+  }
+  if (auto m = args.get("max-request-bytes")) {
+    std::uint64_t n = u64_or_usage(*m, "--max-request-bytes");
+    if (n == 0)
+      throw UsageError("--max-request-bytes needs a positive byte cap");
+    opt.max_request_bytes = static_cast<std::size_t>(n);
+  }
+}
+
+/// `rsnsec serve`: long-running analysis daemon. Line-delimited JSON
+/// requests over a unix or loopback-TCP socket (see src/serve/protocol.hpp
+/// for the frame format and the SRV error-code table); all tenants share
+/// one artifact store, one analysis thread pool and one trace session, so
+/// repeated designs warm-start regardless of who analyzed them first.
+/// Runs until SIGINT/SIGTERM or a `shutdown` request, draining in-flight
+/// work before exiting.
+int cmd_serve(const Args& args, std::ostream& out) {
+  serve::ServerOptions opt = serve_endpoint(args);
+  serve_tuning(args, opt);
+
+  serve::ServiceOptions sopt;
+  sopt.store_dir = store_dir(args);
+  sopt.analysis_threads = jobs_option(args);
+  serve::AnalysisService service(sopt);
+
+  serve::Server server(service, opt);
+  serve::install_signal_handlers();
+  server.bind();
+  if (!opt.socket_path.empty())
+    out << "listening on unix socket " << opt.socket_path;
+  else
+    out << "listening on 127.0.0.1:" << server.port();
+  out << " (workers " << opt.workers << ", queue " << opt.queue_capacity
+      << ", store "
+      << (sopt.store_dir.empty() ? std::string("off") : sopt.store_dir)
+      << ")\n"
+      << std::flush;
+  server.serve();
+  out << "drained; served " << server.requests_handled() << " request(s)\n";
+  return 0;
+}
+
+/// `rsnsec bench serve --json`: load generator against an in-process
+/// daemon on a private unix socket. N client connections replay a mixed
+/// stream (analyze of one fixed design + pings); the daemon gets a
+/// temporary artifact store, so the first analyze publishes and the rest
+/// warm-start — the replay measures daemon overhead (framing, admission,
+/// scheduling), not repeated SAT work. Every analyze reply is compared
+/// byte-for-byte against a one-shot run of the same design: concurrency
+/// must not change results. Output is the google-benchmark JSON layout
+/// the CI validator checks (p50/p99 latency, throughput, busy replies).
+int cmd_bench_serve(const Args& args, std::ostream& out) {
+  if (!args.has_flag("json"))
+    throw UsageError("bench serve only has a JSON report; pass --json");
+  const std::uint64_t seed =
+      u64_or_usage(args.get("seed").value_or("1"), "--seed");
+  const std::size_t clients = static_cast<std::size_t>(
+      u64_or_usage(args.get("clients").value_or("4"), "--clients"));
+  const std::size_t total_requests = static_cast<std::size_t>(
+      u64_or_usage(args.get("requests").value_or("2000"), "--requests"));
+  const std::string benchmark = args.get("benchmark").value_or("Mingle");
+  attack_benchmark(benchmark);
+  if (clients == 0) throw UsageError("--clients needs a positive count");
+  if (total_requests == 0)
+    throw UsageError("--requests needs a positive count");
+
+  // One fixed workload, serialized to the inline payload strings the
+  // protocol carries.
+  Rng rng(seed);
+  rsn::RsnDocument doc =
+      benchgen::generate_bastion(benchgen::bastion_profile(benchmark),
+                                 double_or_usage(
+                                     args.get("scale").value_or("1.0"),
+                                     "--scale"),
+                                 rng);
+  netlist::Netlist circuit = benchgen::attach_random_circuit(doc, {}, rng);
+  benchgen::SpecOptions spec_opt;
+  security::SecuritySpec spec =
+      benchgen::random_spec(doc.module_names.size(), spec_opt, rng);
+  std::string rsn_text, verilog_text, spec_text;
+  {
+    std::ostringstream os;
+    rsn::write_rsn(os, doc.network, doc.module_names, &circuit);
+    rsn_text = os.str();
+  }
+  {
+    std::ostringstream os;
+    netlist::verilog::write(os, circuit, doc.network.name());
+    verilog_text = os.str();
+  }
+  {
+    std::ostringstream os;
+    security::write_spec(os, spec, doc.module_names);
+    spec_text = os.str();
+  }
+
+  // Private daemon: temp store + temp unix socket, removed afterwards.
+  const std::filesystem::path scratch =
+      std::filesystem::temp_directory_path() /
+      ("rsnsec-bench-serve-" + std::to_string(::getpid()));
+  std::filesystem::create_directories(scratch);
+  serve::ServiceOptions sopt;
+  sopt.store_dir = (scratch / "store").string();
+  sopt.analysis_threads = jobs_option(args);
+  serve::AnalysisService service(sopt);
+
+  serve::ServerOptions opt;
+  opt.socket_path = (scratch / "daemon.sock").string();
+  serve_tuning(args, opt);
+  serve::Server server(service, opt);
+  server.bind();
+  std::thread server_thread([&server] { server.serve(); });
+
+  // The one-shot reference result every analyze reply must match
+  // byte-for-byte (same emitter the CLI's `analyze --json` uses).
+  serve::Request ref;
+  ref.command = serve::Command::Analyze;
+  ref.rsn = rsn_text;
+  ref.verilog = verilog_text;
+  ref.spec = spec_text;
+  serve::ExecResult expected = service.execute(ref);
+  if (!expected.ok())
+    throw std::runtime_error("bench serve: reference analyze failed: " +
+                             expected.message);
+
+  const std::string analyze_body =
+      std::string("\"rsn\": \"") + json_escape(rsn_text) +
+      "\", \"verilog\": \"" + json_escape(verilog_text) +
+      "\", \"spec\": \"" + json_escape(spec_text) + "\"";
+
+  struct ClientStats {
+    std::vector<double> analyze_us;
+    std::vector<double> ping_us;
+    std::uint64_t busy = 0;
+    std::uint64_t mismatches = 0;
+    std::uint64_t errors = 0;
+  };
+  std::vector<ClientStats> per_client(clients);
+
+  auto client_fn = [&](std::size_t ci, std::size_t n_requests) {
+    ClientStats& cs = per_client[ci];
+    try {
+      Socket sock = Socket::connect_unix(opt.socket_path);
+      LineReader reader(sock, 4u << 20);
+      for (std::size_t i = 0; i < n_requests; ++i) {
+        const bool is_ping = i % 16 == 15;
+        std::string line;
+        if (is_ping) {
+          line = "{\"command\": \"ping\", \"id\": \"" + std::to_string(i) +
+                 "\", \"tenant\": \"client-" + std::to_string(ci) + "\"}\n";
+        } else {
+          line = "{\"command\": \"analyze\", \"id\": \"" +
+                 std::to_string(i) + "\", \"tenant\": \"client-" +
+                 std::to_string(ci) + "\", " + analyze_body + "}\n";
+        }
+        for (;;) {
+          auto t0 = std::chrono::steady_clock::now();
+          sock.write_all(line);
+          std::optional<LineReader::Line> reply = reader.next();
+          if (!reply || reply->oversize) {
+            ++cs.errors;
+            return;
+          }
+          double us = std::chrono::duration<double, std::micro>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+          JsonParseResult parsed = parse_json(reply->text);
+          if (!parsed.ok() || !parsed.value->is_object()) {
+            ++cs.errors;
+            break;
+          }
+          std::optional<bool> ok = parsed.value->bool_field("ok");
+          if (ok.value_or(false)) {
+            (is_ping ? cs.ping_us : cs.analyze_us).push_back(us);
+            if (!is_ping) {
+              // Byte-identity: the "result" object must equal the
+              // one-shot reference exactly.
+              std::size_t begin = reply->text.find("\"result\": ");
+              std::size_t end = reply->text.rfind(", \"server\": ");
+              if (begin == std::string::npos || end == std::string::npos ||
+                  reply->text.substr(begin + 10, end - begin - 10) !=
+                      expected.result_json)
+                ++cs.mismatches;
+            }
+            break;
+          }
+          // Error reply: back off and retry on SRV005, count anything
+          // else as a hard error.
+          const JsonValue* error = parsed.value->find("error");
+          std::string code;
+          std::uint64_t retry_ms = 5;
+          if (error != nullptr && error->is_object()) {
+            code = error->string_field("code").value_or("");
+            if (auto r = error->number_field("retry_after_ms"))
+              retry_ms = static_cast<std::uint64_t>(*r);
+          }
+          if (code != "SRV005") {
+            ++cs.errors;
+            break;
+          }
+          ++cs.busy;
+          std::this_thread::sleep_for(std::chrono::milliseconds(retry_ms));
+        }
+      }
+    } catch (const SocketError&) {
+      ++cs.errors;
+    }
+  };
+
+  auto bench_t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (std::size_t ci = 0; ci < clients; ++ci) {
+    std::size_t share = total_requests / clients +
+                        (ci < total_requests % clients ? 1 : 0);
+    threads.emplace_back(client_fn, ci, share);
+  }
+  for (std::thread& t : threads) t.join();
+  double wall_s = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - bench_t0)
+                      .count();
+
+  // Cache effectiveness straight from the daemon, then shut it down.
+  std::string store_stats = service.store_stats_json();
+  server.request_stop();
+  server_thread.join();
+  std::filesystem::remove_all(scratch);
+
+  std::vector<double> analyze_us, ping_us;
+  std::uint64_t busy = 0, mismatches = 0, errors = 0;
+  for (const ClientStats& cs : per_client) {
+    analyze_us.insert(analyze_us.end(), cs.analyze_us.begin(),
+                      cs.analyze_us.end());
+    ping_us.insert(ping_us.end(), cs.ping_us.begin(), cs.ping_us.end());
+    busy += cs.busy;
+    mismatches += cs.mismatches;
+    errors += cs.errors;
+  }
+  std::sort(analyze_us.begin(), analyze_us.end());
+  std::sort(ping_us.begin(), ping_us.end());
+  auto quantile = [](const std::vector<double>& v, double q) {
+    if (v.empty()) return 0.0;
+    std::size_t i = static_cast<std::size_t>(q * (v.size() - 1));
+    return v[i];
+  };
+  if (mismatches > 0)
+    throw std::runtime_error(
+        "bench serve: " + std::to_string(mismatches) +
+        " analyze replies differ from the one-shot reference");
+  if (errors > 0)
+    throw std::runtime_error("bench serve: " + std::to_string(errors) +
+                             " client(s) hit hard errors");
+
+  const std::size_t served = analyze_us.size() + ping_us.size();
+  out << "{\"context\": {\"executable\": \"rsnsec\", \"experiment\": "
+         "\"serve\", \"seed\": "
+      << seed << ", \"benchmark\": \"" << benchmark
+      << "\", \"clients\": " << clients << ", \"requests\": " << served
+      << ", \"workers\": " << opt.workers
+      << ", \"queue_depth\": " << opt.queue_capacity
+      << ", \"store\": " << store_stats << "},\n\"benchmarks\": [\n";
+  out << "  {\"name\": \"ServeReplay_" << benchmark
+      << "/analyze\", \"run_type\": \"iteration\", \"iterations\": "
+      << analyze_us.size() << ", \"real_time\": "
+      << quantile(analyze_us, 0.5) / 1e3 << ", \"cpu_time\": "
+      << quantile(analyze_us, 0.5) / 1e3
+      << ", \"time_unit\": \"ms\", \"p50_ms\": "
+      << quantile(analyze_us, 0.5) / 1e3
+      << ", \"p99_ms\": " << quantile(analyze_us, 0.99) / 1e3
+      << ", \"busy_replies\": " << busy
+      << ", \"result_mismatches\": " << mismatches << "},\n";
+  out << "  {\"name\": \"ServeReplay_" << benchmark
+      << "/ping\", \"run_type\": \"iteration\", \"iterations\": "
+      << ping_us.size() << ", \"real_time\": "
+      << quantile(ping_us, 0.5) / 1e3 << ", \"cpu_time\": "
+      << quantile(ping_us, 0.5) / 1e3
+      << ", \"time_unit\": \"ms\", \"p50_ms\": "
+      << quantile(ping_us, 0.5) / 1e3
+      << ", \"p99_ms\": " << quantile(ping_us, 0.99) / 1e3 << "},\n";
+  out << "  {\"name\": \"ServeReplay_" << benchmark
+      << "/throughput\", \"run_type\": \"iteration\", \"iterations\": "
+      << served << ", \"real_time\": " << wall_s * 1e3
+      << ", \"cpu_time\": " << wall_s * 1e3
+      << ", \"time_unit\": \"ms\", \"requests_per_second\": "
+      << (wall_s > 0.0 ? static_cast<double>(served) / wall_s : 0.0)
+      << "}\n]}\n";
+  return 0;
+}
+
 /// `rsnsec bench ablation`: the Sec. IV-C structural-vs-exact ablation as
 /// a first-class subcommand. Reuses the bench harness's instance recipe
 /// (bench::make_instance with the same seeds and scaling) so the reported
@@ -852,12 +1187,14 @@ int cmd_bench(const Args& args, std::ostream& out) {
     return cmd_bench_attack(args, out);
   if (args.positionals.size() == 1 && args.positionals[0] == "scale")
     return cmd_bench_scale(args, out);
+  if (args.positionals.size() == 1 && args.positionals[0] == "serve")
+    return cmd_bench_serve(args, out);
   if (args.positionals.size() != 1 || args.positionals[0] != "ablation")
     throw UsageError(
         (args.positionals.empty()
              ? std::string("bench needs an experiment name")
              : "unknown bench experiment '" + args.positionals[0] + "'") +
-        " (try: ablation, attack or scale, e.g. "
+        " (try: ablation, attack, scale or serve, e.g. "
         "rsnsec bench ablation [--circuits N] [--specs N] [--json])");
 
   bench::SweepOptions opt = bench::sweep_options_from_env();
@@ -1075,9 +1412,10 @@ int dispatch(const Args& args, std::ostream& out) {
   if (args.command == "lint") return cmd_lint(args, out);
   if (args.command == "store") return cmd_store(args, out);
   if (args.command == "bench") return cmd_bench(args, out);
+  if (args.command == "serve") return cmd_serve(args, out);
   throw std::runtime_error("unknown command '" + args.command +
                            "' (try: generate, info, analyze, secure, "
-                           "certify, attack, lint, store, bench)");
+                           "certify, attack, lint, store, bench, serve)");
 }
 
 }  // namespace

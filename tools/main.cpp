@@ -12,6 +12,11 @@
 //   rsnsec secure  --rsn net.rsn --verilog ckt.v --spec policy.spec \
 //          --out net_secure.rsn
 //   rsnsec lint net.rsn ckt.v policy.spec
+//   rsnsec serve --socket /tmp/rsnsec.sock --store /var/cache/rsnsec
+//
+// serve is the long-running daemon form: line-delimited JSON requests
+// (analyze/secure/certify/attack/stats) over a unix or loopback-TCP
+// socket, one shared artifact store and thread pool across all clients.
 
 #include <iostream>
 #include <vector>
@@ -21,8 +26,8 @@
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
   if (args.empty()) {
-    std::cerr << "usage: rsnsec <generate|info|analyze|secure|lint> "
-                 "[options]\n"
+    std::cerr << "usage: rsnsec <generate|info|analyze|secure|certify|"
+                 "attack|lint|store|bench|serve> [options]\n"
                  "see tools/cli.hpp for the full option list\n";
     return 1;
   }
